@@ -1,0 +1,52 @@
+//! Experiment E2 — reproduces **Figure 4** of the paper: relative error of
+//! marginal release on the Adult dataset for workloads Q1, Q1*, Q1a, Q2,
+//! Q2*, Q2a across ε ∈ [0.1, 1.0] and methods F/F+/C/C+/Q/Q+/I.
+//!
+//! Usage: `cargo run -p dp-bench --release --bin fig4_adult [--quick]`
+//! (`--quick` restricts to Q1/Q2 and 3 ε values for a fast smoke run).
+//! Drops `bench_results/fig4_adult.jsonl` for EXPERIMENTS.md.
+
+use dp_bench::{accuracy_sweep, render_accuracy_table, write_jsonl, WorkloadFamily, EPSILONS};
+use dp_core::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let schema = dp_data::adult_schema();
+    let (records, real) =
+        dp_data::csv::adult_records_or_synthetic(std::path::Path::new("data/adult.data"), 20130401)
+            .expect("dataset synthesis cannot fail");
+    eprintln!(
+        "Adult: {} records ({})",
+        records.len(),
+        if real { "real file" } else { "synthetic stand-in" }
+    );
+    let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
+
+    let (families, epsilons, trials, ident_trials): (Vec<WorkloadFamily>, Vec<f64>, usize, usize) =
+        if quick {
+            (
+                vec![WorkloadFamily::K(1), WorkloadFamily::K(2)],
+                vec![0.1, 0.5, 1.0],
+                2,
+                1,
+            )
+        } else {
+            (WorkloadFamily::ALL.to_vec(), EPSILONS.to_vec(), 5, 2)
+        };
+
+    let points = accuracy_sweep(
+        "adult",
+        &table,
+        &schema,
+        &families,
+        &epsilons,
+        trials,
+        ident_trials,
+        42,
+    );
+    println!("{}", render_accuracy_table(&points));
+    match write_jsonl("fig4_adult.jsonl", &points) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

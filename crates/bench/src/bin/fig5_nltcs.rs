@@ -1,0 +1,50 @@
+//! Experiment E3 — reproduces **Figure 5** of the paper: relative error of
+//! marginal release on the NLTCS dataset for the six workload families.
+//!
+//! Usage: `cargo run -p dp-bench --release --bin fig5_nltcs [--quick]`.
+//! Drops `bench_results/fig5_nltcs.jsonl`.
+
+use dp_bench::{accuracy_sweep, render_accuracy_table, write_jsonl, WorkloadFamily, EPSILONS};
+use dp_core::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let schema = dp_data::nltcs_schema();
+    let (records, real) =
+        dp_data::csv::nltcs_records_or_synthetic(std::path::Path::new("data/nltcs.csv"), 20130402)
+            .expect("dataset synthesis cannot fail");
+    eprintln!(
+        "NLTCS: {} records ({})",
+        records.len(),
+        if real { "real file" } else { "synthetic stand-in" }
+    );
+    let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
+
+    let (families, epsilons, trials, ident_trials): (Vec<WorkloadFamily>, Vec<f64>, usize, usize) =
+        if quick {
+            (
+                vec![WorkloadFamily::K(1), WorkloadFamily::K(2)],
+                vec![0.1, 0.5, 1.0],
+                3,
+                2,
+            )
+        } else {
+            (WorkloadFamily::ALL.to_vec(), EPSILONS.to_vec(), 8, 4)
+        };
+
+    let points = accuracy_sweep(
+        "nltcs",
+        &table,
+        &schema,
+        &families,
+        &epsilons,
+        trials,
+        ident_trials,
+        43,
+    );
+    println!("{}", render_accuracy_table(&points));
+    match write_jsonl("fig5_nltcs.jsonl", &points) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment E4 — reproduces **Figure 6** of the paper: end-to-end running
+//! time of the four strategies over the six NLTCS query workloads.
+//!
+//! The paper's qualitative claim to reproduce: the clustering strategy `C`
+//! is dramatically slower than the rest (its greedy search is the only
+//! super-linear component), while F/Q/I stay fast.
+//!
+//! Usage: `cargo run -p dp-bench --release --bin fig6_runtime`.
+
+use dp_bench::{runtime_sweep, write_jsonl, WorkloadFamily};
+use dp_core::prelude::*;
+
+fn main() {
+    let schema = dp_data::nltcs_schema();
+    let (records, _) =
+        dp_data::csv::nltcs_records_or_synthetic(std::path::Path::new("data/nltcs.csv"), 20130402)
+            .expect("dataset synthesis cannot fail");
+    let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
+
+    let rows = runtime_sweep(&table, &schema, &WorkloadFamily::ALL, 44);
+
+    println!("\n== Figure 6: end-to-end time (s) over NLTCS ==");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "set", "F", "C", "Q", "I");
+    for family in WorkloadFamily::ALL {
+        let w = family.label();
+        print!("{w:>6}");
+        for m in ["F", "C", "Q", "I"] {
+            let v = rows
+                .iter()
+                .find(|r| r.workload == w && r.method == m)
+                .map(|r| r.seconds)
+                .unwrap_or(f64::NAN);
+            print!(" {v:>10.4}");
+        }
+        println!();
+    }
+    match write_jsonl("fig6_runtime.jsonl", &rows) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,326 @@
+//! Shared experiment harness for reproducing the paper's figures and
+//! tables. Each binary in `src/bin/` regenerates one figure/table; this
+//! library holds the common machinery: method/workload enumeration, trial
+//! loops, and table/CSV output.
+
+use dp_core::metrics::average_relative_error;
+use dp_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The seven methods of the paper's experiments (Section 5, "Algorithms
+/// Used"): four strategies, each with uniform and (where different)
+/// optimal non-uniform budgets.
+pub const METHODS: [(StrategyKind, Budgeting); 7] = [
+    (StrategyKind::Fourier, Budgeting::Uniform),
+    (StrategyKind::Fourier, Budgeting::Optimal),
+    (StrategyKind::Cluster, Budgeting::Uniform),
+    (StrategyKind::Cluster, Budgeting::Optimal),
+    (StrategyKind::Workload, Budgeting::Uniform),
+    (StrategyKind::Workload, Budgeting::Optimal),
+    (StrategyKind::Identity, Budgeting::Uniform),
+];
+
+/// The ε grid of Figures 4 and 5.
+pub const EPSILONS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// The six workload families of the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadFamily {
+    /// `Q_k` — all k-way marginals.
+    K(usize),
+    /// `Q*_k` — all k-way plus half the (k+1)-way marginals.
+    KStar(usize),
+    /// `Q^a_k` — all k-way plus the (k+1)-way marginals containing attr 0.
+    KAttr(usize),
+}
+
+impl WorkloadFamily {
+    /// The six families in the paper's figure order.
+    pub const ALL: [WorkloadFamily; 6] = [
+        WorkloadFamily::K(1),
+        WorkloadFamily::KStar(1),
+        WorkloadFamily::KAttr(1),
+        WorkloadFamily::K(2),
+        WorkloadFamily::KStar(2),
+        WorkloadFamily::KAttr(2),
+    ];
+
+    /// Figure label, e.g. `Q1*`.
+    pub fn label(self) -> String {
+        match self {
+            WorkloadFamily::K(k) => format!("Q{k}"),
+            WorkloadFamily::KStar(k) => format!("Q{k}*"),
+            WorkloadFamily::KAttr(k) => format!("Q{k}a"),
+        }
+    }
+
+    /// Materializes the workload over a schema.
+    pub fn build(self, schema: &Schema) -> Workload {
+        match self {
+            WorkloadFamily::K(k) => Workload::all_k_way(schema, k),
+            WorkloadFamily::KStar(k) => Workload::k_way_plus_half(schema, k),
+            WorkloadFamily::KAttr(k) => Workload::k_way_plus_attr(schema, k, 0),
+        }
+        .expect("experiment workloads are valid for both schemas")
+    }
+}
+
+/// One measured point of an accuracy experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct AccuracyPoint {
+    /// Dataset name (`adult`, `nltcs`).
+    pub dataset: String,
+    /// Workload label (`Q1`, `Q2*`, …).
+    pub workload: String,
+    /// Method label (`F`, `F+`, `C`, `C+`, `Q`, `Q+`, `I`).
+    pub method: String,
+    /// Privacy parameter ε.
+    pub epsilon: f64,
+    /// Mean relative error over trials (the paper's metric).
+    pub relative_error: f64,
+    /// Number of Monte-Carlo trials averaged.
+    pub trials: usize,
+}
+
+/// One measured point of the runtime experiment (Figure 6).
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimePoint {
+    /// Workload label.
+    pub workload: String,
+    /// Method label (strategy only — budgets don't affect runtime shape).
+    pub method: String,
+    /// End-to-end seconds: planning + one release.
+    pub seconds: f64,
+}
+
+/// Runs the accuracy sweep for one dataset: every workload family × method
+/// × ε, averaging `trials` releases (fewer for the Identity strategy, whose
+/// per-trial cost is `O(N)` — controlled by `identity_trials`).
+#[allow(clippy::too_many_arguments)] // an experiment config, not a reusable API surface
+pub fn accuracy_sweep(
+    dataset: &str,
+    table: &ContingencyTable,
+    schema: &Schema,
+    families: &[WorkloadFamily],
+    epsilons: &[f64],
+    trials: usize,
+    identity_trials: usize,
+    seed: u64,
+) -> Vec<AccuracyPoint> {
+    let mut out = Vec::new();
+    for &family in families {
+        let workload = family.build(schema);
+        let exact = workload.true_answers(table);
+        eprintln!(
+            "[{dataset}] workload {} ({} marginals, {} cells)",
+            family.label(),
+            workload.len(),
+            workload.total_cells()
+        );
+        for &(strategy, budgeting) in &METHODS {
+            let planner = match ReleasePlanner::new(table, &workload, strategy, budgeting) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("  {}: planning failed: {e}", strategy.label());
+                    continue;
+                }
+            };
+            let n_trials = if strategy == StrategyKind::Identity {
+                identity_trials
+            } else {
+                trials
+            };
+            let mut rng = StdRng::seed_from_u64(seed ^ fxhash(&planner.label()));
+            for &eps in epsilons {
+                let mut err_sum = 0.0;
+                for _ in 0..n_trials {
+                    let release = planner
+                        .release(PrivacyLevel::Pure { epsilon: eps }, &mut rng)
+                        .expect("release cannot fail after successful planning");
+                    err_sum += average_relative_error(&release.answers, &exact)
+                        .expect("answers and exact are aligned");
+                }
+                out.push(AccuracyPoint {
+                    dataset: dataset.to_string(),
+                    workload: family.label(),
+                    method: planner.label(),
+                    epsilon: eps,
+                    relative_error: err_sum / n_trials as f64,
+                    trials: n_trials,
+                });
+            }
+            eprintln!("  {} done", planner.label());
+        }
+    }
+    out
+}
+
+/// Runs the runtime experiment: wall-clock for planning + one release per
+/// strategy per workload family.
+pub fn runtime_sweep(
+    table: &ContingencyTable,
+    schema: &Schema,
+    families: &[WorkloadFamily],
+    seed: u64,
+) -> Vec<RuntimePoint> {
+    let mut out = Vec::new();
+    for &family in families {
+        let workload = family.build(schema);
+        for strategy in [
+            StrategyKind::Fourier,
+            StrategyKind::Cluster,
+            StrategyKind::Workload,
+            StrategyKind::Identity,
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let start = Instant::now();
+            if strategy == StrategyKind::Cluster {
+                // Charge the [6]-style candidate search that the paper's
+                // Figure 6 measures (the planner itself uses the fast
+                // union-only greedy, which reaches the same clustering).
+                let _ = dp_core::cluster::greedy_cluster_with_search(
+                    &workload,
+                    dp_core::cluster::CentroidSearch::AllDominatingCuboids,
+                );
+            }
+            let planner = ReleasePlanner::new(table, &workload, strategy, Budgeting::Optimal)
+                .expect("experiment strategies plan successfully");
+            let _release = planner
+                .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+                .expect("release succeeds");
+            out.push(RuntimePoint {
+                workload: family.label(),
+                method: strategy.label().to_string(),
+                seconds: start.elapsed().as_secs_f64(),
+            });
+        }
+    }
+    out
+}
+
+/// Deterministic tiny string hash for per-method RNG streams.
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Renders accuracy points as the paper-style series: one block per
+/// workload, methods as columns, ε as rows.
+pub fn render_accuracy_table(points: &[AccuracyPoint]) -> String {
+    use std::collections::BTreeSet;
+    let mut s = String::new();
+    let workloads: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        points
+            .iter()
+            .filter(|p| seen.insert(p.workload.clone()))
+            .map(|p| p.workload.clone())
+            .collect()
+    };
+    let methods = ["F", "F+", "C", "C+", "Q", "Q+", "I"];
+    for w in &workloads {
+        s.push_str(&format!("\n== workload {w} — relative error ==\n"));
+        s.push_str(&format!("{:>5}", "eps"));
+        for m in methods {
+            s.push_str(&format!("{m:>12}"));
+        }
+        s.push('\n');
+        let mut epsilons: Vec<f64> = points
+            .iter()
+            .filter(|p| &p.workload == w)
+            .map(|p| p.epsilon)
+            .collect();
+        epsilons.sort_by(|a, b| a.partial_cmp(b).expect("finite epsilons"));
+        epsilons.dedup();
+        for eps in epsilons {
+            s.push_str(&format!("{eps:>5.1}"));
+            for m in methods {
+                let v = points
+                    .iter()
+                    .find(|p| &p.workload == w && p.method == m && p.epsilon == eps)
+                    .map(|p| p.relative_error);
+                match v {
+                    Some(v) => s.push_str(&format!("{v:>12.4}")),
+                    None => s.push_str(&format!("{:>12}", "-")),
+                }
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+/// Writes any serializable slice as a JSON-lines file under
+/// `bench_results/`, returning the path.
+pub fn write_jsonl<T: Serialize>(name: &str, rows: &[T]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("bench_results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut body = String::new();
+    for r in rows {
+        body.push_str(&serde_json::to_string(r).expect("rows serialize"));
+        body.push('\n');
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_for_both_schemas() {
+        let adult = dp_data::adult_schema();
+        let nltcs = dp_data::nltcs_schema();
+        for f in WorkloadFamily::ALL {
+            assert!(!f.build(&adult).is_empty());
+            assert!(!f.build(&nltcs).is_empty());
+        }
+        assert_eq!(WorkloadFamily::K(2).label(), "Q2");
+        assert_eq!(WorkloadFamily::KStar(1).label(), "Q1*");
+        assert_eq!(WorkloadFamily::KAttr(2).label(), "Q2a");
+    }
+
+    #[test]
+    fn tiny_sweep_produces_all_points() {
+        // A minimal smoke sweep over a small synthetic table.
+        let schema = Schema::binary(6).unwrap();
+        let recs: Vec<Vec<usize>> = (0..200)
+            .map(|i| (0..6).map(|b| (i >> b) & 1).collect())
+            .collect();
+        let table = ContingencyTable::from_records(&schema, &recs).unwrap();
+        let points = accuracy_sweep(
+            "tiny",
+            &table,
+            &schema,
+            &[WorkloadFamily::K(1)],
+            &[0.5, 1.0],
+            2,
+            1,
+            7,
+        );
+        // 7 methods × 2 epsilons.
+        assert_eq!(points.len(), 14);
+        assert!(points.iter().all(|p| p.relative_error.is_finite()));
+        let rendered = render_accuracy_table(&points);
+        assert!(rendered.contains("Q1"));
+        assert!(rendered.contains("F+"));
+    }
+
+    #[test]
+    fn runtime_sweep_smoke() {
+        let schema = Schema::binary(6).unwrap();
+        let recs: Vec<Vec<usize>> = (0..50)
+            .map(|i| (0..6).map(|b| (i >> b) & 1).collect())
+            .collect();
+        let table = ContingencyTable::from_records(&schema, &recs).unwrap();
+        let rows = runtime_sweep(&table, &schema, &[WorkloadFamily::K(1)], 3);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.seconds >= 0.0));
+    }
+}

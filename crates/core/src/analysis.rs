@@ -1,0 +1,163 @@
+//! Closed-form error analysis: the formulas behind Table 1 of the paper.
+//!
+//! All bounds are for the workload of **all `k`-way marginals** over `d`
+//! binary attributes and are stated as expected L1 noise per marginal,
+//! `E‖Cαx − C̃α‖₁` (each marginal has `2^k` cells). The `table1_bounds`
+//! bench (experiment E5) prints these next to measured noise.
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the argument ranges
+/// used here, which stay far below 2^53).
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Number of Fourier coefficients needed for all `k`-way marginals:
+/// `|F| = Σ_{i=0}^{k} C(d,i)`.
+pub fn fourier_support_size(d: usize, k: usize) -> f64 {
+    (0..=k).map(|i| binomial(d, i)).sum()
+}
+
+/// Table 1, "Base counts" row (ε-DP): `Θ(2^{(d+k)/2}/ε)` expected noise per
+/// marginal. Derivation: each of the `2^k` cells sums `2^{d−k}` Laplace
+/// variables of scale `1/ε`, so per-cell expected error is
+/// `Θ(√(2^{d−k}))/ε` and per-marginal `2^k` times that.
+pub fn bound_base_counts(d: usize, k: usize, epsilon: f64) -> f64 {
+    2f64.powf((d + k) as f64 / 2.0) / epsilon
+}
+
+/// Table 1, "Marginals" row (ε-DP): `Θ(2^k C(d,k) / ε)`. Each cell gets
+/// Laplace noise at scale `C(d,k)/ε` (uniform split over the `C(d,k)`
+/// marginals, each column hit once per marginal).
+pub fn bound_marginals(d: usize, k: usize, epsilon: f64) -> f64 {
+    2f64.powi(k as i32) * binomial(d, k) / epsilon
+}
+
+/// Table 1, "Fourier coefficients (uniform noise)" row (ε-DP), the paper's
+/// tightened Theorem B.1: `O(|F| √(2^{3+k}) / ε)` per marginal; we report
+/// the dominant term `|F| √(2^k) / ε` without the universal constant.
+pub fn bound_fourier_uniform(d: usize, k: usize, epsilon: f64) -> f64 {
+    fourier_support_size(d, k) * 2f64.powf(k as f64 / 2.0) / epsilon
+}
+
+/// Table 1, "Fourier coefficients (non-uniform noise)" row (ε-DP),
+/// Lemma 4.2(1): `O(k √(C(d,k) · C(d+k,k)) / ε)` per marginal.
+pub fn bound_fourier_nonuniform(d: usize, k: usize, epsilon: f64) -> f64 {
+    (k as f64) * (binomial(d, k) * binomial(d + k, k)).sqrt() / epsilon
+}
+
+/// Table 1, lower bound `Ω̃(√(C(d,k))/ε)` \[15\].
+pub fn bound_lower(d: usize, k: usize, epsilon: f64) -> f64 {
+    binomial(d, k).sqrt() / epsilon
+}
+
+/// Exact per-marginal expected L1 noise of the Fourier strategy with
+/// non-uniform budgets, computed from the closed-form optimum rather than
+/// the asymptotic bound: the optimizer objective `T³/ε²` (with
+/// `T = Σ_β (C² b_β)^{1/3}`) is the total output variance over all
+/// `2^k C(d,k)` cells; per-cell expected |noise| is `√(2·var/π)` → we report
+/// `Σ_cells √Var ≈ 2^k · √(total/q)` per marginal as a deterministic proxy
+/// (exact up to the Laplace/Gaussian shape constant).
+pub fn exact_fourier_nonuniform_noise(d: usize, k: usize, epsilon: f64) -> f64 {
+    // b_β = 2^{d−k} C(d−‖β‖, k−‖β‖); C = 2^{−d/2}; group per row.
+    // T = Σ_{i=0}^{k} C(d,i) (2^{−d} · 2^{d−k} C(d−i,k−i))^{1/3}.
+    let t: f64 = (0..=k)
+        .map(|i| binomial(d, i) * (2f64.powi(-(k as i32)) * binomial(d - i, k - i)).cbrt())
+        .sum();
+    let total_variance = 2.0 * t * t * t / (epsilon * epsilon);
+    let q = 2f64.powi(k as i32) * binomial(d, k);
+    let per_cell_sd = (total_variance / q).sqrt();
+    2f64.powi(k as i32) * per_cell_sd
+}
+
+/// Exact per-marginal expected L1 noise of the Fourier strategy with
+/// uniform budgets (same proxy as
+/// [`exact_fourier_nonuniform_noise`]): every coefficient gets scale
+/// `|F| 2^{−d/2} / ε`… i.e. budget `η = ε·2^{d/2}/|F|`; each cell of a
+/// `k`-way marginal has variance `Σ_{β≼α} 2^{d−2k} · 2/η²`.
+pub fn exact_fourier_uniform_noise(d: usize, k: usize, epsilon: f64) -> f64 {
+    let m = fourier_support_size(d, k);
+    let eta = epsilon * 2f64.powf(d as f64 / 2.0) / m;
+    let per_coeff_var = 2.0 / (eta * eta);
+    let per_cell_var = 2f64.powi(k as i32) * 2f64.powf((d - 2 * k) as f64) * per_coeff_var;
+    2f64.powi(k as i32) * per_cell_var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(8, 0), 1.0);
+        assert_eq!(binomial(8, 8), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+        assert_eq!(binomial(16, 2), 120.0);
+    }
+
+    #[test]
+    fn support_size() {
+        // d=8, k=2: 1 + 8 + 28 = 37.
+        assert_eq!(fourier_support_size(8, 2), 37.0);
+    }
+
+    #[test]
+    fn nonuniform_beats_uniform_asymptotically() {
+        // The paper's improvement: the *exact* closed-form optimum beats
+        // uniform budgeting. (The big-O rows of Table 1 are not numerically
+        // comparable at small k because of their hidden constants, so we
+        // compare the exact optimizer-derived quantities.)
+        for d in [16usize, 20, 24] {
+            for k in [2usize, 3, 4] {
+                assert!(
+                    exact_fourier_nonuniform_noise(d, k, 1.0)
+                        < exact_fourier_uniform_noise(d, k, 1.0),
+                    "d={d} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_scale_inversely_with_epsilon() {
+        for f in [
+            bound_base_counts,
+            bound_marginals,
+            bound_fourier_uniform,
+            bound_fourier_nonuniform,
+            bound_lower,
+        ] {
+            let a = f(10, 2, 0.5);
+            let b = f(10, 2, 1.0);
+            assert!((a - 2.0 * b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_lowest() {
+        for d in [8, 12, 16] {
+            for k in [1, 2, 3] {
+                let lb = bound_lower(d, k, 1.0);
+                assert!(lb <= bound_marginals(d, k, 1.0));
+                assert!(lb <= bound_fourier_nonuniform(d, k, 1.0) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn base_counts_dominate_for_high_k() {
+        // For k close to d, materializing base counts wins (paper: "for
+        // workloads made up of high-degree marginals, this method
+        // dominates").
+        let d = 12;
+        assert!(bound_base_counts(d, 6, 1.0) < bound_marginals(d, 6, 1.0));
+    }
+}

@@ -1,0 +1,265 @@
+//! Greedy cluster-of-marginals strategy (reimplementation of Ding et al.,
+//! SIGMOD 2011 \[6\], as used for the `C`/`C+` lines in the paper's
+//! experiments).
+//!
+//! The strategy materializes a set of "centroid" marginals; each workload
+//! marginal is answered by aggregating the cells of its cluster's centroid
+//! (the union of the cluster members' attribute sets), exactly as in the
+//! paper's Figure 1(c)–(d) where the centroid `{A,B}` answers both `A` and
+//! `{A,B}`.
+//!
+//! ## Cost model
+//!
+//! With uniform budgets over `g` materialized centroids, each centroid cell
+//! carries Laplace noise of variance `2(g/ε)²`, and a recovered cell of a
+//! workload marginal `α` answered from centroid `u ⊇ α` sums
+//! `2^{‖u‖−‖α‖}` of them. Totalling over `α`'s `2^{‖α‖}` cells gives
+//! `2^{‖u‖} · 2(g/ε)²`, so up to the constant `2/ε²` the objective is
+//!
+//! ```text
+//! J(clustering) = g² · Σ_{α ∈ W} 2^{‖u(α)‖}.
+//! ```
+//!
+//! The greedy agglomerative search starts from singleton clusters and
+//! repeatedly applies the merge with the largest decrease in `J`, stopping
+//! when no merge improves it. This matches the paper's description
+//! ("employs a clustering algorithm over the queries to compute S"; its
+//! cost grows quickly with dimensionality — see Figure 6 — which our
+//! runtime experiment E4 reproduces).
+
+use crate::mask::AttrMask;
+use crate::workload::Workload;
+
+/// A clustering of the workload into strategy marginals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// The centroid (union) mask of each cluster.
+    pub centroids: Vec<AttrMask>,
+    /// For each workload marginal (workload order), the index of its
+    /// cluster in `centroids`.
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// The number of materialized strategy marginals `g`.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// The cost-model objective `g² Σ_α 2^{‖u(α)‖}` (lower is better).
+    pub fn objective(&self) -> f64 {
+        let g = self.centroids.len() as f64;
+        let s: f64 = self
+            .assignment
+            .iter()
+            .map(|&c| self.centroids[c].cell_count() as f64)
+            .sum();
+        g * g * s
+    }
+
+    /// Number of workload marginals assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &c in &self.assignment {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+}
+
+/// How the greedy search picks the centroid of a merged cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CentroidSearch {
+    /// The merged centroid is the union of the two clusters' masks —
+    /// an `O(ℓ³)` search. Fast, and what [`greedy_cluster`] uses.
+    #[default]
+    Union,
+    /// For every merge, additionally evaluate **every dominating cuboid**
+    /// `u ⊇ union` as the candidate centroid, mirroring the candidate space
+    /// of Ding et al. \[6\] (whose cost the paper quotes as
+    /// `O(d^k k min(2^d d^k, 3^d))`). Exponentially slower — this is the
+    /// variant behind the `C` line of the Figure-6 runtime experiment.
+    AllDominatingCuboids,
+}
+
+/// Runs the greedy agglomerative clustering on a workload.
+///
+/// Worst case `O(ℓ³)` merge evaluations over `ℓ` workload marginals — cheap
+/// for the workload sizes of the paper's experiments but (by design,
+/// matching \[6\]) much slower than the other strategies as dimensionality
+/// grows.
+pub fn greedy_cluster(workload: &Workload) -> Clustering {
+    greedy_cluster_with_search(workload, CentroidSearch::Union)
+}
+
+/// [`greedy_cluster`] with an explicit centroid-search mode.
+pub fn greedy_cluster_with_search(workload: &Workload, search: CentroidSearch) -> Clustering {
+    let masks = workload.marginals();
+    let d = workload.domain_bits();
+    let full = crate::mask::AttrMask::full(d);
+    let l = masks.len();
+    // members[c] = workload indices in cluster c; centroid[c] = union mask.
+    let mut members: Vec<Vec<usize>> = (0..l).map(|i| vec![i]).collect();
+    let mut centroids: Vec<AttrMask> = masks.to_vec();
+
+    // Σ 2^{‖u(α)‖} for the current clustering.
+    let cell_sum = |members: &[Vec<usize>], centroids: &[AttrMask]| -> f64 {
+        members
+            .iter()
+            .zip(centroids)
+            .map(|(m, c)| (m.len() * c.cell_count()) as f64)
+            .sum()
+    };
+
+    loop {
+        let g = centroids.len();
+        if g <= 1 {
+            break;
+        }
+        let current_sum = cell_sum(&members, &centroids);
+        let current_cost = (g * g) as f64 * current_sum;
+
+        // Find the best merge (and, in the exhaustive mode, the best
+        // dominating cuboid to serve as the merged centroid).
+        let mut best: Option<(usize, usize, AttrMask, f64)> = None;
+        for i in 0..g {
+            for j in (i + 1)..g {
+                let u = centroids[i].union(centroids[j]);
+                let merged_members = members[i].len() + members[j].len();
+                let base_sum = current_sum
+                    - (members[i].len() * centroids[i].cell_count()) as f64
+                    - (members[j].len() * centroids[j].cell_count()) as f64;
+                let evaluate = |centroid: AttrMask, best: &mut Option<(usize, usize, AttrMask, f64)>| {
+                    let new_sum = base_sum + (merged_members * centroid.cell_count()) as f64;
+                    let new_cost = ((g - 1) * (g - 1)) as f64 * new_sum;
+                    if new_cost < current_cost
+                        && best.is_none_or(|(_, _, _, b)| new_cost < b)
+                    {
+                        *best = Some((i, j, centroid, new_cost));
+                    }
+                };
+                match search {
+                    CentroidSearch::Union => evaluate(u, &mut best),
+                    CentroidSearch::AllDominatingCuboids => {
+                        // Enumerate every u ⊇ union: union ∨ (subset of the
+                        // complement). Any strict superset only raises the
+                        // cost (more cells, same members) under this cost
+                        // model, but [6]'s search space includes them all —
+                        // walking it is exactly what makes C slow.
+                        let complement = AttrMask(full.0 & !u.0);
+                        for extra in complement.subsets() {
+                            evaluate(u.union(extra), &mut best);
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i, j, centroid, _)) = best else { break };
+        let moved = members.swap_remove(j);
+        let _ = centroids.swap_remove(j);
+        members[i].extend(moved);
+        centroids[i] = centroid;
+    }
+
+    let mut assignment = vec![0usize; l];
+    for (c, m) in members.iter().enumerate() {
+        for &i in m {
+            assignment[i] = c;
+        }
+    }
+    Clustering {
+        centroids,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn every_marginal_is_dominated_by_its_centroid() {
+        let schema = Schema::binary(6).unwrap();
+        let w = Workload::all_k_way(&schema, 2).unwrap();
+        let c = greedy_cluster(&w);
+        assert_eq!(c.assignment.len(), w.len());
+        for (i, &alpha) in w.marginals().iter().enumerate() {
+            let centroid = c.centroids[c.assignment[i]];
+            assert!(alpha.dominated_by(centroid), "{alpha} vs {centroid}");
+        }
+    }
+
+    #[test]
+    fn figure1_workload_merges_a_into_ab() {
+        // Workload {A, AB}: materializing only AB costs 1²·(4+4) = 8 versus
+        // 2²·(2+4) = 24 for singletons, so the greedy must merge — the
+        // paper's Figure 1(c)/(d) strategy exactly.
+        let w = Workload::new(3, vec![AttrMask(0b100), AttrMask(0b110)]).unwrap();
+        let c = greedy_cluster(&w);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.centroids[0], AttrMask(0b110));
+        assert_eq!(c.assignment, vec![0, 0]);
+        assert_eq!(c.objective(), 8.0);
+    }
+
+    #[test]
+    fn disjoint_large_marginals_do_not_merge() {
+        // Two disjoint 3-way marginals over 6 bits: merging gives one 6-way
+        // centroid costing 1²·(64+64) = 128 > 2²·(8+8) = 64 → keep separate.
+        let w = Workload::new(6, vec![AttrMask(0b000111), AttrMask(0b111000)]).unwrap();
+        let c = greedy_cluster(&w);
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn objective_decreases_or_stays_relative_to_singletons() {
+        let schema = Schema::binary(8).unwrap();
+        for k in 1..=2 {
+            let w = Workload::all_k_way(&schema, k).unwrap();
+            let singleton = Clustering {
+                centroids: w.marginals().to_vec(),
+                assignment: (0..w.len()).collect(),
+            };
+            let greedy = greedy_cluster(&w);
+            assert!(
+                greedy.objective() <= singleton.objective(),
+                "k={k}: {} vs {}",
+                greedy.objective(),
+                singleton.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn one_way_marginals_over_few_attrs_merge_to_full_cube() {
+        // 1-way over 3 bits: singletons cost 9·(2+2+2) = 54; the full cube
+        // costs 1·8 = 8 → expect a single cluster.
+        let schema = Schema::binary(3).unwrap();
+        let w = Workload::all_k_way(&schema, 1).unwrap();
+        let c = greedy_cluster(&w);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.centroids[0], AttrMask::full(3));
+    }
+
+    #[test]
+    fn exhaustive_search_matches_union_search_cost_model() {
+        // Under the g²Σ2^‖u‖ cost model the union is always the optimal
+        // dominating cuboid, so both searches reach the same clustering —
+        // the exhaustive one just pays [6]'s exponential walk to find it.
+        let schema = Schema::binary(8).unwrap();
+        let w = Workload::all_k_way(&schema, 2).unwrap();
+        let fast = greedy_cluster_with_search(&w, CentroidSearch::Union);
+        let slow = greedy_cluster_with_search(&w, CentroidSearch::AllDominatingCuboids);
+        assert_eq!(fast.objective(), slow.objective());
+        assert_eq!(fast.num_clusters(), slow.num_clusters());
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_workload_len() {
+        let schema = Schema::binary(7).unwrap();
+        let w = Workload::k_way_plus_attr(&schema, 1, 0).unwrap();
+        let c = greedy_cluster(&w);
+        assert_eq!(c.cluster_sizes().iter().sum::<usize>(), w.len());
+    }
+}

@@ -1,0 +1,326 @@
+//! The generic dense-matrix strategy/recovery framework.
+//!
+//! This is the paper's machinery in its most literal form, for *arbitrary*
+//! linear query workloads `Q` and strategies `S` given as explicit matrices:
+//!
+//! * decompose `Q = RS`,
+//! * compute optimal noise budgets from a grouping of `S` (Step 2),
+//! * recompute the optimal recovery matrix `R = Q(SᵀΣ⁻¹S)⁻¹SᵀΣ⁻¹`
+//!   (Step 3, Eq. (7) of the paper) by generalized least squares,
+//! * evaluate `Var(y)` exactly.
+//!
+//! The marginal pipeline in [`crate::release`] never materializes these
+//! matrices — it exploits Fourier structure — but this module provides the
+//! oracle the tests validate it against, and the route by which
+//! non-marginal workloads (e.g. the range queries of [`crate::range`]) use
+//! the framework.
+
+use crate::grouping::Grouping;
+use crate::CoreError;
+use dp_linalg::solve::invert_spd;
+use dp_linalg::Matrix;
+use dp_opt::budget::GroupSpec;
+
+/// A strategy/recovery decomposition of a query workload.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// The query matrix `Q ∈ R^{q×N}`.
+    pub q: Matrix,
+    /// The strategy matrix `S ∈ R^{m×N}`.
+    pub s: Matrix,
+    /// The recovery matrix `R ∈ R^{q×m}` with `Q = RS`.
+    pub r: Matrix,
+}
+
+impl Decomposition {
+    /// Validates that `Q = RS` holds up to `tol`.
+    pub fn validate(&self, tol: f64) -> Result<(), CoreError> {
+        let rs = self.r.matmul(&self.s)?;
+        let diff = rs.sub(&self.q)?.max_abs();
+        if diff > tol {
+            return Err(CoreError::Singular("Q != RS in decomposition"));
+        }
+        Ok(())
+    }
+
+    /// The recovery weights `b_i = Σ_j a_j R²_{ji}` of objective (1) in the
+    /// paper, with query weights `a` (use all-ones to minimize total
+    /// variance).
+    pub fn recovery_weights(&self, a: &[f64]) -> Result<Vec<f64>, CoreError> {
+        if a.len() != self.r.rows() {
+            return Err(CoreError::Shape {
+                context: "recovery_weights",
+                expected: self.r.rows(),
+                actual: a.len(),
+            });
+        }
+        let mut b = vec![0.0; self.r.cols()];
+        for (j, &aj) in a.iter().enumerate() {
+            for (i, bi) in b.iter_mut().enumerate() {
+                let v = self.r[(j, i)];
+                *bi += aj * v * v;
+            }
+        }
+        Ok(b)
+    }
+
+    /// Builds the per-group [`GroupSpec`]s for a grouping of `S`, checking
+    /// that the recovery is consistent with it (Definition 3.2) — i.e.
+    /// `b_i` is constant within every group. Returns the specs and the
+    /// grouping's per-row constants.
+    pub fn group_specs(
+        &self,
+        grouping: &Grouping,
+        a: &[f64],
+    ) -> Result<Vec<GroupSpec>, CoreError> {
+        let b = self.recovery_weights(a)?;
+        let g = grouping.num_groups();
+        let mut specs = vec![GroupSpec { c: 0.0, s: 0.0 }; g];
+        let mut first_b: Vec<Option<f64>> = vec![None; g];
+        for (i, &gid) in grouping.assignment().iter().enumerate() {
+            specs[gid].c = grouping.magnitudes()[gid];
+            specs[gid].s += b[i];
+            match first_b[gid] {
+                None => first_b[gid] = Some(b[i]),
+                Some(prev) => {
+                    if (prev - b[i]).abs() > 1e-9 * prev.abs().max(1.0) {
+                        return Err(CoreError::Singular(
+                            "recovery matrix is not consistent with the grouping (Definition 3.2)",
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(specs)
+    }
+}
+
+/// Computes the GLS-optimal recovery matrix (Eq. (7)):
+/// `R = Q (SᵀΣ⁻¹S)⁻¹ SᵀΣ⁻¹` where `Σ = diag(variances)`.
+///
+/// Requires `rank(S) = N`; fails with a singularity error otherwise.
+pub fn gls_recovery(
+    q: &Matrix,
+    s: &Matrix,
+    variances: &[f64],
+) -> Result<Matrix, CoreError> {
+    if variances.len() != s.rows() {
+        return Err(CoreError::Shape {
+            context: "gls_recovery variances",
+            expected: s.rows(),
+            actual: variances.len(),
+        });
+    }
+    if variances.iter().any(|&v| v <= 0.0) {
+        return Err(CoreError::Singular("noise variances must be positive"));
+    }
+    let inv_var: Vec<f64> = variances.iter().map(|&v| 1.0 / v).collect();
+    // SᵀΣ⁻¹S (N×N) and its inverse.
+    let gram = s.gram_weighted(&inv_var)?;
+    let gram_inv = invert_spd(&gram).map_err(|_| {
+        CoreError::Singular("SᵀΣ⁻¹S is singular: strategy does not have full column rank")
+    })?;
+    // G = (SᵀΣ⁻¹S)⁻¹SᵀΣ⁻¹  (N×m).
+    let mut st_sigma = s.transpose();
+    for i in 0..st_sigma.rows() {
+        for j in 0..st_sigma.cols() {
+            st_sigma[(i, j)] *= inv_var[j];
+        }
+    }
+    let g = gram_inv.matmul(&st_sigma)?;
+    Ok(q.matmul(&g)?)
+}
+
+/// Exact per-query output variances `Var(y_j) = Σ_i R²_{ji} · variances_i`.
+pub fn output_variances(r: &Matrix, variances: &[f64]) -> Result<Vec<f64>, CoreError> {
+    if variances.len() != r.cols() {
+        return Err(CoreError::Shape {
+            context: "output_variances",
+            expected: r.cols(),
+            actual: variances.len(),
+        });
+    }
+    Ok((0..r.rows())
+        .map(|j| {
+            r.row(j)
+                .iter()
+                .zip(variances)
+                .map(|(&rij, &v)| rij * rij * v)
+                .sum()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::detect_grouping;
+
+    /// The Figure-1 matrices.
+    fn figure1_q() -> Matrix {
+        Matrix::from_rows(&[
+            &[1., 1., 1., 1., 0., 0., 0., 0.],
+            &[0., 0., 0., 0., 1., 1., 1., 1.],
+            &[1., 1., 0., 0., 0., 0., 0., 0.],
+            &[0., 0., 1., 1., 0., 0., 0., 0.],
+            &[0., 0., 0., 0., 1., 1., 0., 0.],
+            &[0., 0., 0., 0., 0., 0., 1., 1.],
+        ])
+        .unwrap()
+    }
+
+    fn figure1_s() -> Matrix {
+        Matrix::from_rows(&[
+            &[1., 1., 0., 0., 0., 0., 0., 0.],
+            &[0., 0., 1., 1., 0., 0., 0., 0.],
+            &[0., 0., 0., 0., 1., 1., 0., 0.],
+            &[0., 0., 0., 0., 0., 0., 1., 1.],
+        ])
+        .unwrap()
+    }
+
+    fn figure1_r() -> Matrix {
+        Matrix::from_rows(&[
+            &[1., 1., 0., 0.],
+            &[0., 0., 1., 1.],
+            &[1., 0., 0., 0.],
+            &[0., 1., 0., 0.],
+            &[0., 0., 1., 0.],
+            &[0., 0., 0., 1.],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_decomposition_validates() {
+        let dec = Decomposition {
+            q: figure1_q(),
+            s: figure1_s(),
+            r: figure1_r(),
+        };
+        dec.validate(1e-12).unwrap();
+    }
+
+    #[test]
+    fn figure1_recovery_weights() {
+        let dec = Decomposition {
+            q: figure1_q(),
+            s: figure1_s(),
+            r: figure1_r(),
+        };
+        // Column i of R: marginal-A rows contribute 1, plus the identity
+        // row → b_i = 2 for every strategy row.
+        let b = dec.recovery_weights(&[1.0; 6]).unwrap();
+        assert_eq!(b, vec![2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn group_specs_from_detected_grouping() {
+        let dec = Decomposition {
+            q: figure1_q(),
+            s: figure1_s(),
+            r: figure1_r(),
+        };
+        let g = detect_grouping(&dec.s).expect("S from Figure 1(c) is groupable");
+        assert_eq!(g.num_groups(), 1);
+        let specs = dec.group_specs(&g, &[1.0; 6]).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].c, 1.0);
+        assert_eq!(specs[0].s, 8.0);
+    }
+
+    #[test]
+    fn gls_recovery_reduces_to_direct_for_identity_strategy() {
+        // S = I, uniform variances: R = Q.
+        let q = figure1_q();
+        let s = Matrix::identity(8);
+        let r = gls_recovery(&q, &s, &[1.0; 8]).unwrap();
+        assert!(r.sub(&q).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn gls_recovery_satisfies_q_equals_rs_when_s_invertible() {
+        // Invertible non-orthogonal S: R must satisfy Q = RS exactly.
+        let q = figure1_q();
+        let mut s = Matrix::identity(8);
+        for i in 0..7 {
+            s[(i, i + 1)] = 0.5;
+        }
+        let variances: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let r = gls_recovery(&q, &s, &variances).unwrap();
+        let rs = r.matmul(&s).unwrap();
+        assert!(rs.sub(&q).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn gls_minimizes_variance_among_valid_recoveries() {
+        // Compare the GLS recovery against the hand-picked R of Figure 1
+        // under non-uniform variances: GLS total variance must be ≤.
+        // Use S with full column rank: stack the Figure-1 S on top of I/2.
+        let q = figure1_q();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..4 {
+            rows.push(figure1_s().row(i).to_vec());
+        }
+        for i in 0..8 {
+            let mut r = vec![0.0; 8];
+            r[i] = 0.5;
+            rows.push(r);
+        }
+        let s = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
+        let variances: Vec<f64> = (0..12).map(|i| 0.5 + (i % 3) as f64).collect();
+        let r_gls = gls_recovery(&q, &s, &variances).unwrap();
+        // Q = RS must hold.
+        assert!(r_gls.matmul(&s).unwrap().sub(&q).unwrap().max_abs() < 1e-8);
+        // Alternative valid recovery: use only the marginal rows like Fig 1.
+        let mut r_naive = Matrix::zeros(6, 12);
+        for (j, row) in figure1_r().data().chunks(4).enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                r_naive[(j, i)] = v;
+            }
+        }
+        assert!(r_naive.matmul(&s).unwrap().sub(&q).unwrap().max_abs() < 1e-12);
+        let var_gls: f64 = output_variances(&r_gls, &variances).unwrap().iter().sum();
+        let var_naive: f64 = output_variances(&r_naive, &variances)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!(var_gls <= var_naive + 1e-9, "{var_gls} vs {var_naive}");
+    }
+
+    #[test]
+    fn rank_deficient_strategy_rejected() {
+        let q = figure1_q();
+        let s = figure1_s(); // 4×8: rank 4 < N = 8
+        assert!(matches!(
+            gls_recovery(&q, &s, &[1.0; 4]),
+            Err(CoreError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn bad_inputs() {
+        let q = figure1_q();
+        let s = Matrix::identity(8);
+        assert!(gls_recovery(&q, &s, &[1.0; 3]).is_err());
+        assert!(gls_recovery(&q, &s, &[0.0; 8]).is_err());
+        let r = figure1_r();
+        assert!(output_variances(&r, &[1.0; 3]).is_err());
+        let dec = Decomposition {
+            q: figure1_q(),
+            s: figure1_s(),
+            r: figure1_r(),
+        };
+        assert!(dec.recovery_weights(&[1.0; 2]).is_err());
+    }
+
+    #[test]
+    fn invalid_decomposition_detected() {
+        let dec = Decomposition {
+            q: figure1_q(),
+            s: figure1_s(),
+            r: Matrix::zeros(6, 4),
+        };
+        assert!(dec.validate(1e-9).is_err());
+    }
+}

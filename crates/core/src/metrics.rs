@@ -1,0 +1,151 @@
+//! Error metrics matching the paper's evaluation (Section 5).
+//!
+//! The paper measures "the average absolute error per entry in the set of
+//! marginal queries", scaled "by the mean true answer of its respective
+//! marginal query" to give a *relative* error.
+
+use crate::marginal::MarginalTable;
+use crate::CoreError;
+
+/// Average absolute error per released cell across a set of marginals.
+pub fn average_absolute_error(
+    answers: &[MarginalTable],
+    exact: &[MarginalTable],
+) -> Result<f64, CoreError> {
+    if answers.len() != exact.len() {
+        return Err(CoreError::Shape {
+            context: "average_absolute_error",
+            expected: exact.len(),
+            actual: answers.len(),
+        });
+    }
+    let mut total = 0.0;
+    let mut cells = 0usize;
+    for (a, e) in answers.iter().zip(exact) {
+        total += a
+            .l1_distance(e)
+            .map_err(|_| CoreError::Singular("marginal mask mismatch in metrics"))?;
+        cells += e.values().len();
+    }
+    Ok(total / cells as f64)
+}
+
+/// The paper's relative-error metric: each marginal's per-entry absolute
+/// error is scaled by that marginal's mean true cell value, then averaged
+/// over marginals.
+pub fn average_relative_error(
+    answers: &[MarginalTable],
+    exact: &[MarginalTable],
+) -> Result<f64, CoreError> {
+    if answers.len() != exact.len() {
+        return Err(CoreError::Shape {
+            context: "average_relative_error",
+            expected: exact.len(),
+            actual: answers.len(),
+        });
+    }
+    let mut total = 0.0;
+    for (a, e) in answers.iter().zip(exact) {
+        let abs_per_entry = a
+            .l1_distance(e)
+            .map_err(|_| CoreError::Singular("marginal mask mismatch in metrics"))?
+            / e.values().len() as f64;
+        let mean = e.mean();
+        if mean <= 0.0 {
+            return Err(CoreError::Singular(
+                "relative error undefined for a marginal with non-positive mean",
+            ));
+        }
+        total += abs_per_entry / mean;
+    }
+    Ok(total / answers.len() as f64)
+}
+
+/// Maximum absolute cell error across all marginals (the `p = ∞` error of
+/// Section 3.3).
+pub fn max_absolute_error(
+    answers: &[MarginalTable],
+    exact: &[MarginalTable],
+) -> Result<f64, CoreError> {
+    if answers.len() != exact.len() {
+        return Err(CoreError::Shape {
+            context: "max_absolute_error",
+            expected: exact.len(),
+            actual: answers.len(),
+        });
+    }
+    let mut worst = 0.0f64;
+    for (a, e) in answers.iter().zip(exact) {
+        if a.mask() != e.mask() {
+            return Err(CoreError::Singular("marginal mask mismatch in metrics"));
+        }
+        for (x, y) in a.values().iter().zip(e.values()) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::AttrMask;
+
+    fn pair() -> (Vec<MarginalTable>, Vec<MarginalTable>) {
+        let exact = vec![
+            MarginalTable::new(AttrMask(0b01), vec![4.0, 6.0]),
+            MarginalTable::new(AttrMask(0b11), vec![1.0, 3.0, 2.0, 4.0]),
+        ];
+        let noisy = vec![
+            MarginalTable::new(AttrMask(0b01), vec![5.0, 5.0]),
+            MarginalTable::new(AttrMask(0b11), vec![1.5, 2.5, 2.0, 4.0]),
+        ];
+        (noisy, exact)
+    }
+
+    #[test]
+    fn absolute_error() {
+        let (noisy, exact) = pair();
+        // Total |err| = 1+1 + 0.5+0.5 = 3 over 6 cells.
+        let e = average_absolute_error(&noisy, &exact).unwrap();
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error() {
+        let (noisy, exact) = pair();
+        // Marginal 1: per-entry err 1, mean 5 → 0.2.
+        // Marginal 2: per-entry err 0.25, mean 2.5 → 0.1. Average 0.15.
+        let e = average_relative_error(&noisy, &exact).unwrap();
+        assert!((e - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_error() {
+        let (noisy, exact) = pair();
+        assert_eq!(max_absolute_error(&noisy, &exact).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_error_for_identical() {
+        let (_, exact) = pair();
+        assert_eq!(average_absolute_error(&exact, &exact).unwrap(), 0.0);
+        assert_eq!(average_relative_error(&exact, &exact).unwrap(), 0.0);
+        assert_eq!(max_absolute_error(&exact, &exact).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (noisy, exact) = pair();
+        assert!(average_absolute_error(&noisy[..1], &exact).is_err());
+        assert!(average_relative_error(&noisy[..1], &exact).is_err());
+        assert!(max_absolute_error(&noisy[..1], &exact).is_err());
+    }
+
+    #[test]
+    fn zero_mean_marginal_rejected_for_relative() {
+        let exact = vec![MarginalTable::new(AttrMask(0b1), vec![0.0, 0.0])];
+        let noisy = vec![MarginalTable::new(AttrMask(0b1), vec![1.0, 0.0])];
+        assert!(average_relative_error(&noisy, &exact).is_err());
+    }
+}

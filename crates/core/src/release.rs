@@ -1,0 +1,734 @@
+//! The end-to-end release engine: the paper's Figure-3 pipeline.
+//!
+//! A [`ReleasePlanner`] fixes the data, workload, strategy and budgeting
+//! mode, precomputing everything that does not depend on the privacy level
+//! or the random draw (exact strategy answers, coefficient spaces, group
+//! structure). [`ReleasePlanner::release`] then performs Steps 2–3 for a
+//! concrete privacy level: optimal (or uniform) noise budgets, calibrated
+//! noise, generalized-least-squares recovery in Fourier-coefficient space,
+//! and consistent workload answers.
+
+use crate::cluster::{greedy_cluster, Clustering};
+use crate::fourier::{CoefficientSpace, ObservationOperator};
+use crate::marginal::MarginalTable;
+use crate::mask::AttrMask;
+use crate::table::ContingencyTable;
+use crate::workload::Workload;
+use crate::CoreError;
+use dp_mech::{
+    GaussianMechanism, LaplaceMechanism, Neighboring, NoiseMechanism, PrivacyLevel,
+};
+use dp_opt::budget::{
+    optimal_group_budgets, optimal_group_budgets_gaussian, uniform_group_budgets,
+    uniform_group_budgets_gaussian, BudgetSolution, GroupSpec,
+};
+use rand::Rng;
+
+/// Which strategy matrix `S` to use (Step 1 of the framework).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// `S = I`: release noisy base counts and aggregate (the paper's `I`).
+    Identity,
+    /// `S = Q`: noise each workload marginal directly (`Q`/`Q+`).
+    Workload,
+    /// `S =` Fourier coefficients of the workload's support (`F`/`F+`).
+    Fourier,
+    /// `S =` greedy cluster centroids of Ding et al. \[6\] (`C`/`C+`).
+    Cluster,
+}
+
+impl StrategyKind {
+    /// Short display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Identity => "I",
+            StrategyKind::Workload => "Q",
+            StrategyKind::Fourier => "F",
+            StrategyKind::Cluster => "C",
+        }
+    }
+}
+
+/// Noise-budget allocation mode (Step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budgeting {
+    /// One equal budget per group — what prior work does implicitly.
+    Uniform,
+    /// The paper's optimal non-uniform allocation (closed form).
+    Optimal,
+}
+
+/// A finished differentially private release.
+#[derive(Debug, Clone)]
+pub struct Release {
+    /// Consistent noisy answers, one per workload marginal, workload order.
+    pub answers: Vec<MarginalTable>,
+    /// Per-group noise budgets `η_r` actually used.
+    pub group_budgets: Vec<f64>,
+    /// Predicted total output variance of the *initial* recovery `R₀`
+    /// (the Step-2 objective scaled by the mechanism constant); the GLS
+    /// recovery of Step 3 can only improve on this.
+    pub predicted_variance: f64,
+    /// Achieved ε implied by the budgets (must be ≤ the requested ε).
+    pub achieved_epsilon: f64,
+    /// Strategy label, e.g. `"F+"` for Fourier with optimal budgets.
+    pub label: String,
+}
+
+/// Per-group structural data shared by all strategies.
+#[derive(Debug, Clone)]
+struct GroupStructure {
+    /// `C_r` and `s_r` per group, in group order.
+    specs: Vec<GroupSpec>,
+}
+
+impl GroupStructure {
+    fn solve(
+        &self,
+        privacy: PrivacyLevel,
+        budgeting: Budgeting,
+    ) -> Result<BudgetSolution, CoreError> {
+        privacy.validate()?;
+        let eps = privacy.epsilon();
+        let sol = match (privacy, budgeting) {
+            (PrivacyLevel::Pure { .. }, Budgeting::Uniform) => {
+                uniform_group_budgets(&self.specs, eps)?
+            }
+            (PrivacyLevel::Pure { .. }, Budgeting::Optimal) => {
+                optimal_group_budgets(&self.specs, eps)?
+            }
+            (PrivacyLevel::Approx { .. }, Budgeting::Uniform) => {
+                uniform_group_budgets_gaussian(&self.specs, eps)?
+            }
+            (PrivacyLevel::Approx { .. }, Budgeting::Optimal) => {
+                optimal_group_budgets_gaussian(&self.specs, eps)?
+            }
+        };
+        Ok(sol)
+    }
+
+    /// The ε achieved by concrete group budgets: every column of a grouped
+    /// strategy has exactly one entry of magnitude `C_r` per group, so the
+    /// pure-DP constraint value is `Σ_r C_r η_r` and the approximate-DP one
+    /// is `√(Σ_r C_r² η_r²)` (Proposition 3.1).
+    fn achieved_epsilon(&self, privacy: PrivacyLevel, budgets: &[f64]) -> f64 {
+        match privacy {
+            PrivacyLevel::Pure { .. } => self
+                .specs
+                .iter()
+                .zip(budgets)
+                .map(|(g, &e)| g.c * e)
+                .sum(),
+            PrivacyLevel::Approx { .. } => self
+                .specs
+                .iter()
+                .zip(budgets)
+                .map(|(g, &e)| g.c * g.c * e * e)
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+}
+
+fn mechanism_factor(privacy: PrivacyLevel) -> f64 {
+    match privacy {
+        PrivacyLevel::Pure { .. } => 2.0,
+        PrivacyLevel::Approx { delta, .. } => 2.0 * (2.0 / delta).ln(),
+    }
+}
+
+/// Samples one noise value for a row with budget `eps_i` under the given
+/// privacy level's mechanism.
+fn sample_noise<R: Rng + ?Sized>(privacy: PrivacyLevel, rng: &mut R, eps_i: f64) -> f64 {
+    match privacy {
+        PrivacyLevel::Pure { .. } => LaplaceMechanism.sample(rng, eps_i),
+        PrivacyLevel::Approx { delta, .. } => GaussianMechanism { delta }.sample(rng, eps_i),
+    }
+}
+
+/// Noise variance for a row with budget `eps_i`.
+fn noise_variance(privacy: PrivacyLevel, eps_i: f64) -> f64 {
+    match privacy {
+        PrivacyLevel::Pure { .. } => LaplaceMechanism.variance(eps_i),
+        PrivacyLevel::Approx { delta, .. } => GaussianMechanism { delta }.variance(eps_i),
+    }
+}
+
+enum PlanInner {
+    /// `S = I`. Nothing to precompute beyond the group structure; noise is
+    /// added to the full count vector at release time.
+    Identity,
+    /// `S` = a set of observed marginals (the workload itself, or cluster
+    /// centroids). Covers `Workload` and `Cluster`.
+    Marginals {
+        /// Observed (strategy) marginal masks, group order.
+        observed: Vec<AttrMask>,
+        /// Exact strategy cells, concatenated in `observed` order.
+        exact_cells: Vec<f64>,
+        /// Coefficient space over the observed marginals' downsets.
+        space: CoefficientSpace,
+        /// Observation operator for the GLS recovery.
+        op: ObservationOperator,
+    },
+    /// `S` = Fourier coefficients of the workload support.
+    Fourier {
+        space: CoefficientSpace,
+        exact_coeffs: Vec<f64>,
+    },
+}
+
+/// Precomputed release plan; see the module docs.
+pub struct ReleasePlanner<'a> {
+    table: &'a ContingencyTable,
+    workload: &'a Workload,
+    strategy: StrategyKind,
+    budgeting: Budgeting,
+    groups: GroupStructure,
+    inner: PlanInner,
+    /// The clustering, retained for inspection when `strategy == Cluster`.
+    clustering: Option<Clustering>,
+}
+
+impl<'a> ReleasePlanner<'a> {
+    /// Builds the plan: runs the strategy search (for `Cluster`), computes
+    /// exact strategy answers and the group structure.
+    pub fn new(
+        table: &'a ContingencyTable,
+        workload: &'a Workload,
+        strategy: StrategyKind,
+        budgeting: Budgeting,
+    ) -> Result<Self, CoreError> {
+        if table.dims() != workload.domain_bits() {
+            return Err(CoreError::Shape {
+                context: "planner domain bits",
+                expected: workload.domain_bits(),
+                actual: table.dims(),
+            });
+        }
+        let d = table.dims();
+        let ell = workload.len() as f64;
+
+        let (groups, inner, clustering) = match strategy {
+            StrategyKind::Identity => {
+                // One group of all N base cells, C = 1. Recovery weight per
+                // cell is the number of workload marginals (each uses every
+                // cell exactly once), so s = ℓ·N.
+                let n = table.domain_size() as f64;
+                let specs = vec![GroupSpec { c: 1.0, s: ell * n }];
+                (GroupStructure { specs }, PlanInner::Identity, None)
+            }
+            StrategyKind::Workload => {
+                let observed: Vec<AttrMask> = workload.marginals().to_vec();
+                let space = CoefficientSpace::from_marginals(d, &observed);
+                let op = ObservationOperator::new(&space, &observed)?;
+                let exact_cells: Vec<f64> = table
+                    .marginals(&observed)
+                    .iter()
+                    .flat_map(|m| m.values().to_vec())
+                    .collect();
+                // R₀ = I: b_i = 1 per released cell, s_r = 2^{‖α_r‖}.
+                let specs = observed
+                    .iter()
+                    .map(|m| GroupSpec {
+                        c: 1.0,
+                        s: m.cell_count() as f64,
+                    })
+                    .collect();
+                (
+                    GroupStructure { specs },
+                    PlanInner::Marginals {
+                        observed,
+                        exact_cells,
+                        space,
+                        op,
+                    },
+                    None,
+                )
+            }
+            StrategyKind::Cluster => {
+                let clustering = greedy_cluster(workload);
+                let observed = clustering.centroids.clone();
+                let sizes = clustering.cluster_sizes();
+                let space = CoefficientSpace::from_marginals(d, &observed);
+                let op = ObservationOperator::new(&space, &observed)?;
+                let exact_cells: Vec<f64> = table
+                    .marginals(&observed)
+                    .iter()
+                    .flat_map(|m| m.values().to_vec())
+                    .collect();
+                // R₀ aggregates the centroid's cells into each assigned
+                // marginal: each centroid cell is used once per assigned
+                // marginal, so b_i = ℓ_c and s_c = ℓ_c · 2^{‖u_c‖}.
+                let specs = observed
+                    .iter()
+                    .zip(&sizes)
+                    .map(|(u, &lc)| GroupSpec {
+                        c: 1.0,
+                        s: (lc * u.cell_count()) as f64,
+                    })
+                    .collect();
+                (
+                    GroupStructure { specs },
+                    PlanInner::Marginals {
+                        observed,
+                        exact_cells,
+                        space,
+                        op,
+                    },
+                    Some(clustering),
+                )
+            }
+            StrategyKind::Fourier => {
+                let space = CoefficientSpace::from_marginals(d, workload.marginals());
+                // Exact coefficients from the workload marginals (one fold
+                // pass per marginal plus per-block WHTs).
+                let mut exact_coeffs = vec![0.0; space.len()];
+                for m in workload.true_answers(table) {
+                    space.fill_from_marginal(&mut exact_coeffs, &m)?;
+                }
+                // b_β = Σ_{α ⊇ β, α ∈ W} 2^{‖α‖} · (2^{d/2−‖α‖})²
+                //     = Σ 2^{d−‖α‖}; singleton groups with C = 2^{−d/2}.
+                let b: Vec<f64> = space
+                    .support()
+                    .iter()
+                    .map(|&beta| {
+                        workload
+                            .marginals()
+                            .iter()
+                            .filter(|&&alpha| beta.dominated_by(alpha))
+                            .map(|&alpha| 2f64.powi((d as u32 - alpha.weight()) as i32))
+                            .sum()
+                    })
+                    .collect();
+                let c = 2f64.powf(-(d as f64) / 2.0);
+                let specs = b.iter().map(|&s| GroupSpec { c, s }).collect();
+                (
+                    GroupStructure { specs },
+                    PlanInner::Fourier {
+                        space,
+                        exact_coeffs,
+                    },
+                    None,
+                )
+            }
+        };
+
+        Ok(ReleasePlanner {
+            table,
+            workload,
+            strategy,
+            budgeting,
+            groups,
+            inner,
+            clustering,
+        })
+    }
+
+    /// The strategy's group specifications (`C_r`, `s_r`), for inspection.
+    pub fn group_specs(&self) -> &[GroupSpec] {
+        &self.groups.specs
+    }
+
+    /// The greedy clustering, when the strategy is `Cluster`.
+    pub fn clustering(&self) -> Option<&Clustering> {
+        self.clustering.as_ref()
+    }
+
+    /// Display label, e.g. `"Q+"`.
+    pub fn label(&self) -> String {
+        match self.budgeting {
+            Budgeting::Uniform => self.strategy.label().to_string(),
+            Budgeting::Optimal => format!("{}+", self.strategy.label()),
+        }
+    }
+
+    /// Performs one private release at the given privacy level.
+    ///
+    /// The sensitivity convention is add/remove-one neighbours
+    /// ([`Neighboring::AddRemove`]), matching the paper's experiments; use
+    /// [`ReleasePlanner::release_with_neighboring`] for replace-one.
+    pub fn release<R: Rng + ?Sized>(
+        &self,
+        privacy: PrivacyLevel,
+        rng: &mut R,
+    ) -> Result<Release, CoreError> {
+        self.release_with_neighboring(privacy, Neighboring::AddRemove, rng)
+    }
+
+    /// [`ReleasePlanner::release`] with an explicit neighbouring convention:
+    /// `Replace` halves every budget (doubling the noise), per the factor-2
+    /// sensitivity of Proposition 3.1.
+    pub fn release_with_neighboring<R: Rng + ?Sized>(
+        &self,
+        privacy: PrivacyLevel,
+        neighboring: Neighboring,
+        rng: &mut R,
+    ) -> Result<Release, CoreError> {
+        let solution = self.groups.solve(privacy, self.budgeting)?;
+        let factor = neighboring.sensitivity_factor();
+        let budgets: Vec<f64> = solution
+            .group_budgets
+            .iter()
+            .map(|&e| e / factor)
+            .collect();
+
+        // Defense in depth: re-derive the achieved ε and fail loudly if the
+        // optimizer ever produced an infeasible allocation.
+        let achieved = self.groups.achieved_epsilon(privacy, &budgets) * factor;
+        if achieved > privacy.epsilon() * (1.0 + 1e-9) {
+            return Err(CoreError::InfeasibleBudgets {
+                achieved,
+                requested: privacy.epsilon(),
+            });
+        }
+
+        let predicted_variance =
+            mechanism_factor(privacy) * solution.objective * factor * factor;
+
+        let answers = match &self.inner {
+            PlanInner::Identity => self.release_identity(privacy, budgets[0], rng),
+            PlanInner::Marginals {
+                observed,
+                exact_cells,
+                space,
+                op,
+            } => self.release_marginals(
+                privacy, &budgets, observed, exact_cells, space, op, rng,
+            )?,
+            PlanInner::Fourier {
+                space,
+                exact_coeffs,
+            } => self.release_fourier(privacy, &budgets, space, exact_coeffs, rng)?,
+        };
+
+        Ok(Release {
+            answers,
+            group_budgets: budgets,
+            predicted_variance,
+            achieved_epsilon: achieved,
+            label: self.label(),
+        })
+    }
+
+    fn release_identity<R: Rng + ?Sized>(
+        &self,
+        privacy: PrivacyLevel,
+        budget: f64,
+        rng: &mut R,
+    ) -> Vec<MarginalTable> {
+        // Materialize noisy base counts, then aggregate — `x̂ = z` is the
+        // GLS estimate for S = I, and aggregation of a single noisy table
+        // is automatically consistent.
+        let mut noisy: Vec<f64> = self.table.counts().to_vec();
+        for v in &mut noisy {
+            *v += sample_noise(privacy, rng, budget);
+        }
+        let d = self.table.dims();
+        self.workload
+            .marginals()
+            .iter()
+            .map(|&alpha| {
+                MarginalTable::new(alpha, crate::table::marginalize(&noisy, d, alpha))
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn release_marginals<R: Rng + ?Sized>(
+        &self,
+        privacy: PrivacyLevel,
+        budgets: &[f64],
+        observed: &[AttrMask],
+        exact_cells: &[f64],
+        space: &CoefficientSpace,
+        op: &ObservationOperator,
+        rng: &mut R,
+    ) -> Result<Vec<MarginalTable>, CoreError> {
+        // Step 1/2: noise each observed marginal's cells at its group
+        // budget. Groups with zero budget are not released; all groups here
+        // have positive recovery weight, so budgets are positive.
+        let mut noisy = exact_cells.to_vec();
+        let mut offset = 0usize;
+        let mut weights = Vec::with_capacity(observed.len());
+        for (&alpha, &eta) in observed.iter().zip(budgets) {
+            let cells = alpha.cell_count();
+            for v in &mut noisy[offset..offset + cells] {
+                *v += sample_noise(privacy, rng, eta);
+            }
+            offset += cells;
+            // GLS weight = inverse noise variance.
+            weights.push(1.0 / noise_variance(privacy, eta));
+        }
+        // Step 3: GLS recovery in coefficient space (diagonal normal
+        // equations), then reconstruct the workload marginals.
+        let coeffs = op.gls_solve(&noisy, &weights)?;
+        self.workload
+            .marginals()
+            .iter()
+            .map(|&alpha| space.reconstruct(&coeffs, alpha))
+            .collect()
+    }
+
+    fn release_fourier<R: Rng + ?Sized>(
+        &self,
+        privacy: PrivacyLevel,
+        budgets: &[f64],
+        space: &CoefficientSpace,
+        exact_coeffs: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<MarginalTable>, CoreError> {
+        // Each coefficient is observed exactly once, so the GLS estimate is
+        // the noisy observation itself; reconstruction is one block WHT per
+        // workload marginal.
+        let mut noisy = exact_coeffs.to_vec();
+        for (v, &eta) in noisy.iter_mut().zip(budgets) {
+            *v += sample_noise(privacy, rng, eta);
+        }
+        self.workload
+            .marginals()
+            .iter()
+            .map(|&alpha| space.reconstruct(&noisy, alpha))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_table() -> ContingencyTable {
+        // 4-bit table with 100 tuples in a skewed pattern.
+        let mut counts = vec![0.0; 16];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = ((i * 7) % 13) as f64;
+        }
+        ContingencyTable::from_counts(counts)
+    }
+
+    fn workload2() -> Workload {
+        let schema = crate::schema::Schema::binary(4).unwrap();
+        Workload::all_k_way(&schema, 2).unwrap()
+    }
+
+    fn check_consistent(answers: &[MarginalTable]) {
+        // Every pair of answers must agree on the marginal of their
+        // intersection (a necessary and, for downward-closed recovery from
+        // a single coefficient vector, sufficient consistency condition).
+        for i in 0..answers.len() {
+            for j in (i + 1)..answers.len() {
+                let common = answers[i].mask().intersect(answers[j].mask());
+                let a = answers[i].aggregate_to(common).unwrap();
+                let b = answers[j].aggregate_to(common).unwrap();
+                for (x, y) in a.values().iter().zip(b.values()) {
+                    assert!(
+                        (x - y).abs() < 1e-6,
+                        "inconsistent at {common}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_release_and_are_consistent() {
+        let t = small_table();
+        let w = workload2();
+        let mut rng = StdRng::seed_from_u64(5);
+        for strategy in [
+            StrategyKind::Identity,
+            StrategyKind::Workload,
+            StrategyKind::Fourier,
+            StrategyKind::Cluster,
+        ] {
+            for budgeting in [Budgeting::Uniform, Budgeting::Optimal] {
+                let p = ReleasePlanner::new(&t, &w, strategy, budgeting).unwrap();
+                let r = p
+                    .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+                    .unwrap();
+                assert_eq!(r.answers.len(), w.len());
+                assert!(r.achieved_epsilon <= 1.0 + 1e-9, "{strategy:?}");
+                assert!(r.predicted_variance > 0.0);
+                check_consistent(&r.answers);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_release_works() {
+        let t = small_table();
+        let w = workload2();
+        let mut rng = StdRng::seed_from_u64(6);
+        for strategy in [StrategyKind::Workload, StrategyKind::Fourier] {
+            let p = ReleasePlanner::new(&t, &w, strategy, Budgeting::Optimal).unwrap();
+            let r = p
+                .release(
+                    PrivacyLevel::Approx {
+                        epsilon: 1.0,
+                        delta: 1e-5,
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+            assert!(r.achieved_epsilon <= 1.0 + 1e-9);
+            check_consistent(&r.answers);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        let t = small_table();
+        let w = workload2();
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
+        assert_eq!(p.label(), "F+");
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Cluster, Budgeting::Uniform).unwrap();
+        assert_eq!(p.label(), "C");
+        assert!(p.clustering().is_some());
+    }
+
+    #[test]
+    fn optimal_budgets_never_increase_predicted_variance() {
+        let t = small_table();
+        let schema = crate::schema::Schema::binary(4).unwrap();
+        // A workload with heterogeneous marginal sizes so budgets matter.
+        let w = Workload::new(
+            4,
+            vec![AttrMask(0b0001), AttrMask(0b0111), AttrMask(0b1100)],
+        )
+        .unwrap();
+        let _ = schema;
+        let mut rng = StdRng::seed_from_u64(7);
+        for strategy in [
+            StrategyKind::Workload,
+            StrategyKind::Fourier,
+            StrategyKind::Cluster,
+        ] {
+            let uni = ReleasePlanner::new(&t, &w, strategy, Budgeting::Uniform)
+                .unwrap()
+                .release(PrivacyLevel::Pure { epsilon: 0.5 }, &mut rng)
+                .unwrap();
+            let opt = ReleasePlanner::new(&t, &w, strategy, Budgeting::Optimal)
+                .unwrap()
+                .release(PrivacyLevel::Pure { epsilon: 0.5 }, &mut rng)
+                .unwrap();
+            assert!(
+                opt.predicted_variance <= uni.predicted_variance * (1.0 + 1e-9),
+                "{strategy:?}: {} vs {}",
+                opt.predicted_variance,
+                uni.predicted_variance
+            );
+        }
+    }
+
+    #[test]
+    fn replace_neighboring_doubles_noise_scale() {
+        let t = small_table();
+        let w = workload2();
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Workload, Budgeting::Uniform).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let add_remove = p
+            .release_with_neighboring(
+                PrivacyLevel::Pure { epsilon: 1.0 },
+                Neighboring::AddRemove,
+                &mut rng,
+            )
+            .unwrap();
+        let replace = p
+            .release_with_neighboring(
+                PrivacyLevel::Pure { epsilon: 1.0 },
+                Neighboring::Replace,
+                &mut rng,
+            )
+            .unwrap();
+        for (a, b) in add_remove.group_budgets.iter().zip(&replace.group_budgets) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+        assert!((replace.predicted_variance - 4.0 * add_remove.predicted_variance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_strategy_uniform_equals_optimal() {
+        // Single group ⇒ budgeting mode is irrelevant (paper: "for I the
+        // optimal noise allocation is always uniform").
+        let t = small_table();
+        let w = workload2();
+        let mut rng = StdRng::seed_from_u64(9);
+        let uni = ReleasePlanner::new(&t, &w, StrategyKind::Identity, Budgeting::Uniform)
+            .unwrap()
+            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+            .unwrap();
+        let opt = ReleasePlanner::new(&t, &w, StrategyKind::Identity, Budgeting::Optimal)
+            .unwrap()
+            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+            .unwrap();
+        assert_eq!(uni.group_budgets, opt.group_budgets);
+        assert!((uni.predicted_variance - opt.predicted_variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_magnitude_tracks_epsilon() {
+        // Smaller ε must yield larger error on average.
+        let t = small_table();
+        let w = workload2();
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
+        let exact = w.true_answers(&t);
+        let err = |eps: f64, seed: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut total = 0.0;
+            for _ in 0..30 {
+                let r = p
+                    .release(PrivacyLevel::Pure { epsilon: eps }, &mut rng)
+                    .unwrap();
+                for (a, e) in r.answers.iter().zip(&exact) {
+                    total += a.l1_distance(e).unwrap();
+                }
+            }
+            total
+        };
+        let loose = err(10.0, 1);
+        let tight = err(0.1, 1);
+        assert!(
+            tight > 10.0 * loose,
+            "ε=0.1 error {tight} vs ε=10 error {loose}"
+        );
+    }
+
+    #[test]
+    fn mismatched_domain_rejected() {
+        let t = ContingencyTable::zeros(3);
+        let w = workload2();
+        assert!(matches!(
+            ReleasePlanner::new(&t, &w, StrategyKind::Identity, Budgeting::Uniform),
+            Err(CoreError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn unbiasedness_of_marginal_strategies() {
+        // Average of many releases approaches the exact answers
+        // (Lemma 3.5: GLS recovery is unbiased).
+        let t = small_table();
+        let w = Workload::new(4, vec![AttrMask(0b0011), AttrMask(0b0110)]).unwrap();
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Workload, Budgeting::Optimal).unwrap();
+        let exact = w.true_answers(&t);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 3000;
+        let mut mean = [vec![0.0; 4], vec![0.0; 4]];
+        for _ in 0..trials {
+            let r = p
+                .release(PrivacyLevel::Pure { epsilon: 2.0 }, &mut rng)
+                .unwrap();
+            for (acc, ans) in mean.iter_mut().zip(&r.answers) {
+                for (a, v) in acc.iter_mut().zip(ans.values()) {
+                    *a += v / trials as f64;
+                }
+            }
+        }
+        for (acc, ex) in mean.iter().zip(&exact) {
+            for (a, e) in acc.iter().zip(ex.values()) {
+                assert!((a - e).abs() < 0.5, "mean {a} vs exact {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Relational schemas and their binary encoding.
+//!
+//! The paper presents its results for binary attributes and notes
+//! (Section 4.1) that "an attribute which has |A| distinct values can be
+//! mapped to ⌈log |A|⌉ binary attributes (and we do so in our experimental
+//! study)". This module implements exactly that encoding: each categorical
+//! attribute occupies a contiguous block of bits in the linearized domain,
+//! and a marginal over a set of *attributes* maps to the [`AttrMask`]
+//! covering all bits of those attributes.
+
+use crate::mask::AttrMask;
+
+/// One categorical attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (for reports).
+    pub name: String,
+    /// Number of distinct values; must be ≥ 2.
+    pub cardinality: usize,
+}
+
+impl Attribute {
+    /// Creates an attribute, validating the cardinality.
+    pub fn new(name: impl Into<String>, cardinality: usize) -> Result<Self, SchemaError> {
+        if cardinality < 2 {
+            return Err(SchemaError::BadCardinality(cardinality));
+        }
+        Ok(Attribute {
+            name: name.into(),
+            cardinality,
+        })
+    }
+
+    /// Number of bits used to encode this attribute: `⌈log₂ cardinality⌉`.
+    pub fn bits(&self) -> usize {
+        usize::BITS as usize - (self.cardinality - 1).leading_zeros() as usize
+    }
+}
+
+/// Schema construction/encoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Cardinality below 2 cannot carry information.
+    BadCardinality(usize),
+    /// Total encoded bits exceed the supported 63.
+    DomainTooLarge { bits: usize },
+    /// A record value was outside its attribute's domain.
+    ValueOutOfRange {
+        /// Attribute index.
+        attribute: usize,
+        /// Offending value.
+        value: usize,
+        /// The attribute's cardinality.
+        cardinality: usize,
+    },
+    /// A record had the wrong number of fields.
+    ArityMismatch {
+        /// Expected number of attributes.
+        expected: usize,
+        /// Fields in the record.
+        actual: usize,
+    },
+    /// An attribute index was out of range.
+    NoSuchAttribute(usize),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::BadCardinality(c) => write!(f, "cardinality {c} < 2"),
+            SchemaError::DomainTooLarge { bits } => {
+                write!(f, "encoded domain needs {bits} bits (max 63)")
+            }
+            SchemaError::ValueOutOfRange {
+                attribute,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} out of range for attribute {attribute} (cardinality {cardinality})"
+            ),
+            SchemaError::ArityMismatch { expected, actual } => {
+                write!(f, "record has {actual} fields, schema has {expected}")
+            }
+            SchemaError::NoSuchAttribute(i) => write!(f, "no attribute with index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A relation schema with its binary encoding layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    /// Bit offset of each attribute block (lowest bit first).
+    offsets: Vec<usize>,
+    /// Total encoded bits `d`.
+    total_bits: usize,
+}
+
+impl Schema {
+    /// Builds a schema from attributes, assigning contiguous bit blocks in
+    /// declaration order (attribute 0 gets the lowest bits).
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, SchemaError> {
+        let mut offsets = Vec::with_capacity(attributes.len());
+        let mut total = 0usize;
+        for a in &attributes {
+            offsets.push(total);
+            total += a.bits();
+        }
+        if total > 63 {
+            return Err(SchemaError::DomainTooLarge { bits: total });
+        }
+        Ok(Schema {
+            attributes,
+            offsets,
+            total_bits: total,
+        })
+    }
+
+    /// Convenience constructor for `n` binary attributes named `a0..a(n-1)`
+    /// (the NLTCS shape).
+    pub fn binary(n: usize) -> Result<Self, SchemaError> {
+        let attrs = (0..n)
+            .map(|i| Attribute::new(format!("a{i}"), 2))
+            .collect::<Result<Vec<_>, _>>()?;
+        Schema::new(attrs)
+    }
+
+    /// Attribute list.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes in the relation.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Total encoded bits `d`; the contingency-table domain size is `2^d`.
+    pub fn domain_bits(&self) -> usize {
+        self.total_bits
+    }
+
+    /// Domain size `N = 2^d` of the encoded contingency table.
+    pub fn domain_size(&self) -> usize {
+        1usize << self.total_bits
+    }
+
+    /// The bitmask covering attribute `i`'s encoded block.
+    pub fn attribute_mask(&self, i: usize) -> Result<AttrMask, SchemaError> {
+        let a = self
+            .attributes
+            .get(i)
+            .ok_or(SchemaError::NoSuchAttribute(i))?;
+        let bits = a.bits();
+        Ok(AttrMask(((1u64 << bits) - 1) << self.offsets[i]))
+    }
+
+    /// The bitmask covering a *set* of attributes — this is how a marginal
+    /// over categorical attributes becomes a marginal over encoded bits.
+    pub fn attribute_set_mask(&self, attrs: &[usize]) -> Result<AttrMask, SchemaError> {
+        let mut m = AttrMask::EMPTY;
+        for &i in attrs {
+            m = m.union(self.attribute_mask(i)?);
+        }
+        Ok(m)
+    }
+
+    /// Encodes a record (one value per attribute) into its linearized
+    /// domain index.
+    pub fn encode(&self, record: &[usize]) -> Result<u64, SchemaError> {
+        if record.len() != self.attributes.len() {
+            return Err(SchemaError::ArityMismatch {
+                expected: self.attributes.len(),
+                actual: record.len(),
+            });
+        }
+        let mut index = 0u64;
+        for (i, (&v, a)) in record.iter().zip(&self.attributes).enumerate() {
+            if v >= a.cardinality {
+                return Err(SchemaError::ValueOutOfRange {
+                    attribute: i,
+                    value: v,
+                    cardinality: a.cardinality,
+                });
+            }
+            index |= (v as u64) << self.offsets[i];
+        }
+        Ok(index)
+    }
+
+    /// Decodes a linearized domain index back into attribute values.
+    /// Indices that fall in the "dead" region of a block (value ≥
+    /// cardinality) are returned as-is; callers treating decoded values as
+    /// records should check validity via [`Schema::index_is_valid`].
+    pub fn decode(&self, index: u64) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .zip(&self.offsets)
+            .map(|(a, &off)| ((index >> off) & ((1u64 << a.bits()) - 1)) as usize)
+            .collect()
+    }
+
+    /// Whether a linearized index corresponds to a real attribute-value
+    /// combination (no block exceeds its cardinality).
+    pub fn index_is_valid(&self, index: u64) -> bool {
+        self.decode(index)
+            .iter()
+            .zip(&self.attributes)
+            .all(|(&v, a)| v < a.cardinality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adult_like() -> Schema {
+        // The paper's Adult attribute cardinalities.
+        let cards = [9usize, 16, 7, 15, 6, 5, 2, 2];
+        let names = [
+            "workclass",
+            "education",
+            "marital-status",
+            "occupation",
+            "relationship",
+            "race",
+            "sex",
+            "salary",
+        ];
+        Schema::new(
+            names
+                .iter()
+                .zip(cards)
+                .map(|(n, c)| Attribute::new(*n, c).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attribute_bit_widths() {
+        assert_eq!(Attribute::new("x", 2).unwrap().bits(), 1);
+        assert_eq!(Attribute::new("x", 3).unwrap().bits(), 2);
+        assert_eq!(Attribute::new("x", 4).unwrap().bits(), 2);
+        assert_eq!(Attribute::new("x", 9).unwrap().bits(), 4);
+        assert_eq!(Attribute::new("x", 16).unwrap().bits(), 4);
+    }
+
+    #[test]
+    fn adult_encoding_is_23_bits() {
+        // 4+4+3+4+3+3+1+1 = 23, as reported in DESIGN.md.
+        let s = adult_like();
+        assert_eq!(s.domain_bits(), 23);
+        assert_eq!(s.domain_size(), 1 << 23);
+        assert_eq!(s.num_attributes(), 8);
+    }
+
+    #[test]
+    fn binary_schema() {
+        let s = Schema::binary(16).unwrap();
+        assert_eq!(s.domain_bits(), 16);
+        assert_eq!(s.attribute_mask(3).unwrap(), AttrMask::single(3));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = adult_like();
+        let rec = vec![8, 15, 6, 14, 5, 4, 1, 0];
+        let idx = s.encode(&rec).unwrap();
+        assert_eq!(s.decode(idx), rec);
+        assert!(s.index_is_valid(idx));
+    }
+
+    #[test]
+    fn dead_cells_detected() {
+        let s = Schema::new(vec![Attribute::new("x", 3).unwrap()]).unwrap();
+        // value 3 needs 2 bits but is out of the cardinality-3 domain.
+        assert!(!s.index_is_valid(3));
+        assert!(s.index_is_valid(2));
+    }
+
+    #[test]
+    fn encode_rejects_bad_records() {
+        let s = adult_like();
+        assert!(matches!(
+            s.encode(&[0; 7]),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.encode(&[9, 0, 0, 0, 0, 0, 0, 0]),
+            Err(SchemaError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_masks_are_disjoint_and_cover() {
+        let s = adult_like();
+        let mut acc = AttrMask::EMPTY;
+        for i in 0..s.num_attributes() {
+            let m = s.attribute_mask(i).unwrap();
+            assert_eq!(acc.intersect(m), AttrMask::EMPTY);
+            acc = acc.union(m);
+        }
+        assert_eq!(acc, AttrMask::full(23));
+    }
+
+    #[test]
+    fn attribute_set_mask_unions_blocks() {
+        let s = adult_like();
+        let m = s.attribute_set_mask(&[0, 6]).unwrap();
+        assert_eq!(
+            m,
+            s.attribute_mask(0).unwrap().union(s.attribute_mask(6).unwrap())
+        );
+        assert!(s.attribute_set_mask(&[99]).is_err());
+    }
+
+    #[test]
+    fn schema_too_large_rejected() {
+        let attrs: Vec<Attribute> = (0..64)
+            .map(|i| Attribute::new(format!("a{i}"), 2).unwrap())
+            .collect();
+        assert!(matches!(
+            Schema::new(attrs),
+            Err(SchemaError::DomainTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cardinality_one_rejected() {
+        assert!(matches!(
+            Attribute::new("x", 1),
+            Err(SchemaError::BadCardinality(1))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            SchemaError::BadCardinality(1),
+            SchemaError::DomainTooLarge { bits: 99 },
+            SchemaError::ValueOutOfRange {
+                attribute: 0,
+                value: 9,
+                cardinality: 9,
+            },
+            SchemaError::ArityMismatch {
+                expected: 8,
+                actual: 7,
+            },
+            SchemaError::NoSuchAttribute(3),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Contingency tables: the data vector `x ∈ R^N`.
+//!
+//! As in the paper's Figure 1(a), a database over `d` binary attributes is
+//! represented as the vector of counts over its linearized domain: `x_β` is
+//! the number of tuples whose encoded attribute values equal `β`.
+
+use crate::marginal::MarginalTable;
+use crate::mask::AttrMask;
+use crate::schema::{Schema, SchemaError};
+
+/// A full contingency table over `{0,1}^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    d: usize,
+    counts: Vec<f64>,
+}
+
+impl ContingencyTable {
+    /// An all-zero table over `d` binary attributes.
+    pub fn zeros(d: usize) -> Self {
+        assert!(d <= 30, "in-memory contingency tables limited to d ≤ 30");
+        ContingencyTable {
+            d,
+            counts: vec![0.0; 1usize << d],
+        }
+    }
+
+    /// Wraps an existing count vector; `counts.len()` must be a power of
+    /// two equal to `2^d`.
+    pub fn from_counts(counts: Vec<f64>) -> Self {
+        assert!(
+            counts.len().is_power_of_two(),
+            "count vector length must be a power of two"
+        );
+        let d = counts.len().trailing_zeros() as usize;
+        ContingencyTable { d, counts }
+    }
+
+    /// Builds the table of a record multiset under a schema.
+    pub fn from_records(schema: &Schema, records: &[Vec<usize>]) -> Result<Self, SchemaError> {
+        let mut t = ContingencyTable::zeros(schema.domain_bits());
+        for r in records {
+            let idx = schema.encode(r)?;
+            t.counts[idx as usize] += 1.0;
+        }
+        Ok(t)
+    }
+
+    /// Builds the table directly from pre-encoded indices.
+    pub fn from_indices(d: usize, indices: &[u64]) -> Self {
+        let mut t = ContingencyTable::zeros(d);
+        for &i in indices {
+            t.counts[i as usize] += 1.0;
+        }
+        t
+    }
+
+    /// Number of binary attributes `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Domain size `N = 2^d`.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The raw count vector `x`.
+    #[inline]
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Mutable access to the counts (used by noise-injection paths).
+    #[inline]
+    pub fn counts_mut(&mut self) -> &mut [f64] {
+        &mut self.counts
+    }
+
+    /// Total number of tuples `Σ_β x_β`.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Computes the marginal `Cα x` (Section 4.1): cell `γ ≼ α` receives
+    /// `Σ_{β : β∧α=γ} x_β`.
+    ///
+    /// Implemented by summing out the cleared bits one at a time (lowest
+    /// first), which halves the working array per folded bit: total cost
+    /// `O(N + N/2 + …) = O(2N)` regardless of `‖α‖`, and the surviving bits
+    /// keep their relative order, so the output indexing matches
+    /// [`AttrMask::compress_cell`].
+    pub fn marginal(&self, alpha: AttrMask) -> MarginalTable {
+        MarginalTable::new(alpha, marginalize(&self.counts, self.d, alpha))
+    }
+
+    /// Computes several marginals (each via the folding pass).
+    pub fn marginals(&self, alphas: &[AttrMask]) -> Vec<MarginalTable> {
+        alphas.iter().map(|&a| self.marginal(a)).collect()
+    }
+
+    /// The Fourier coefficient `⟨f^α, x⟩` of the table (O(N) direct sum;
+    /// use the WHT for many coefficients at once).
+    pub fn fourier_coefficient(&self, alpha: AttrMask) -> f64 {
+        dp_linalg::wht::fourier_coefficient(&self.counts, alpha.0 as usize)
+    }
+}
+
+/// Marginalizes a raw count vector over `d` bits down to the cells of
+/// `alpha`, by folding out each cleared bit. Exposed for callers that hold
+/// noisy count vectors outside a [`ContingencyTable`].
+pub fn marginalize(counts: &[f64], d: usize, alpha: AttrMask) -> Vec<f64> {
+    debug_assert_eq!(counts.len(), 1usize << d);
+    let mut cur: Vec<f64> = counts.to_vec();
+    let mut remaining = d;
+    // Fold out cleared bits from highest to lowest so each fold is a
+    // contiguous halves-add (cache friendly); relative order of surviving
+    // bits is preserved either way.
+    for bit in (0..d).rev() {
+        if alpha.0 >> bit & 1 == 1 {
+            continue;
+        }
+        // Remove `bit` from an array currently addressed by `remaining`
+        // bits, of which the bits above `bit` are the still-unfolded high
+        // bits (all folds above already happened).
+        let half_stride = 1usize << bit;
+        let n = 1usize << remaining;
+        let mut write = 0usize;
+        let mut base = 0usize;
+        while base < n {
+            for i in 0..half_stride {
+                cur[write + i] = cur[base + i] + cur[base + half_stride + i];
+            }
+            write += half_stride;
+            base += 2 * half_stride;
+        }
+        remaining -= 1;
+        cur.truncate(1usize << remaining);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    /// The paper's Figure 1(a) table: x = (1,2,0,1,0,0,1,0) over attributes
+    /// A,B,C linearized in the order 000, 001, …, 111 — note the paper
+    /// linearizes with A as the *most* significant bit, so with our
+    /// lowest-bit-first schema layout, A is bit 2.
+    pub(crate) fn figure1_table() -> ContingencyTable {
+        ContingencyTable::from_counts(vec![1.0, 2.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn figure1_counts() {
+        let t = figure1_table();
+        assert_eq!(t.dims(), 3);
+        assert_eq!(t.total(), 5.0);
+        // x₂ (index for 001 in the paper's A-major order = our index 1) is 2:
+        // two tuples (1 and 4) with A=0,B=0,C=1.
+        assert_eq!(t.counts()[1], 2.0);
+    }
+
+    #[test]
+    fn figure1_marginal_ab_matches_paper() {
+        // The paper computes (C¹¹⁰x)₀₀₀ = x₀₀₀ + x₀₀₁ = 3 and
+        // (C¹¹⁰x)₀₁₀ = x₀₁₀ + x₀₁₁ = 1. In A-major linearization attribute
+        // C is the lowest bit, so the AB marginal aggregates over bit 0.
+        let t = figure1_table();
+        let ab = AttrMask(0b110);
+        let m = t.marginal(ab);
+        assert_eq!(m.values(), &[3.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn figure1_marginal_a() {
+        let t = figure1_table();
+        let a = AttrMask(0b100);
+        let m = t.marginal(a);
+        assert_eq!(m.values(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_marginal_is_total() {
+        let t = figure1_table();
+        let m = t.marginal(AttrMask::EMPTY);
+        assert_eq!(m.values(), &[5.0]);
+    }
+
+    #[test]
+    fn full_marginal_is_identity() {
+        let t = figure1_table();
+        let m = t.marginal(AttrMask::full(3));
+        assert_eq!(m.values(), t.counts());
+    }
+
+    #[test]
+    fn batched_marginals_match_individual() {
+        let t = figure1_table();
+        let alphas = [AttrMask(0b100), AttrMask(0b110), AttrMask(0b011)];
+        let batch = t.marginals(&alphas);
+        for (mt, &a) in batch.iter().zip(&alphas) {
+            assert_eq!(mt.values(), t.marginal(a).values());
+        }
+    }
+
+    #[test]
+    fn from_records_counts_correctly() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 2).unwrap(),
+            Attribute::new("b", 3).unwrap(),
+        ])
+        .unwrap();
+        let records = vec![vec![0, 0], vec![0, 0], vec![1, 2]];
+        let t = ContingencyTable::from_records(&schema, &records).unwrap();
+        assert_eq!(t.dims(), 3);
+        assert_eq!(t.total(), 3.0);
+        assert_eq!(t.counts()[0], 2.0);
+        let idx = schema.encode(&[1, 2]).unwrap();
+        assert_eq!(t.counts()[idx as usize], 1.0);
+    }
+
+    #[test]
+    fn from_indices() {
+        let t = ContingencyTable::from_indices(2, &[0, 3, 3]);
+        assert_eq!(t.counts(), &[1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn fourier_zeroth_coefficient_is_scaled_total() {
+        let t = figure1_table();
+        let c = t.fourier_coefficient(AttrMask::EMPTY);
+        assert!((c - 5.0 / 8.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// Marginal-sum invariant: every marginal's cells sum to the total.
+        #[test]
+        fn marginal_sums_preserve_total(
+            counts in proptest::collection::vec(0.0f64..50.0, 16),
+            mask_bits in 0u64..16,
+        ) {
+            let t = ContingencyTable::from_counts(counts);
+            let m = t.marginal(AttrMask(mask_bits));
+            let total = t.total();
+            let msum: f64 = m.values().iter().sum();
+            proptest::prop_assert!((total - msum).abs() < 1e-9 * total.max(1.0));
+        }
+
+        /// Aggregation consistency: the marginal over α of the marginal
+        /// over β ⊇ α equals the marginal over α directly.
+        #[test]
+        fn marginal_of_marginal(
+            counts in proptest::collection::vec(0.0f64..10.0, 32),
+            sup in 0u64..32,
+        ) {
+            let t = ContingencyTable::from_counts(counts);
+            let beta = AttrMask(sup);
+            for alpha in beta.subsets() {
+                let direct = t.marginal(alpha);
+                let via = t.marginal(beta).aggregate_to(alpha).unwrap();
+                for (a, b) in direct.values().iter().zip(via.values()) {
+                    proptest::prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

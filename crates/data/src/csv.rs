@@ -1,0 +1,68 @@
+//! File-level dataset loading: real data takes precedence over synthesis.
+
+use crate::DataError;
+use std::path::Path;
+
+/// Loads records for the Adult experiment: if `path` exists it is parsed as
+/// the real UCI `adult.data` file; otherwise the synthetic generator is
+/// used with the given seed. Returns the records and a flag saying whether
+/// real data was used.
+pub fn adult_records_or_synthetic(
+    path: &Path,
+    seed: u64,
+) -> Result<(Vec<Vec<usize>>, bool), DataError> {
+    if path.exists() {
+        let content = std::fs::read_to_string(path)?;
+        Ok((crate::adult::parse_adult_csv(&content)?, true))
+    } else {
+        Ok((
+            crate::adult::synthesize_adult(crate::adult::ADULT_RECORDS, seed),
+            false,
+        ))
+    }
+}
+
+/// Same pattern for NLTCS (`nltcs.csv`: 16 comma-separated 0/1 per line).
+pub fn nltcs_records_or_synthetic(
+    path: &Path,
+    seed: u64,
+) -> Result<(Vec<Vec<usize>>, bool), DataError> {
+    if path.exists() {
+        let content = std::fs::read_to_string(path)?;
+        Ok((crate::nltcs::parse_nltcs_csv(&content)?, true))
+    } else {
+        Ok((
+            crate::nltcs::synthesize_nltcs(crate::nltcs::NLTCS_RECORDS, seed),
+            false,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_falls_back_to_synthesis() {
+        let (recs, real) =
+            adult_records_or_synthetic(Path::new("/nonexistent/adult.data"), 1).unwrap();
+        assert!(!real);
+        assert_eq!(recs.len(), crate::adult::ADULT_RECORDS);
+        let (recs, real) =
+            nltcs_records_or_synthetic(Path::new("/nonexistent/nltcs.csv"), 1).unwrap();
+        assert!(!real);
+        assert_eq!(recs.len(), crate::nltcs::NLTCS_RECORDS);
+    }
+
+    #[test]
+    fn present_file_is_parsed() {
+        let dir = std::env::temp_dir().join("dp_data_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("nltcs.csv");
+        std::fs::write(&p, "0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0\n").unwrap();
+        let (recs, real) = nltcs_records_or_synthetic(&p, 1).unwrap();
+        assert!(real);
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

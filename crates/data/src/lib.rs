@@ -1,0 +1,65 @@
+//! Dataset substrate for the datacube-DP workspace.
+//!
+//! The paper evaluates on two real datasets we cannot fetch in this
+//! environment, so this crate provides **synthetic stand-ins with the same
+//! schema, size and correlation structure** (see DESIGN.md §3 for the
+//! substitution argument), plus CSV loaders so the real files can be
+//! dropped in:
+//!
+//! * [`adult`] — the UCI *Adult* census subset used in Section 5.1: 32,561
+//!   records over 8 categorical attributes with cardinalities
+//!   9, 16, 7, 15, 6, 5, 2, 2 (23 encoded bits).
+//! * [`nltcs`] — the StatLib *NLTCS* disability study used in Section 5.2:
+//!   21,576 records over 16 binary attributes (6 ADL + 10 IADL items).
+//!
+//! Both generators are deterministic given a seed, skewed, and strongly
+//! correlated across attributes — the properties that drive the relative
+//! behaviour of the release strategies under test.
+
+pub mod adult;
+pub mod csv;
+pub mod nltcs;
+pub mod synthetic;
+
+pub use adult::{adult_schema, synthesize_adult};
+pub use nltcs::{nltcs_schema, synthesize_nltcs};
+
+/// Errors from dataset loading/synthesis.
+#[derive(Debug)]
+pub enum DataError {
+    /// I/O failure while reading a dataset file.
+    Io(std::io::Error),
+    /// A CSV record could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Schema-level failure.
+    Schema(dp_core::schema::SchemaError),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            DataError::Schema(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<dp_core::schema::SchemaError> for DataError {
+    fn from(e: dp_core::schema::SchemaError) -> Self {
+        DataError::Schema(e)
+    }
+}

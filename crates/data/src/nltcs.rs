@@ -1,0 +1,159 @@
+//! Synthetic stand-in for the **NLTCS** (National Long-Term Care Survey)
+//! dataset (Section 5.2 of the paper), plus a loader for a binary CSV.
+//!
+//! The real data has 21,576 records over 16 binary functional-disability
+//! indicators: 6 activities of daily living (ADL) and 10 instrumental
+//! activities of daily living (IADL). Its defining structure — which the
+//! generator reproduces — is a strongly bimodal population: a large mostly
+//! healthy group (all-zero rows dominate) and a smaller disabled group with
+//! strong positive correlation across items, with IADL limitations more
+//! common than ADL ones.
+
+use crate::DataError;
+use dp_core::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of records in the real NLTCS extract (and the synthetic one).
+pub const NLTCS_RECORDS: usize = 21_576;
+
+/// Number of binary attributes.
+pub const NLTCS_ATTRIBUTES: usize = 16;
+
+/// The NLTCS schema: 16 binary attributes (6 ADL then 10 IADL), 16 bits.
+pub fn nltcs_schema() -> Schema {
+    Schema::binary(NLTCS_ATTRIBUTES).expect("16 binary attributes fit easily")
+}
+
+/// Generates `n` synthetic NLTCS-like records with a fixed seed, from a
+/// three-component latent mixture (healthy / moderately / severely
+/// disabled).
+pub fn synthesize_nltcs(n: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // (mixture weight, ADL base rate, IADL base rate).
+    const COMPONENTS: [(f64, f64, f64); 3] = [
+        (0.62, 0.015, 0.05), // healthy
+        (0.26, 0.18, 0.38),  // moderate limitations
+        (0.12, 0.62, 0.82),  // severe limitations
+    ];
+    // Mild per-item heterogeneity so item marginals differ.
+    let item_factor: Vec<f64> = (0..NLTCS_ATTRIBUTES)
+        .map(|i| 0.7 + 0.6 * ((i * 37 % 11) as f64 / 10.0))
+        .collect();
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen();
+        let (_, adl, iadl) = if u < COMPONENTS[0].0 {
+            COMPONENTS[0]
+        } else if u < COMPONENTS[0].0 + COMPONENTS[1].0 {
+            COMPONENTS[1]
+        } else {
+            COMPONENTS[2]
+        };
+        let rec: Vec<usize> = (0..NLTCS_ATTRIBUTES)
+            .map(|i| {
+                let base = if i < 6 { adl } else { iadl };
+                let p = (base * item_factor[i]).min(0.95);
+                usize::from(rng.gen::<f64>() < p)
+            })
+            .collect();
+        out.push(rec);
+    }
+    out
+}
+
+/// Parses a CSV of 16 comma-separated 0/1 values per line.
+pub fn parse_nltcs_csv(content: &str) -> Result<Vec<Vec<usize>>, DataError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != NLTCS_ATTRIBUTES {
+            return Err(DataError::Parse {
+                line: lineno + 1,
+                message: format!("expected 16 fields, found {}", fields.len()),
+            });
+        }
+        let rec = fields
+            .iter()
+            .map(|f| match *f {
+                "0" => Ok(0usize),
+                "1" => Ok(1usize),
+                other => Err(DataError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected 0/1, found {other:?}"),
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::table::ContingencyTable;
+
+    #[test]
+    fn schema_shape() {
+        let s = nltcs_schema();
+        assert_eq!(s.num_attributes(), 16);
+        assert_eq!(s.domain_bits(), 16);
+        assert_eq!(s.domain_size(), 65_536);
+    }
+
+    #[test]
+    fn synthesis_deterministic_and_binary() {
+        let a = synthesize_nltcs(1000, 9);
+        assert_eq!(a, synthesize_nltcs(1000, 9));
+        assert!(a.iter().all(|r| r.len() == 16 && r.iter().all(|&v| v <= 1)));
+    }
+
+    #[test]
+    fn healthy_majority_and_positive_correlation() {
+        let recs = synthesize_nltcs(30_000, 3);
+        // All-zero rows are the single most common pattern.
+        let zeros = recs.iter().filter(|r| r.iter().all(|&v| v == 0)).count();
+        assert!(
+            zeros as f64 / recs.len() as f64 > 0.3,
+            "all-zero fraction {}",
+            zeros as f64 / recs.len() as f64
+        );
+        // Positive pairwise correlation between the first two items.
+        let p0 = recs.iter().filter(|r| r[0] == 1).count() as f64 / recs.len() as f64;
+        let p1 = recs.iter().filter(|r| r[1] == 1).count() as f64 / recs.len() as f64;
+        let p01 = recs.iter().filter(|r| r[0] == 1 && r[1] == 1).count() as f64
+            / recs.len() as f64;
+        assert!(p01 > 1.5 * p0 * p1, "p01={p01}, p0·p1={}", p0 * p1);
+    }
+
+    #[test]
+    fn iadl_more_common_than_adl() {
+        let recs = synthesize_nltcs(30_000, 4);
+        let adl: usize = recs.iter().map(|r| r[..6].iter().sum::<usize>()).sum();
+        let iadl: usize = recs.iter().map(|r| r[6..].iter().sum::<usize>()).sum();
+        assert!(iadl as f64 / 10.0 > adl as f64 / 6.0);
+    }
+
+    #[test]
+    fn table_construction() {
+        let recs = synthesize_nltcs(500, 5);
+        let t = ContingencyTable::from_records(&nltcs_schema(), &recs).unwrap();
+        assert_eq!(t.total(), 500.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_and_errors() {
+        let good = "0,1,0,0,0,0,0,0,1,0,0,0,0,0,0,1\n1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1\n";
+        let recs = parse_nltcs_csv(good).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0][1], 1);
+        assert!(parse_nltcs_csv("0,1").is_err());
+        assert!(parse_nltcs_csv("0,1,0,0,0,0,0,0,1,0,0,0,0,0,0,2").is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Generic building blocks for synthetic categorical data.
+
+use rand::Rng;
+
+/// A discrete distribution over `0..weights.len()`, sampled by inverse CDF.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds the distribution from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if weights are empty, contain a negative value, or sum to 0 —
+    /// generator tables are static program data, so this is a programmer
+    /// error, not an input-validation condition.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty categorical distribution");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "negative categorical weight {w}");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "categorical weights sum to zero");
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True iff the distribution has no categories (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen::<f64>() * total;
+        // Binary search for the first cumulative weight > u.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite weights"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+/// Skews a base weight vector by raising each weight to `power` — a quick
+/// way to generate Zipf-ish attribute marginals from uniform ones.
+pub fn skew(weights: &[f64], power: f64) -> Vec<f64> {
+    weights.iter().map(|w| w.powf(power)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_respects_weights() {
+        let c = Categorical::new(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| c.sample(&mut rng) == 1).count();
+        let p = ones as f64 / n as f64;
+        assert!((p - 0.75).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let c = Categorical::new(&[1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(c.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let c = Categorical::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(c.sample(&mut rng), 0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn all_zero_weights_panic() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_weights_panic() {
+        Categorical::new(&[]);
+    }
+
+    #[test]
+    fn skew_sharpens() {
+        let s = skew(&[1.0, 2.0], 2.0);
+        assert_eq!(s, vec![1.0, 4.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Linear-algebra substrate for the datacube-DP workspace.
+//!
+//! This crate provides exactly the numerical kernels the paper's framework
+//! needs, implemented from scratch so that the workspace has no external
+//! numerical dependencies:
+//!
+//! * [`dense::Matrix`] — a small row-major dense matrix with the usual
+//!   products, used for explicit strategy/recovery matrices on small domains
+//!   (Step 3 of the framework, Eq. (7) of the paper).
+//! * [`solve`] — Cholesky factorization and SPD solves for the generalized
+//!   least-squares recovery matrix `R = Q (SᵀΣ⁻¹S)⁻¹SᵀΣ⁻¹`.
+//! * [`sparse::CsrMatrix`] — compressed sparse row matrices for the
+//!   Fourier-coefficient recovery operator of Section 4.3, whose rows have
+//!   only `2^{‖α‖}` non-zeros.
+//! * [`cg`] — conjugate gradients on (implicitly formed) normal equations,
+//!   the workhorse of the fast consistency step.
+//! * [`wht`] — the fast Walsh–Hadamard transform, i.e. the `2^d`-dimensional
+//!   discrete Fourier transform over the Boolean hypercube (Section 4.1).
+//! * [`wavelet`] — the 1-D Haar wavelet transform (the strategy of Xiao et
+//!   al. \[23\], supported by the grouping framework of Definition 3.1).
+
+pub mod cg;
+pub mod dense;
+pub mod solve;
+pub mod sparse;
+pub mod wavelet;
+pub mod wht;
+
+pub use cg::{cg_solve, CgOptions, CgOutcome};
+pub use dense::Matrix;
+pub use solve::{cholesky, solve_spd, CholeskyError};
+pub use sparse::CsrMatrix;
+pub use wavelet::{haar_forward, haar_inverse};
+pub use wht::{fwht, fwht_normalized, ifwht_normalized};
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A matrix dimension did not match the operation's requirement.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A factorization failed because the matrix is not (numerically)
+    /// positive definite.
+    NotPositiveDefinite {
+        /// Pivot index where the failure was detected.
+        pivot: usize,
+    },
+    /// An iterative solver did not converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm when iteration stopped.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (pivot {pivot})")
+            }
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Dot product of two equal-length slices.
+///
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (as with `zip`), so callers must uphold the contract.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha * x` over equal-length slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        assert!(e.to_string().contains("positive definite"));
+        let e = LinalgError::DimensionMismatch {
+            context: "matmul",
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("matmul"));
+        let e = LinalgError::NoConvergence {
+            iterations: 10,
+            residual: 1.0,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

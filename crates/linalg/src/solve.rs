@@ -1,0 +1,190 @@
+//! Cholesky factorization and symmetric positive-definite solves.
+//!
+//! These back the dense generalized-least-squares recovery of the paper's
+//! Step 3 (Eq. (7)): the normal-equation matrix `SᵀΣ⁻¹S` is symmetric
+//! positive definite whenever `rank(S) = N`, so Cholesky is the right
+//! factorization.
+
+use crate::dense::Matrix;
+use crate::LinalgError;
+
+/// Error alias kept for API clarity: all failures here are [`LinalgError`]s.
+pub type CholeskyError = LinalgError;
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// `A` must be symmetric; only the lower triangle is read. Fails with
+/// [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly positive
+/// (up to a small numerical slack relative to the diagonal magnitude).
+pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "cholesky",
+            expected: n,
+            actual: a.cols(),
+        });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j });
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = sum / ljj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` for lower-triangular `L` (forward substitution).
+pub fn forward_substitute(l: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = l.rows();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "forward_substitute",
+            expected: n,
+            actual: b.len(),
+        });
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        let row = l.row(i);
+        for (k, yk) in y.iter().enumerate().take(i) {
+            sum -= row[k] * yk;
+        }
+        y[i] = sum / row[i];
+    }
+    Ok(y)
+}
+
+/// Solves `Lᵀ x = y` for lower-triangular `L` (backward substitution).
+pub fn backward_substitute_transposed(l: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = l.rows();
+    if y.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "backward_substitute_transposed",
+            expected: n,
+            actual: y.len(),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves the SPD system `A x = b` via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(a)?;
+    let y = forward_substitute(&l, b)?;
+    backward_substitute_transposed(&l, &y)
+}
+
+/// Solves `A X = B` column by column for SPD `A`, reusing one factorization.
+pub fn solve_spd_multi(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "solve_spd_multi",
+            expected: a.rows(),
+            actual: b.rows(),
+        });
+    }
+    let l = cholesky(a)?;
+    let mut out = Matrix::zeros(b.rows(), b.cols());
+    for j in 0..b.cols() {
+        let col = b.col(j);
+        let y = forward_substitute(&l, &col)?;
+        let x = backward_substitute_transposed(&l, &y)?;
+        for (i, v) in x.into_iter().enumerate() {
+            out[(i, j)] = v;
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the inverse of an SPD matrix via Cholesky (for small matrices
+/// where the explicit inverse is genuinely needed, e.g. variance formulas).
+pub fn invert_spd(a: &Matrix) -> Result<Matrix, LinalgError> {
+    solve_spd_multi(a, &Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4,2],[2,3]] → L = [[2,0],[1,sqrt(2)]]
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]).unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn non_pd_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn invert_spd_gives_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let inv = invert_spd(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_input_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn solve_multi_matches_individual_solves() {
+        let a = Matrix::from_rows(&[&[5.0, 1.0], &[1.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let x = solve_spd_multi(&a, &b).unwrap();
+        for j in 0..2 {
+            let col = solve_spd(&a, &b.col(j)).unwrap();
+            for i in 0..2 {
+                assert!((x[(i, j)] - col[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

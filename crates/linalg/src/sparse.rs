@@ -1,0 +1,345 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The Fourier-coefficient recovery operator of Section 4.3 has one row per
+//! marginal cell and only `2^{‖α‖}` non-zeros per row (the coefficients
+//! dominated by the marginal's attribute mask), so a sparse representation
+//! turns the consistency step from `O(K · m)` dense work into work
+//! proportional to the number of non-zeros.
+
+use crate::LinalgError;
+
+/// A CSR (compressed sparse row) matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `col_idx`/`values`; length `rows + 1`.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// Incremental builder for [`CsrMatrix`], filling rows in order.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Starts a builder for a matrix with `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        CsrBuilder {
+            cols,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Reserves space for an expected number of non-zeros.
+    pub fn reserve(&mut self, nnz: usize) {
+        self.col_idx.reserve(nnz);
+        self.values.reserve(nnz);
+    }
+
+    /// Appends one entry to the row currently being built.
+    ///
+    /// Panics if `col` is out of range (programmer error: the builder is an
+    /// internal construction tool, not an input-validation boundary).
+    pub fn push(&mut self, col: usize, value: f64) {
+        assert!(col < self.cols, "CSR column {col} out of range {}", self.cols);
+        if value != 0.0 {
+            self.col_idx.push(col as u32);
+            self.values.push(value);
+        }
+    }
+
+    /// Finishes the current row.
+    pub fn finish_row(&mut self) {
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Finalizes the builder into a [`CsrMatrix`].
+    pub fn build(self) -> CsrMatrix {
+        CsrMatrix {
+            rows: self.row_ptr.len() - 1,
+            cols: self.cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Triplets may be unordered; duplicates are summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LinalgError> {
+        for &(r, c, _) in triplets {
+            if r >= rows {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "CsrMatrix::from_triplets row",
+                    expected: rows,
+                    actual: r,
+                });
+            }
+            if c >= cols {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "CsrMatrix::from_triplets col",
+                    expected: cols,
+                    actual: c,
+                });
+            }
+        }
+        let mut sorted: Vec<_> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut builder = CsrBuilder::new(cols);
+        builder.reserve(sorted.len());
+        let mut current_row = 0usize;
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let (r, c, mut v) = sorted[i];
+            i += 1;
+            while i < sorted.len() && sorted[i].0 == r && sorted[i].1 == c {
+                v += sorted[i].2;
+                i += 1;
+            }
+            while current_row < r {
+                builder.finish_row();
+                current_row += 1;
+            }
+            builder.push(c, v);
+        }
+        while current_row < rows {
+            builder.finish_row();
+            current_row += 1;
+        }
+        Ok(builder.build())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sparse matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CsrMatrix::matvec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Transposed sparse matrix–vector product `selfᵀ * y`.
+    pub fn matvec_transposed(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CsrMatrix::matvec_transposed",
+                expected: self.rows,
+                actual: y.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for k in lo..hi {
+                out[self.col_idx[k] as usize] += self.values[k] * yi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Weighted normal-equation operator: computes `selfᵀ · diag(w) · self · x`
+    /// without materializing the (dense) normal matrix. This is the operator
+    /// handed to conjugate gradients in the fast consistency step.
+    pub fn normal_apply(&self, w: &[f64], x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if w.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CsrMatrix::normal_apply weights",
+                expected: self.rows,
+                actual: w.len(),
+            });
+        }
+        let mut tmp = self.matvec(x)?;
+        for (t, &wi) in tmp.iter_mut().zip(w) {
+            *t *= wi;
+        }
+        self.matvec_transposed(&tmp)
+    }
+
+    /// Diagonal of `selfᵀ · diag(w) · self` (a Jacobi preconditioner for CG).
+    pub fn normal_diagonal(&self, w: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if w.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CsrMatrix::normal_diagonal",
+                expected: self.rows,
+                actual: w.len(),
+            });
+        }
+        let mut diag = vec![0.0; self.cols];
+        for (i, &wi) in w.iter().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for k in lo..hi {
+                let v = self.values[k];
+                diag[self.col_idx[k] as usize] += wi * v * v;
+            }
+        }
+        Ok(diag)
+    }
+
+    /// Converts to a dense [`crate::dense::Matrix`] (tests / small cases).
+    pub fn to_dense(&self) -> crate::dense::Matrix {
+        let mut m = crate::dense::Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_entries(i) {
+                m[(i, j)] += v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 3, 0]]
+        CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x).unwrap(), vec![7.0, 6.0]);
+        assert_eq!(m.to_dense().matvec(&x).unwrap(), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn transposed_matvec() {
+        let m = sample();
+        let y = vec![1.0, 2.0];
+        assert_eq!(m.matvec_transposed(&y).unwrap(), vec![1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed_and_order_is_irrelevant() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(1, 0, 1.0), (0, 0, 2.0), (1, 0, 3.0)]).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 0)], 4.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn normal_apply_matches_explicit_product() {
+        let m = sample();
+        let w = vec![2.0, 0.5];
+        let x = vec![1.0, -1.0, 2.0];
+        let got = m.normal_apply(&w, &x).unwrap();
+        // Explicit: Mᵀ diag(w) M x.
+        let mx = m.matvec(&x).unwrap();
+        let wmx: Vec<f64> = mx.iter().zip(&w).map(|(a, b)| a * b).collect();
+        let expected = m.matvec_transposed(&wmx).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn normal_diagonal_matches_dense_gram() {
+        let m = sample();
+        let w = vec![2.0, 0.5];
+        let diag = m.normal_diagonal(&w).unwrap();
+        let dense = m.to_dense().gram_weighted(&w).unwrap();
+        for (j, d) in diag.iter().enumerate() {
+            assert!((d - dense[(j, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_allowed() {
+        let m = CsrMatrix::from_triplets(3, 2, &[(2, 1, 5.0)]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn out_of_range_triplets_are_rejected() {
+        assert!(CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(0, 1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn builder_rows_in_order() {
+        let mut b = CsrBuilder::new(3);
+        b.push(0, 1.0);
+        b.push(2, 2.0);
+        b.finish_row();
+        b.push(1, 3.0);
+        b.finish_row();
+        let m = b.build();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        let mut b = CsrBuilder::new(2);
+        b.push(0, 0.0);
+        b.push(1, 1.0);
+        b.finish_row();
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fast Walsh–Hadamard transform (WHT).
+//!
+//! The paper's Fourier strategy (Section 4.1) uses the `2^d`-dimensional
+//! discrete Fourier transform over the Boolean hypercube. Its basis vectors
+//! are `f^α_β = 2^{-d/2} (−1)^{⟨α,β⟩}` where `⟨α,β⟩ = ‖α ∧ β‖`. The
+//! unnormalized transform `H x` with `H_{αβ} = (−1)^{⟨α,β⟩}` can be computed
+//! in place in `O(N log N)` time with the classic butterfly recursion; the
+//! normalized (orthonormal) variant divides by `2^{d/2}` so that the
+//! transform is an involution.
+
+/// Applies the **unnormalized** Walsh–Hadamard transform in place.
+///
+/// `data.len()` must be a power of two. Applying it twice multiplies the
+/// vector by `N = data.len()`.
+///
+/// # Panics
+/// Panics if the length is not a power of two (this is a programming error:
+/// the domain size of a binary contingency table is `2^d` by construction).
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "WHT length {n} must be a power of two");
+    let mut h = 1;
+    while h < n {
+        for chunk in data.chunks_exact_mut(h * 2) {
+            let (a, b) = chunk.split_at_mut(h);
+            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                let u = *x;
+                let v = *y;
+                *x = u + v;
+                *y = u - v;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// Applies the **orthonormal** Walsh–Hadamard transform in place
+/// (`x ↦ 2^{-d/2} H x`). This matches the paper's Fourier basis: entry `α`
+/// of the output is the Fourier coefficient `⟨f^α, x⟩`.
+pub fn fwht_normalized(data: &mut [f64]) {
+    fwht(data);
+    let scale = 1.0 / (data.len() as f64).sqrt();
+    for v in data.iter_mut() {
+        *v *= scale;
+    }
+}
+
+/// Inverse of [`fwht_normalized`]. Because the orthonormal WHT is an
+/// involution, this is the same operation; the alias exists for readability
+/// at call sites that conceptually move from the Fourier domain back to the
+/// data domain.
+pub fn ifwht_normalized(data: &mut [f64]) {
+    fwht_normalized(data);
+}
+
+/// Computes a single Fourier coefficient `⟨f^α, x⟩ = 2^{-d/2} Σ_β (−1)^{⟨α,β⟩} x_β`
+/// directly in `O(N)`. Used by tests as an oracle and by callers that need
+/// only a handful of coefficients of a huge vector.
+pub fn fourier_coefficient(x: &[f64], alpha: usize) -> f64 {
+    let n = x.len();
+    assert!(n.is_power_of_two());
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut acc = 0.0;
+    for (beta, &v) in x.iter().enumerate() {
+        let sign = if ((alpha & beta).count_ones() & 1) == 1 {
+            -1.0
+        } else {
+            1.0
+        };
+        acc += sign * v;
+    }
+    acc * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wht_of_unit_vector_is_row_of_hadamard() {
+        // H e_j = column j of H = (±1) pattern (−1)^{⟨i,j⟩}.
+        let n = 8;
+        for j in 0..n {
+            let mut x = vec![0.0; n];
+            x[j] = 1.0;
+            fwht(&mut x);
+            for (i, &v) in x.iter().enumerate() {
+                let expected = if ((i & j).count_ones() & 1) == 1 { -1.0 } else { 1.0 };
+                assert_eq!(v, expected, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_wht_is_involution() {
+        let x0 = vec![1.0, 2.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+        let mut x = x0.clone();
+        fwht_normalized(&mut x);
+        ifwht_normalized(&mut x);
+        for (a, b) in x.iter().zip(&x0) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x0: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let energy: f64 = x0.iter().map(|v| v * v).sum();
+        let mut x = x0;
+        fwht_normalized(&mut x);
+        let energy_hat: f64 = x.iter().map(|v| v * v).sum();
+        assert!((energy - energy_hat).abs() < 1e-10);
+    }
+
+    #[test]
+    fn coefficient_oracle_matches_full_transform() {
+        let x: Vec<f64> = (0..32).map(|i| (i % 7) as f64).collect();
+        let mut full = x.clone();
+        fwht_normalized(&mut full);
+        for (alpha, &f) in full.iter().enumerate() {
+            assert!(
+                (fourier_coefficient(&x, alpha) - f).abs() < 1e-10,
+                "alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeroth_coefficient_is_scaled_total() {
+        // ⟨f^0, x⟩ = 2^{-d/2} Σ x_β: the paper uses this to relate the total
+        // count to the DC Fourier coefficient.
+        let x = vec![1.0, 2.0, 0.0, 1.0];
+        assert!((fourier_coefficient(&x, 0) - 4.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![1.0; 3];
+        fwht(&mut x);
+    }
+}

@@ -1,0 +1,180 @@
+//! Sequential composition of differential-privacy guarantees.
+//!
+//! The paper's framework composes per-row guarantees through the column
+//! structure of the strategy matrix (Proposition 3.1); this module provides
+//! the standard *sequential* composition used when a data owner runs
+//! several independent releases over the same data — e.g. releasing two
+//! different workloads, or combining a marginal release with a range-query
+//! release. It implements basic composition (ε and δ add) and tracks a
+//! budget ledger so over-spending is a hard error rather than a silent
+//! privacy failure.
+
+use crate::privacy::PrivacyLevel;
+use crate::MechError;
+
+/// Sum of guarantees under basic sequential composition: ε's and δ's add.
+pub fn compose(levels: &[PrivacyLevel]) -> PrivacyLevel {
+    let epsilon: f64 = levels.iter().map(|l| l.epsilon()).sum();
+    let delta: f64 = levels.iter().map(|l| l.delta()).sum();
+    if delta == 0.0 {
+        PrivacyLevel::Pure { epsilon }
+    } else {
+        PrivacyLevel::Approx { epsilon, delta }
+    }
+}
+
+/// A privacy-budget ledger: start with a total allowance, draw per-release
+/// budgets from it, and refuse once exhausted.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    total: PrivacyLevel,
+    spent_epsilon: f64,
+    spent_delta: f64,
+    charges: Vec<PrivacyLevel>,
+}
+
+impl BudgetLedger {
+    /// Creates a ledger with the given total allowance.
+    pub fn new(total: PrivacyLevel) -> Result<Self, MechError> {
+        total.validate()?;
+        Ok(BudgetLedger {
+            total,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+            charges: Vec::new(),
+        })
+    }
+
+    /// Attempts to charge one release's guarantee against the ledger.
+    /// Fails (leaving the ledger unchanged) if the charge would exceed the
+    /// allowance in either ε or δ.
+    pub fn charge(&mut self, level: PrivacyLevel) -> Result<(), MechError> {
+        level.validate()?;
+        let new_eps = self.spent_epsilon + level.epsilon();
+        let new_delta = self.spent_delta + level.delta();
+        if new_eps > self.total.epsilon() * (1.0 + 1e-12) {
+            return Err(MechError::InvalidPrivacyParameter(format!(
+                "epsilon budget exhausted: spending {new_eps} of {}",
+                self.total.epsilon()
+            )));
+        }
+        if new_delta > self.total.delta() * (1.0 + 1e-12) + f64::EPSILON * 0.0
+            && new_delta > self.total.delta()
+        {
+            return Err(MechError::InvalidPrivacyParameter(format!(
+                "delta budget exhausted: spending {new_delta} of {}",
+                self.total.delta()
+            )));
+        }
+        self.spent_epsilon = new_eps;
+        self.spent_delta = new_delta;
+        self.charges.push(level);
+        Ok(())
+    }
+
+    /// Remaining ε allowance.
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.total.epsilon() - self.spent_epsilon).max(0.0)
+    }
+
+    /// Remaining δ allowance.
+    pub fn remaining_delta(&self) -> f64 {
+        (self.total.delta() - self.spent_delta).max(0.0)
+    }
+
+    /// The composed guarantee of everything charged so far.
+    pub fn spent(&self) -> PrivacyLevel {
+        compose(&self.charges)
+    }
+
+    /// Number of releases charged.
+    pub fn num_charges(&self) -> usize {
+        self.charges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_pure_levels() {
+        let c = compose(&[
+            PrivacyLevel::Pure { epsilon: 0.3 },
+            PrivacyLevel::Pure { epsilon: 0.2 },
+        ]);
+        assert_eq!(c, PrivacyLevel::Pure { epsilon: 0.5 });
+    }
+
+    #[test]
+    fn compose_mixed_levels_yields_approx() {
+        let c = compose(&[
+            PrivacyLevel::Pure { epsilon: 0.3 },
+            PrivacyLevel::Approx {
+                epsilon: 0.2,
+                delta: 1e-6,
+            },
+        ]);
+        assert_eq!(
+            c,
+            PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: 1e-6
+            }
+        );
+    }
+
+    #[test]
+    fn ledger_enforces_epsilon_budget() {
+        let mut ledger = BudgetLedger::new(PrivacyLevel::Pure { epsilon: 1.0 }).unwrap();
+        ledger.charge(PrivacyLevel::Pure { epsilon: 0.6 }).unwrap();
+        assert!((ledger.remaining_epsilon() - 0.4).abs() < 1e-12);
+        // Over-charge refused, state unchanged.
+        assert!(ledger.charge(PrivacyLevel::Pure { epsilon: 0.5 }).is_err());
+        assert!((ledger.remaining_epsilon() - 0.4).abs() < 1e-12);
+        ledger.charge(PrivacyLevel::Pure { epsilon: 0.4 }).unwrap();
+        assert_eq!(ledger.num_charges(), 2);
+        assert_eq!(ledger.spent(), PrivacyLevel::Pure { epsilon: 1.0 });
+    }
+
+    #[test]
+    fn ledger_enforces_delta_budget() {
+        let mut ledger = BudgetLedger::new(PrivacyLevel::Approx {
+            epsilon: 2.0,
+            delta: 1e-6,
+        })
+        .unwrap();
+        ledger
+            .charge(PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: 8e-7,
+            })
+            .unwrap();
+        // ε fits but δ does not.
+        assert!(ledger
+            .charge(PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: 8e-7,
+            })
+            .is_err());
+        // A pure charge still fits.
+        ledger.charge(PrivacyLevel::Pure { epsilon: 1.0 }).unwrap();
+        assert!((ledger.remaining_delta() - 2e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn pure_ledger_rejects_any_delta() {
+        let mut ledger = BudgetLedger::new(PrivacyLevel::Pure { epsilon: 1.0 }).unwrap();
+        assert!(ledger
+            .charge(PrivacyLevel::Approx {
+                epsilon: 0.1,
+                delta: 1e-9,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_total_rejected() {
+        assert!(BudgetLedger::new(PrivacyLevel::Pure { epsilon: 0.0 }).is_err());
+    }
+}

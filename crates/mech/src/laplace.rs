@@ -1,0 +1,101 @@
+//! The Laplace mechanism (Theorem 2.1 of the paper).
+
+use crate::NoiseMechanism;
+use rand::Rng;
+
+/// Samples from the Laplace distribution with location 0 and the given
+/// `scale` (density `exp(−|x|/scale) / (2·scale)`), via inverse-CDF
+/// transform sampling. Variance is `2·scale²`.
+pub fn sample_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    // u uniform in (-0.5, 0.5]; the open lower bound avoids ln(0).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    let magnitude = (1.0 - 2.0 * u.abs()).ln();
+    -scale * magnitude.copysign(u) * if u == 0.0 { 0.0 } else { 1.0 }
+}
+
+/// The Laplace scale required for `eps`-DP at L1-sensitivity `delta1`.
+pub fn laplace_scale(delta1: f64, eps: f64) -> f64 {
+    delta1 / eps
+}
+
+/// Laplace mechanism with the paper's per-row budget convention
+/// (Proposition 3.1(i)): a row with budget `ε_i` gets noise with scale
+/// `1/ε_i` and hence variance `2/ε_i²`. Sensitivity is accounted for in the
+/// budget-feasibility constraint `Σ_i |S_ij| ε_i ≤ ε`, not here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaplaceMechanism;
+
+impl NoiseMechanism for LaplaceMechanism {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, eps_i: f64) -> f64 {
+        sample_laplace(rng, 1.0 / eps_i)
+    }
+
+    fn variance(&self, eps_i: f64) -> f64 {
+        2.0 / (eps_i * eps_i)
+    }
+
+    fn name(&self) -> &'static str {
+        "laplace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_formula() {
+        assert_eq!(laplace_scale(2.0, 0.5), 4.0);
+    }
+
+    #[test]
+    fn variance_formula() {
+        let m = LaplaceMechanism;
+        assert!((m.variance(2.0) - 0.5).abs() < 1e-15);
+        assert_eq!(m.name(), "laplace");
+    }
+
+    #[test]
+    fn samples_are_symmetric_and_zero_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| sample_laplace(&mut rng, 1.0)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn sample_tail_behaviour() {
+        // P(|X| > t·scale) = exp(−t); check roughly at t = 2.
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let count = (0..n)
+            .filter(|_| sample_laplace(&mut rng, 1.0).abs() > 2.0)
+            .count();
+        let p = count as f64 / n as f64;
+        let expected = (-2.0_f64).exp();
+        assert!((p - expected).abs() < 0.01, "p {p} vs {expected}");
+    }
+
+    #[test]
+    fn scale_scales_linearly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let spread: f64 = (0..n)
+            .map(|_| sample_laplace(&mut rng, 3.0).abs())
+            .sum::<f64>()
+            / n as f64;
+        // E|X| = scale.
+        assert!((spread - 3.0).abs() < 0.1, "E|X| {spread}");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn samples_are_finite(seed in 0u64..1000, scale in 0.01f64..100.0) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = sample_laplace(&mut rng, scale);
+            proptest::prop_assert!(v.is_finite());
+        }
+    }
+}

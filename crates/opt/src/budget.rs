@@ -1,0 +1,356 @@
+//! Closed-form optimal noise budgets for grouped strategies.
+//!
+//! This is the heart of the paper's Step 2. When the strategy matrix `S`
+//! satisfies the grouping property (Definition 3.1) and the recovery matrix
+//! is consistent with the grouping (Definition 3.2), the noise-budgeting
+//! problem (1)–(3) collapses to a single-constraint problem (4)–(6) over one
+//! budget `η_r` per group:
+//!
+//! * **Pure ε-DP** (Laplace):   minimize `Σ_r s_r / η_r²`  s.t.  `Σ_r C_r η_r = ε`.
+//!   Lagrange solution: `η_r = ε (C_r² s_r)^{1/3} / (C_r · T)` with
+//!   `T = Σ_r (C_r² s_r)^{1/3}`, optimum objective `T³ / ε²`.
+//! * **(ε,δ)-DP** (Gaussian): minimize `Σ_r s_r / η_r²`  s.t.  `Σ_r C_r² η_r² = ε²`
+//!   (Appendix A). Solution `η_r² = ε² √s_r / (C_r Σ_q C_q √s_q)`, optimum
+//!   `(Σ_r C_r √s_r)² / ε²`.
+//!
+//! Here `s_r = Σ_{i : G(i)=r} b_i` with `b_i = Σ_j a_j R²_{ji}` the recovery
+//! weight of strategy row `i`, and `C_r` the common non-zero magnitude of
+//! group `r`'s rows. The mechanism's constant factor (2 for Laplace,
+//! `2 log(2/δ)` for Gaussian) multiplies the objective uniformly and is
+//! applied by the caller when converting to variances.
+//!
+//! Groups with `s_r = 0` receive budget 0: their strategy rows are unused by
+//! the recovery, so the release engine must simply not release them (which
+//! is free in the privacy accounting).
+
+use crate::OptError;
+
+/// One group of strategy rows (Definition 3.1): `c` is the common magnitude
+/// of the group's non-zero entries (`C_r`), `s` is the summed recovery
+/// weight `s_r = Σ_{i∈r} b_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSpec {
+    /// Bounded column-norm constant `C_r` of the group. Must be positive.
+    pub c: f64,
+    /// Total recovery weight `s_r` of the group. Must be non-negative.
+    pub s: f64,
+}
+
+/// The output of a budget optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetSolution {
+    /// Per-group budgets `η_r` (same order as the input groups). Groups with
+    /// zero recovery weight receive budget 0 and must not be released.
+    pub group_budgets: Vec<f64>,
+    /// The optimum of the *core* objective `Σ_r s_r / η_r²` (without the
+    /// mechanism's constant factor).
+    pub objective: f64,
+}
+
+fn validate(groups: &[GroupSpec], epsilon: f64) -> Result<(), OptError> {
+    if groups.is_empty() {
+        return Err(OptError::BadInput("no groups".into()));
+    }
+    if !(epsilon > 0.0) || !epsilon.is_finite() {
+        return Err(OptError::Infeasible(format!(
+            "epsilon must be positive and finite, got {epsilon}"
+        )));
+    }
+    for (r, g) in groups.iter().enumerate() {
+        if !(g.c > 0.0) || !g.c.is_finite() {
+            return Err(OptError::BadInput(format!(
+                "group {r}: C must be positive and finite, got {}",
+                g.c
+            )));
+        }
+        if g.s < 0.0 || !g.s.is_finite() {
+            return Err(OptError::BadInput(format!(
+                "group {r}: s must be non-negative and finite, got {}",
+                g.s
+            )));
+        }
+    }
+    if groups.iter().all(|g| g.s == 0.0) {
+        return Err(OptError::BadInput(
+            "all groups have zero recovery weight".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Uniform budgeting baseline: splits ε equally over the weighted groups
+/// so that every group's rows get the *same* per-row budget, i.e.
+/// `η_r = ε / Σ_q C_q` for every group with positive weight. This is what
+/// all prior work in the paper's Table 1 does implicitly.
+///
+/// Zero-weight groups are excluded (they are not released), matching the
+/// treatment in [`optimal_group_budgets`], so the two solutions are
+/// comparable.
+pub fn uniform_group_budgets(
+    groups: &[GroupSpec],
+    epsilon: f64,
+) -> Result<BudgetSolution, OptError> {
+    validate(groups, epsilon)?;
+    let denom: f64 = groups.iter().filter(|g| g.s > 0.0).map(|g| g.c).sum();
+    let eta = epsilon / denom;
+    let budgets: Vec<f64> = groups
+        .iter()
+        .map(|g| if g.s > 0.0 { eta } else { 0.0 })
+        .collect();
+    let objective = groups
+        .iter()
+        .filter(|g| g.s > 0.0)
+        .map(|g| g.s / (eta * eta))
+        .sum();
+    Ok(BudgetSolution {
+        group_budgets: budgets,
+        objective,
+    })
+}
+
+/// Optimal non-uniform budgets for **pure ε-DP** (Laplace noise), the
+/// Lagrange solution of problem (4)–(6).
+pub fn optimal_group_budgets(
+    groups: &[GroupSpec],
+    epsilon: f64,
+) -> Result<BudgetSolution, OptError> {
+    validate(groups, epsilon)?;
+    // T = Σ (C_r² s_r)^{1/3}; η_r = ε (C_r² s_r)^{1/3} / (C_r T).
+    let t: f64 = groups.iter().map(|g| (g.c * g.c * g.s).cbrt()).sum();
+    let budgets: Vec<f64> = groups
+        .iter()
+        .map(|g| {
+            if g.s == 0.0 {
+                0.0
+            } else {
+                epsilon * (g.c * g.c * g.s).cbrt() / (g.c * t)
+            }
+        })
+        .collect();
+    let objective = t * t * t / (epsilon * epsilon);
+    Ok(BudgetSolution {
+        group_budgets: budgets,
+        objective,
+    })
+}
+
+/// Optimal non-uniform budgets for **(ε,δ)-DP** (Gaussian noise), the
+/// Appendix-A solution with quadratic constraint `Σ C_r² η_r² = ε²`.
+pub fn optimal_group_budgets_gaussian(
+    groups: &[GroupSpec],
+    epsilon: f64,
+) -> Result<BudgetSolution, OptError> {
+    validate(groups, epsilon)?;
+    let t: f64 = groups.iter().map(|g| g.c * g.s.sqrt()).sum();
+    let budgets: Vec<f64> = groups
+        .iter()
+        .map(|g| {
+            if g.s == 0.0 {
+                0.0
+            } else {
+                (epsilon * epsilon * g.s.sqrt() / (g.c * t)).sqrt()
+            }
+        })
+        .collect();
+    let objective = t * t / (epsilon * epsilon);
+    Ok(BudgetSolution {
+        group_budgets: budgets,
+        objective,
+    })
+}
+
+/// Uniform baseline for the Gaussian constraint: equal per-row budgets
+/// subject to `Σ C_r² η² = ε²`.
+pub fn uniform_group_budgets_gaussian(
+    groups: &[GroupSpec],
+    epsilon: f64,
+) -> Result<BudgetSolution, OptError> {
+    validate(groups, epsilon)?;
+    let denom: f64 = groups
+        .iter()
+        .filter(|g| g.s > 0.0)
+        .map(|g| g.c * g.c)
+        .sum();
+    let eta = (epsilon * epsilon / denom).sqrt();
+    let budgets: Vec<f64> = groups
+        .iter()
+        .map(|g| if g.s > 0.0 { eta } else { 0.0 })
+        .collect();
+    let objective = groups
+        .iter()
+        .filter(|g| g.s > 0.0)
+        .map(|g| g.s / (eta * eta))
+        .sum();
+    Ok(BudgetSolution {
+        group_budgets: budgets,
+        objective,
+    })
+}
+
+/// Evaluates the core objective `Σ_r s_r / η_r²` for arbitrary budgets
+/// (zero-weight groups are skipped). Used by tests and the ablation bench.
+pub fn objective_value(groups: &[GroupSpec], budgets: &[f64]) -> f64 {
+    groups
+        .iter()
+        .zip(budgets)
+        .filter(|(g, _)| g.s > 0.0)
+        .map(|(g, &eta)| g.s / (eta * eta))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1.0;
+
+    #[test]
+    fn figure1_worked_example_budgets() {
+        // Two groups (A marginal, AB marginal), C = 1, s₁ = 2·2 = 4,
+        // s₂ = 4·2 = 8 with the paper's b_i = 2Σa_jR²_ji convention — here we
+        // keep the factor 2 inside s. Optimal budgets ≈ 4ε/9 and 5ε/9, and
+        // the optimal objective (= total variance) is ≈ 46.17/ε².
+        let groups = [GroupSpec { c: 1.0, s: 4.0 }, GroupSpec { c: 1.0, s: 8.0 }];
+        let sol = optimal_group_budgets(&groups, EPS).unwrap();
+        assert!((sol.group_budgets[0] - 0.4425).abs() < 5e-4, "{sol:?}");
+        assert!((sol.group_budgets[1] - 0.5575).abs() < 5e-4, "{sol:?}");
+        // T³ = (4^{1/3} + 8^{1/3})³
+        let t = 4.0_f64.cbrt() + 2.0;
+        assert!((sol.objective - t * t * t).abs() < 1e-9);
+        assert!((sol.objective - 46.16).abs() < 0.02);
+        // Constraint is met with equality.
+        let lhs: f64 = groups
+            .iter()
+            .zip(&sol.group_budgets)
+            .map(|(g, &eta)| g.c * eta)
+            .sum();
+        assert!((lhs - EPS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_baseline_matches_paper_example() {
+        // Uniform: η = ε/2 per group, objective = (4+8)/(ε/2)² = 48/ε².
+        let groups = [GroupSpec { c: 1.0, s: 4.0 }, GroupSpec { c: 1.0, s: 8.0 }];
+        let sol = uniform_group_budgets(&groups, EPS).unwrap();
+        assert!((sol.objective - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_uniform() {
+        let cases: Vec<Vec<GroupSpec>> = vec![
+            vec![GroupSpec { c: 1.0, s: 1.0 }],
+            vec![GroupSpec { c: 1.0, s: 5.0 }, GroupSpec { c: 2.0, s: 1.0 }],
+            vec![
+                GroupSpec { c: 0.5, s: 3.0 },
+                GroupSpec { c: 1.5, s: 0.2 },
+                GroupSpec { c: 2.0, s: 7.0 },
+            ],
+        ];
+        for groups in cases {
+            let opt = optimal_group_budgets(&groups, EPS).unwrap();
+            let uni = uniform_group_budgets(&groups, EPS).unwrap();
+            assert!(opt.objective <= uni.objective * (1.0 + 1e-12), "{groups:?}");
+        }
+    }
+
+    #[test]
+    fn single_group_optimal_equals_uniform() {
+        let groups = [GroupSpec { c: 2.0, s: 3.0 }];
+        let opt = optimal_group_budgets(&groups, EPS).unwrap();
+        let uni = uniform_group_budgets(&groups, EPS).unwrap();
+        assert!((opt.objective - uni.objective).abs() < 1e-12);
+        assert!((opt.group_budgets[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_groups_get_zero_budget() {
+        let groups = [GroupSpec { c: 1.0, s: 0.0 }, GroupSpec { c: 1.0, s: 4.0 }];
+        let opt = optimal_group_budgets(&groups, EPS).unwrap();
+        assert_eq!(opt.group_budgets[0], 0.0);
+        // All of ε goes to the useful group.
+        assert!((opt.group_budgets[1] - 1.0).abs() < 1e-12);
+        let uni = uniform_group_budgets(&groups, EPS).unwrap();
+        assert_eq!(uni.group_budgets[0], 0.0);
+        assert!((uni.group_budgets[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_solution_satisfies_quadratic_constraint() {
+        let groups = [
+            GroupSpec { c: 1.0, s: 4.0 },
+            GroupSpec { c: 2.0, s: 1.0 },
+            GroupSpec { c: 0.5, s: 9.0 },
+        ];
+        let sol = optimal_group_budgets_gaussian(&groups, 0.7).unwrap();
+        let lhs: f64 = groups
+            .iter()
+            .zip(&sol.group_budgets)
+            .map(|(g, &eta)| g.c * g.c * eta * eta)
+            .sum();
+        assert!((lhs - 0.49).abs() < 1e-12);
+        // Objective formula (Σ C √s)²/ε².
+        let t: f64 = groups.iter().map(|g| g.c * g.s.sqrt()).sum();
+        assert!((sol.objective - t * t / 0.49).abs() < 1e-9);
+        // Optimal beats uniform.
+        let uni = uniform_group_budgets_gaussian(&groups, 0.7).unwrap();
+        assert!(sol.objective <= uni.objective * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(optimal_group_budgets(&[], EPS).is_err());
+        assert!(optimal_group_budgets(&[GroupSpec { c: 1.0, s: 1.0 }], 0.0).is_err());
+        assert!(optimal_group_budgets(&[GroupSpec { c: 0.0, s: 1.0 }], EPS).is_err());
+        assert!(optimal_group_budgets(&[GroupSpec { c: 1.0, s: -1.0 }], EPS).is_err());
+        assert!(optimal_group_budgets(&[GroupSpec { c: 1.0, s: 0.0 }], EPS).is_err());
+    }
+
+    #[test]
+    fn objective_value_helper() {
+        let groups = [GroupSpec { c: 1.0, s: 4.0 }, GroupSpec { c: 1.0, s: 8.0 }];
+        let v = objective_value(&groups, &[0.5, 0.5]);
+        assert!((v - 48.0).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// The closed form is a true optimum: no random feasible perturbation
+        /// of the budgets does better.
+        #[test]
+        fn closed_form_beats_random_feasible_points(
+            s in proptest::collection::vec(0.01f64..100.0, 2..6),
+            c in proptest::collection::vec(0.1f64..10.0, 2..6),
+            shift in 0.01f64..0.99,
+        ) {
+            let g: Vec<GroupSpec> = s.iter().zip(&c)
+                .map(|(&s, &c)| GroupSpec { c, s })
+                .collect();
+            let opt = optimal_group_budgets(&g, 1.0).unwrap();
+            // Build a random feasible point: move `shift` of group 0's share
+            // of the constraint onto group 1.
+            let mut eta = opt.group_budgets.clone();
+            let moved = eta[0] * shift;
+            eta[0] -= moved;
+            eta[1] += moved * g[0].c / g[1].c;
+            if eta[0] > 1e-9 {
+                let perturbed = objective_value(&g, &eta);
+                proptest::prop_assert!(perturbed >= opt.objective * (1.0 - 1e-9));
+            }
+        }
+
+        /// Budgets always satisfy the linear constraint with equality.
+        #[test]
+        fn constraint_tightness(
+            s in proptest::collection::vec(0.01f64..100.0, 1..8),
+            c in proptest::collection::vec(0.1f64..10.0, 1..8),
+            eps in 0.01f64..10.0,
+        ) {
+            let n = s.len().min(c.len());
+            let g: Vec<GroupSpec> = s.iter().zip(&c).take(n)
+                .map(|(&s, &c)| GroupSpec { c, s })
+                .collect();
+            let sol = optimal_group_budgets(&g, eps).unwrap();
+            let lhs: f64 = g.iter().zip(&sol.group_budgets).map(|(g, &e)| g.c * e).sum();
+            proptest::prop_assert!((lhs - eps).abs() < 1e-9 * eps.max(1.0));
+        }
+    }
+}

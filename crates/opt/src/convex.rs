@@ -1,0 +1,418 @@
+//! General solver for the full noise-budgeting problem (1)–(3).
+//!
+//! The paper notes that problem (1)–(3),
+//!
+//! ```text
+//! minimize   Σ_i b_i / ε_i²
+//! subject to Σ_i |S_ij| ε_i ≤ ε   for every column j
+//!            ε_i ≥ 0
+//! ```
+//!
+//! is convex and solvable by interior-point packages; this module implements
+//! such a solver from scratch so the workspace can (a) handle strategies
+//! without the grouping property, and (b) *validate* that the closed-form
+//! grouped solution of [`crate::budget`] is indeed optimal (ablation E6 in
+//! DESIGN.md).
+//!
+//! We work in geometric-programming form `u_i = log ε_i`, where the
+//! objective `Σ b_i e^{-2u_i}` and constraints `Σ_i a_{ij} e^{u_i} ≤ ε` are
+//! both convex, and apply a standard log-barrier method with gradient
+//! descent + Armijo backtracking on the inner problem.
+
+use crate::OptError;
+
+/// The general budgeting problem: `column_weights[j]` lists the non-zero
+/// `(row, |S_ij|)` pairs of column `j`; `b[i]` is the recovery weight of
+/// strategy row `i`; `epsilon` is the total privacy budget.
+#[derive(Debug, Clone)]
+pub struct GeneralBudgetProblem {
+    /// Per-column sparse absolute-value profiles of the strategy matrix.
+    pub column_weights: Vec<Vec<(usize, f64)>>,
+    /// Recovery weights `b_i ≥ 0`, one per strategy row.
+    pub b: Vec<f64>,
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+}
+
+/// Options for the log-barrier solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvexOptions {
+    /// Initial barrier weight `t` (the objective is multiplied by `t`).
+    pub t0: f64,
+    /// Barrier growth factor per outer iteration.
+    pub mu: f64,
+    /// Number of outer (barrier) iterations.
+    pub outer_iters: usize,
+    /// Maximum gradient-descent steps per outer iteration.
+    pub inner_iters: usize,
+    /// Gradient-norm tolerance for the inner loop.
+    pub grad_tol: f64,
+}
+
+impl Default for ConvexOptions {
+    fn default() -> Self {
+        ConvexOptions {
+            t0: 1.0,
+            mu: 12.0,
+            outer_iters: 10,
+            inner_iters: 400,
+            grad_tol: 1e-9,
+        }
+    }
+}
+
+/// Deduplicates identical column profiles so grouped strategies collapse to
+/// a handful of distinct constraints (all columns of a grouped strategy with
+/// equal budgets are identical, which is exactly why the closed form works).
+fn dedupe_columns(columns: &[Vec<(usize, f64)>]) -> Vec<Vec<(usize, f64)>> {
+    let mut seen: std::collections::HashSet<Vec<(usize, u64)>> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for col in columns {
+        let mut key: Vec<(usize, u64)> = col.iter().map(|&(i, v)| (i, v.to_bits())).collect();
+        key.sort_unstable();
+        if seen.insert(key) {
+            let mut sorted = col.clone();
+            sorted.sort_unstable_by_key(|&(i, _)| i);
+            out.push(sorted);
+        }
+    }
+    out
+}
+
+/// Solves the general budgeting problem. Rows with `b_i = 0` get budget 0
+/// (they must not be released); the remaining rows are optimized.
+///
+/// Returns the per-row budgets `ε_i` in the original row indexing.
+pub fn solve_general_budgets(
+    problem: &GeneralBudgetProblem,
+    opts: ConvexOptions,
+) -> Result<Vec<f64>, OptError> {
+    let m = problem.b.len();
+    if m == 0 {
+        return Err(OptError::BadInput("no strategy rows".into()));
+    }
+    if !(problem.epsilon > 0.0) {
+        return Err(OptError::Infeasible(format!(
+            "epsilon must be positive, got {}",
+            problem.epsilon
+        )));
+    }
+    for col in &problem.column_weights {
+        for &(i, a) in col {
+            if i >= m {
+                return Err(OptError::BadInput(format!(
+                    "column refers to row {i} but there are only {m} rows"
+                )));
+            }
+            if a < 0.0 {
+                return Err(OptError::BadInput(
+                    "column weights must be absolute values".into(),
+                ));
+            }
+        }
+    }
+
+    // Active rows: those with positive recovery weight.
+    let active: Vec<usize> = (0..m).filter(|&i| problem.b[i] > 0.0).collect();
+    if active.is_empty() {
+        return Err(OptError::BadInput("all recovery weights are zero".into()));
+    }
+    let index_of: std::collections::HashMap<usize, usize> = active
+        .iter()
+        .enumerate()
+        .map(|(k, &i)| (i, k))
+        .collect();
+    let b: Vec<f64> = active.iter().map(|&i| problem.b[i]).collect();
+    let na = active.len();
+
+    // Restrict columns to active rows and dedupe.
+    let restricted: Vec<Vec<(usize, f64)>> = problem
+        .column_weights
+        .iter()
+        .map(|col| {
+            col.iter()
+                .filter_map(|&(i, a)| index_of.get(&i).map(|&k| (k, a)))
+                .filter(|&(_, a)| a > 0.0)
+                .collect()
+        })
+        .filter(|c: &Vec<(usize, f64)>| !c.is_empty())
+        .collect();
+    let columns = dedupe_columns(&restricted);
+    if columns.is_empty() {
+        return Err(OptError::BadInput(
+            "strategy matrix has no non-zero entries on weighted rows".into(),
+        ));
+    }
+
+    let eps = problem.epsilon;
+    // Strictly feasible start: uniform budgets at half the worst column sum.
+    let worst_col_sum = columns
+        .iter()
+        .map(|col| col.iter().map(|&(_, a)| a).sum::<f64>())
+        .fold(0.0_f64, f64::max);
+    let mut u = vec![(0.5 * eps / worst_col_sum).ln(); na];
+
+    let eval_slacks = |u: &[f64]| -> Vec<f64> {
+        columns
+            .iter()
+            .map(|col| {
+                let g: f64 = col.iter().map(|&(k, a)| a * u[k].exp()).sum();
+                eps - g
+            })
+            .collect()
+    };
+
+    let barrier_value = |u: &[f64], t: f64| -> f64 {
+        let slacks = eval_slacks(u);
+        if slacks.iter().any(|&s| s <= 0.0) {
+            return f64::INFINITY;
+        }
+        let obj: f64 = b.iter().zip(u).map(|(&bi, &ui)| bi * (-2.0 * ui).exp()).sum();
+        t * obj - slacks.iter().map(|s| s.ln()).sum::<f64>()
+    };
+
+    let mut t = opts.t0;
+    for _outer in 0..opts.outer_iters {
+        for _inner in 0..opts.inner_iters {
+            let slacks = eval_slacks(&u);
+            if slacks.iter().any(|&s| s <= 0.0) {
+                return Err(OptError::NoConvergence(
+                    "barrier iterate left the feasible region".into(),
+                ));
+            }
+            // Gradient and full Hessian of t·f(u) − Σ log slack_j. The
+            // barrier Hessian has rank-one terms (c_j c_jᵀ / s_j²) that
+            // dominate near the boundary; a diagonal approximation stalls
+            // tangentially to the constraint surface, so we pay for the
+            // dense solve (m is small for every problem this crate sees).
+            let mut grad: Vec<f64> = b
+                .iter()
+                .zip(&u)
+                .map(|(&bi, &ui)| -2.0 * t * bi * (-2.0 * ui).exp())
+                .collect();
+            let mut hess = dp_linalg::Matrix::zeros(na, na);
+            for ((&bi, &ui), k) in b.iter().zip(&u).zip(0..) {
+                hess[(k, k)] = 4.0 * t * bi * (-2.0 * ui).exp();
+            }
+            for (col, &slack) in columns.iter().zip(&slacks) {
+                let inv = 1.0 / slack;
+                let c: Vec<(usize, f64)> =
+                    col.iter().map(|&(k, a)| (k, a * u[k].exp())).collect();
+                for &(k, ck) in &c {
+                    grad[k] += ck * inv;
+                    hess[(k, k)] += ck * inv;
+                }
+                for &(k1, c1) in &c {
+                    for &(k2, c2) in &c {
+                        hess[(k1, k2)] += c1 * c2 * inv * inv;
+                    }
+                }
+            }
+            let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < opts.grad_tol * t.max(1.0) {
+                break;
+            }
+            // Newton direction with Armijo backtracking; fall back to the
+            // scaled gradient if the Hessian solve fails numerically.
+            let dir: Vec<f64> = match dp_linalg::solve_spd(&hess, &grad) {
+                Ok(d) => d,
+                Err(_) => {
+                    let scale = 1.0
+                        / (0..na)
+                            .map(|k| hess[(k, k)])
+                            .fold(1e-12_f64, f64::max);
+                    grad.iter().map(|&g| g * scale).collect()
+                }
+            };
+            let decrement: f64 = grad.iter().zip(&dir).map(|(g, d)| g * d).sum();
+            if decrement.abs() < opts.grad_tol * opts.grad_tol {
+                break;
+            }
+            let f0 = barrier_value(&u, t);
+            let mut step = 1.0;
+            let mut accepted = false;
+            for _ in 0..60 {
+                let trial: Vec<f64> = u.iter().zip(&dir).map(|(&ui, &di)| ui - step * di).collect();
+                let f1 = barrier_value(&trial, t);
+                if f1 < f0 - 1e-4 * step * decrement {
+                    u = trial;
+                    accepted = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !accepted {
+                break; // flat: inner problem solved to numerical precision
+            }
+        }
+        t *= opts.mu;
+    }
+
+    // Expand back to full row indexing.
+    let mut budgets = vec![0.0; m];
+    for (k, &i) in active.iter().enumerate() {
+        budgets[i] = u[k].exp();
+    }
+    Ok(budgets)
+}
+
+/// Evaluates the problem's objective `Σ b_i/ε_i²` over the positive-weight
+/// rows for a given budget vector.
+pub fn general_objective(b: &[f64], budgets: &[f64]) -> f64 {
+    b.iter()
+        .zip(budgets)
+        .filter(|(&bi, _)| bi > 0.0)
+        .map(|(&bi, &e)| bi / (e * e))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{optimal_group_budgets, GroupSpec};
+
+    /// Builds the column profiles for a grouped strategy where every column
+    /// has exactly one entry of magnitude `c_r` from each group `r`, and
+    /// group `r` has `rows_per_group[r]` rows.
+    fn grouped_problem(groups: &[(f64, f64, usize)], epsilon: f64) -> GeneralBudgetProblem {
+        // groups[r] = (C_r, b_per_row, rows)
+        let mut b = Vec::new();
+        let mut first_row_of_group = Vec::new();
+        for &(_, b_row, rows) in groups {
+            first_row_of_group.push(b.len());
+            for _ in 0..rows {
+                b.push(b_row);
+            }
+        }
+        // A grouped strategy has one non-zero per group in every column,
+        // ranging over all row combinations: emit the cartesian product.
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new()];
+        for (r, &(c, _, rows)) in groups.iter().enumerate() {
+            let mut next = Vec::new();
+            for base in &columns {
+                for k in 0..rows {
+                    let mut col = base.clone();
+                    col.push((first_row_of_group[r] + k, c));
+                    next.push(col);
+                }
+            }
+            columns = next;
+        }
+        GeneralBudgetProblem {
+            column_weights: columns,
+            b,
+            epsilon,
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_on_grouped_strategy() {
+        // Figure-1 example: group A (2 rows, b=2 each), group AB (4 rows, b=2).
+        let problem = grouped_problem(&[(1.0, 2.0, 2), (1.0, 2.0, 4)], 1.0);
+        let budgets = solve_general_budgets(&problem, ConvexOptions::default()).unwrap();
+        let spec = [GroupSpec { c: 1.0, s: 4.0 }, GroupSpec { c: 1.0, s: 8.0 }];
+        let closed = optimal_group_budgets(&spec, 1.0).unwrap();
+        // Row 0 is in group A, row 2 in group AB.
+        assert!(
+            (budgets[0] - closed.group_budgets[0]).abs() < 1e-3,
+            "{budgets:?} vs {closed:?}"
+        );
+        assert!(
+            (budgets[2] - closed.group_budgets[1]).abs() < 1e-3,
+            "{budgets:?} vs {closed:?}"
+        );
+        let obj = general_objective(&problem.b, &budgets);
+        assert!((obj - closed.objective).abs() / closed.objective < 1e-3);
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let problem = GeneralBudgetProblem {
+            column_weights: vec![
+                vec![(0, 1.0), (1, 2.0)],
+                vec![(1, 1.0), (2, 1.0)],
+                vec![(0, 3.0)],
+            ],
+            b: vec![1.0, 4.0, 2.0],
+            epsilon: 0.5,
+        };
+        let budgets = solve_general_budgets(&problem, ConvexOptions::default()).unwrap();
+        for col in &problem.column_weights {
+            let s: f64 = col.iter().map(|&(i, a)| a * budgets[i]).sum();
+            assert!(s <= 0.5 * (1.0 + 1e-6), "column sum {s}");
+        }
+        assert!(budgets.iter().all(|&e| e > 0.0));
+    }
+
+    #[test]
+    fn zero_weight_rows_are_dropped() {
+        let problem = GeneralBudgetProblem {
+            column_weights: vec![vec![(0, 1.0), (1, 1.0)]],
+            b: vec![0.0, 1.0],
+            epsilon: 1.0,
+        };
+        let budgets = solve_general_budgets(&problem, ConvexOptions::default()).unwrap();
+        assert_eq!(budgets[0], 0.0);
+        // Nearly all of ε flows to row 1.
+        assert!(budgets[1] > 0.95, "{budgets:?}");
+    }
+
+    #[test]
+    fn bad_inputs() {
+        let ok_col = vec![vec![(0, 1.0)]];
+        assert!(solve_general_budgets(
+            &GeneralBudgetProblem {
+                column_weights: ok_col.clone(),
+                b: vec![],
+                epsilon: 1.0
+            },
+            ConvexOptions::default()
+        )
+        .is_err());
+        assert!(solve_general_budgets(
+            &GeneralBudgetProblem {
+                column_weights: ok_col.clone(),
+                b: vec![1.0],
+                epsilon: 0.0
+            },
+            ConvexOptions::default()
+        )
+        .is_err());
+        assert!(solve_general_budgets(
+            &GeneralBudgetProblem {
+                column_weights: vec![vec![(5, 1.0)]],
+                b: vec![1.0],
+                epsilon: 1.0
+            },
+            ConvexOptions::default()
+        )
+        .is_err());
+        assert!(solve_general_budgets(
+            &GeneralBudgetProblem {
+                column_weights: ok_col,
+                b: vec![0.0],
+                epsilon: 1.0
+            },
+            ConvexOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn asymmetric_weights_shift_budget_toward_heavier_rows() {
+        // Two rows sharing one constraint; row 1 carries 1000× the weight,
+        // so it should receive the (much) larger budget.
+        let problem = GeneralBudgetProblem {
+            column_weights: vec![vec![(0, 1.0), (1, 1.0)]],
+            b: vec![1.0, 1000.0],
+            epsilon: 1.0,
+        };
+        let budgets = solve_general_budgets(&problem, ConvexOptions::default()).unwrap();
+        assert!(budgets[1] > budgets[0] * 5.0, "{budgets:?}");
+        // Compare with the closed form for singleton groups.
+        let spec = [GroupSpec { c: 1.0, s: 1.0 }, GroupSpec { c: 1.0, s: 1000.0 }];
+        let closed = optimal_group_budgets(&spec, 1.0).unwrap();
+        assert!((budgets[0] - closed.group_budgets[0]).abs() < 1e-3);
+        assert!((budgets[1] - closed.group_budgets[1]).abs() < 1e-3);
+    }
+}

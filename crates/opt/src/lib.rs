@@ -1,0 +1,59 @@
+//! Optimization substrate for the paper's Step 2 (optimal noise budgeting)
+//! and the L1/L∞ consistency formulations of Sections 3.3 and 4.3.
+//!
+//! * [`budget`] — the closed-form Lagrange solution for grouped strategies
+//!   (problem (4)–(6) of the paper, Corollary 3.3), for both ε- and
+//!   (ε,δ)-differential privacy.
+//! * [`convex`] — a general solver for the full noise-budgeting problem
+//!   (1)–(3) with one constraint per strategy column, used to validate the
+//!   closed form and to handle non-groupable strategies. Implemented as a
+//!   log-barrier method in geometric-programming form.
+//! * [`simplex`] — a dense two-phase primal simplex solver backing the
+//!   `p ∈ {1, ∞}` consistency LPs.
+
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it also
+// rejects NaN, which is the point of these validation checks.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod budget;
+pub mod convex;
+pub mod simplex;
+
+pub use budget::{optimal_group_budgets, uniform_group_budgets, BudgetSolution, GroupSpec};
+pub use convex::{solve_general_budgets, ConvexOptions, GeneralBudgetProblem};
+pub use simplex::{LinearProgram, LpError, LpSolution};
+
+/// Errors produced by the optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Input vectors had inconsistent lengths.
+    BadInput(String),
+    /// The problem has no feasible point (e.g. ε ≤ 0).
+    Infeasible(String),
+    /// An iterative method failed to converge.
+    NoConvergence(String),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::BadInput(m) => write!(f, "bad optimizer input: {m}"),
+            OptError::Infeasible(m) => write!(f, "infeasible problem: {m}"),
+            OptError::NoConvergence(m) => write!(f, "optimizer did not converge: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(OptError::BadInput("x".into()).to_string().contains("x"));
+        assert!(OptError::Infeasible("y".into()).to_string().contains("y"));
+        assert!(OptError::NoConvergence("z".into()).to_string().contains("z"));
+    }
+}

@@ -1,0 +1,458 @@
+//! Dense two-phase primal simplex.
+//!
+//! Backs the `p ∈ {1, ∞}` consistency formulations of Sections 3.3/4.3 of
+//! the paper: given noisy marginal values `ỹ` and the Fourier recovery
+//! operator `R`, find coefficients `f̂` minimizing `‖R f̂ − ỹ‖_p`. Both norms
+//! reduce to linear programs over `O(m)` variables — the paper's key point
+//! being that `m = |F| ≪ N`, so these LPs are small.
+//!
+//! The solver is a textbook dense tableau simplex with Bland's rule
+//! (guaranteeing termination), adequate for the `≤ few thousand` row/column
+//! problems this workspace produces.
+
+use crate::OptError;
+
+/// Direction of one linear constraint `a·x {≤,≥,=} b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A linear program in inequality form: minimize `c·x` subject to the listed
+/// constraints and `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients `c` (minimization).
+    pub objective: Vec<f64>,
+    /// Constraints as `(coefficients, op, rhs)`.
+    pub constraints: Vec<(Vec<f64>, ConstraintOp, f64)>,
+}
+
+/// Solution of a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal primal point.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// LP solver failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// Structurally invalid input (row length mismatch etc.).
+    BadInput(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::BadInput(m) => write!(f, "bad linear program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl From<LpError> for OptError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::BadInput(m) => OptError::BadInput(m),
+            LpError::Infeasible => OptError::Infeasible("LP infeasible".into()),
+            LpError::Unbounded => OptError::NoConvergence("LP unbounded".into()),
+        }
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+struct Tableau {
+    /// `rows × (cols + 1)`; last column is the RHS.
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.cols + 1) + c]
+    }
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * (self.cols + 1) + c]
+    }
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let width = self.cols + 1;
+        let pivot = self.at(pr, pc);
+        let inv = 1.0 / pivot;
+        for c in 0..width {
+            *self.at_mut(pr, c) *= inv;
+        }
+        for r in 0..self.rows {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor == 0.0 {
+                continue;
+            }
+            for c in 0..width {
+                let v = self.at(pr, c);
+                *self.at_mut(r, c) -= factor * v;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Runs the simplex method on the reduced-cost row `z` (length cols+1,
+    /// last entry = objective value negated convention: we keep z[c] =
+    /// reduced cost of column c; entering column has z[c] < -TOL).
+    fn optimize(&mut self, z: &mut [f64], allowed_cols: usize) -> Result<(), LpError> {
+        loop {
+            // Bland's rule: smallest-index column with negative reduced cost.
+            let mut entering = None;
+            for (c, &zc) in z.iter().enumerate().take(allowed_cols) {
+                if zc < -TOL {
+                    entering = Some(c);
+                    break;
+                }
+            }
+            let Some(pc) = entering else {
+                return Ok(());
+            };
+            // Ratio test, Bland tie-break on basis index.
+            let mut pr: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let a = self.at(r, pc);
+                if a > TOL {
+                    let ratio = self.rhs(r) / a;
+                    if ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && pr.is_some_and(|p| self.basis[r] < self.basis[p]))
+                    {
+                        best_ratio = ratio;
+                        pr = Some(r);
+                    }
+                }
+            }
+            let Some(pr) = pr else {
+                return Err(LpError::Unbounded);
+            };
+            // Update the reduced-cost row alongside the tableau.
+            let factor = z[pc] / self.at(pr, pc);
+            for (c, zc) in z.iter_mut().enumerate() {
+                *zc -= factor * self.at(pr, c);
+            }
+            self.pivot(pr, pc);
+        }
+    }
+}
+
+/// Solves a linear program with the two-phase simplex method.
+pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, LpError> {
+    let n = lp.objective.len();
+    for (row, _, _) in &lp.constraints {
+        if row.len() != n {
+            return Err(LpError::BadInput(format!(
+                "constraint row length {} != objective length {n}",
+                row.len()
+            )));
+        }
+    }
+    let m = lp.constraints.len();
+
+    // Normalize so every RHS is non-negative.
+    let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = lp
+        .constraints
+        .iter()
+        .map(|(a, op, b)| {
+            if *b < 0.0 {
+                let flipped = match op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
+                (a.iter().map(|v| -v).collect(), flipped, -b)
+            } else {
+                (a.clone(), *op, *b)
+            }
+        })
+        .collect();
+
+    // Column layout: [structural n][slack/surplus][artificial].
+    let num_slack = rows
+        .iter()
+        .filter(|(_, op, _)| *op != ConstraintOp::Eq)
+        .count();
+    let num_artificial = rows
+        .iter()
+        .filter(|(_, op, b)| match op {
+            ConstraintOp::Le => *b < 0.0, // never after normalization
+            ConstraintOp::Ge => true,
+            ConstraintOp::Eq => true,
+        })
+        .count();
+    let cols = n + num_slack + num_artificial;
+
+    let mut tab = Tableau {
+        data: vec![0.0; m * (cols + 1)],
+        rows: m,
+        cols,
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    let mut artificial_cols = Vec::new();
+    for (r, (a, op, b)) in rows.iter_mut().enumerate() {
+        for (c, &v) in a.iter().enumerate() {
+            *tab.at_mut(r, c) = v;
+        }
+        *tab.at_mut(r, cols) = *b;
+        match op {
+            ConstraintOp::Le => {
+                *tab.at_mut(r, slack_idx) = 1.0;
+                tab.basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            ConstraintOp::Ge => {
+                *tab.at_mut(r, slack_idx) = -1.0;
+                slack_idx += 1;
+                *tab.at_mut(r, art_idx) = 1.0;
+                tab.basis[r] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+            ConstraintOp::Eq => {
+                *tab.at_mut(r, art_idx) = 1.0;
+                tab.basis[r] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificial variables.
+    if !artificial_cols.is_empty() {
+        let mut z = vec![0.0; cols + 1];
+        for &c in &artificial_cols {
+            z[c] = 1.0;
+        }
+        // Make reduced costs of the basic artificials zero.
+        for r in 0..m {
+            if artificial_cols.contains(&tab.basis[r]) {
+                for (c, zc) in z.iter_mut().enumerate() {
+                    *zc -= tab.at(r, c);
+                }
+            }
+        }
+        tab.optimize(&mut z, cols)?;
+        let phase1_obj = -z[cols];
+        if phase1_obj > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate at 0).
+        for r in 0..m {
+            if artificial_cols.contains(&tab.basis[r]) {
+                let pivot_col = (0..n + num_slack).find(|&c| tab.at(r, c).abs() > TOL);
+                if let Some(pc) = pivot_col {
+                    tab.pivot(r, pc);
+                }
+                // If no pivot exists the row is redundant; leaving the
+                // artificial basic at value 0 is harmless for phase 2 as
+                // long as its column is excluded from entering.
+            }
+        }
+    }
+
+    // Phase 2: original objective over structural + slack columns only.
+    let mut z = vec![0.0; cols + 1];
+    for (c, &v) in lp.objective.iter().enumerate() {
+        z[c] = v;
+    }
+    for r in 0..m {
+        let bv = tab.basis[r];
+        if bv < cols && z[bv].abs() > 0.0 {
+            let factor = z[bv];
+            for (c, zc) in z.iter_mut().enumerate() {
+                *zc -= factor * tab.at(r, c);
+            }
+        }
+    }
+    tab.optimize(&mut z, n + num_slack)?;
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        let bv = tab.basis[r];
+        if bv < n {
+            x[bv] = tab.rhs(r);
+        }
+    }
+    let objective = lp
+        .objective
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum::<f64>();
+    Ok(LpSolution { x, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_maximization_as_minimization() {
+        // max x + y s.t. x + 2y ≤ 4, 3x + y ≤ 6 → optimum at (8/5, 6/5), value 14/5.
+        let lp = LinearProgram {
+            objective: vec![-1.0, -1.0],
+            constraints: vec![
+                (vec![1.0, 2.0], ConstraintOp::Le, 4.0),
+                (vec![3.0, 1.0], ConstraintOp::Le, 6.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.objective + 14.0 / 5.0).abs() < 1e-8, "{sol:?}");
+        assert!((sol.x[0] - 1.6).abs() < 1e-8);
+        assert!((sol.x[1] - 1.2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 3, x ≥ 0, y ≥ 0 → objective 3.
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![(vec![1.0, 1.0], ConstraintOp::Eq, 3.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ge_constraints_and_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → x = 4, y = 0, obj = 8? Check:
+        // candidates: (4,0)→8, (1,3)→11. Optimum 8.
+        let lp = LinearProgram {
+            objective: vec![2.0, 3.0],
+            constraints: vec![
+                (vec![1.0, 1.0], ConstraintOp::Ge, 4.0),
+                (vec![1.0, 0.0], ConstraintOp::Ge, 1.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.objective - 8.0).abs() < 1e-8, "{sol:?}");
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![
+                (vec![1.0], ConstraintOp::Le, 1.0),
+                (vec![1.0], ConstraintOp::Ge, 2.0),
+            ],
+        };
+        assert_eq!(solve_lp(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram {
+            objective: vec![-1.0],
+            constraints: vec![(vec![-1.0], ConstraintOp::Le, 0.0)],
+        };
+        assert_eq!(solve_lp(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x ≥ 2 written as -x ≤ -2.
+        let lp = LinearProgram {
+            objective: vec![1.0],
+            constraints: vec![(vec![-1.0], ConstraintOp::Le, -2.0)],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn l_infinity_regression_shape() {
+        // min t s.t. |x - y_k| ≤ t for y = [1, 3] → x = 2, t = 1.
+        // Variables: x, t. Constraints: x - t ≤ y_k, -x - t ≤ -y_k.
+        let lp = LinearProgram {
+            objective: vec![0.0, 1.0],
+            constraints: vec![
+                (vec![1.0, -1.0], ConstraintOp::Le, 1.0),
+                (vec![-1.0, -1.0], ConstraintOp::Le, -1.0),
+                (vec![1.0, -1.0], ConstraintOp::Le, 3.0),
+                (vec![-1.0, -1.0], ConstraintOp::Le, -3.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-8, "{sol:?}");
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn l1_regression_shape() {
+        // min Σ e_k s.t. |x - y_k| ≤ e_k for y = [0, 0, 10] → median x = 0,
+        // objective 10.
+        let lp = LinearProgram {
+            objective: vec![0.0, 1.0, 1.0, 1.0],
+            constraints: vec![
+                (vec![1.0, -1.0, 0.0, 0.0], ConstraintOp::Le, 0.0),
+                (vec![-1.0, -1.0, 0.0, 0.0], ConstraintOp::Le, 0.0),
+                (vec![1.0, 0.0, -1.0, 0.0], ConstraintOp::Le, 0.0),
+                (vec![-1.0, 0.0, -1.0, 0.0], ConstraintOp::Le, 0.0),
+                (vec![1.0, 0.0, 0.0, -1.0], ConstraintOp::Le, 10.0),
+                (vec![-1.0, 0.0, 0.0, -1.0], ConstraintOp::Le, -10.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.objective - 10.0).abs() < 1e-7, "{sol:?}");
+    }
+
+    #[test]
+    fn bad_row_length() {
+        let lp = LinearProgram {
+            objective: vec![1.0, 1.0],
+            constraints: vec![(vec![1.0], ConstraintOp::Le, 1.0)],
+        };
+        assert!(matches!(solve_lp(&lp), Err(LpError::BadInput(_))));
+    }
+
+    #[test]
+    fn degenerate_redundant_equalities() {
+        // x + y = 2 stated twice; still solvable.
+        let lp = LinearProgram {
+            objective: vec![1.0, 2.0],
+            constraints: vec![
+                (vec![1.0, 1.0], ConstraintOp::Eq, 2.0),
+                (vec![1.0, 1.0], ConstraintOp::Eq, 2.0),
+            ],
+        };
+        let sol = solve_lp(&lp).unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-8, "{sol:?}");
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+    }
+}

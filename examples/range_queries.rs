@@ -1,0 +1,71 @@
+//! The framework beyond marginals: range-count queries over a 1-D domain
+//! with the hierarchical [14] and wavelet [23] strategies, both of which
+//! the paper's Section 3.1 identifies as groupable — so the optimal budget
+//! machinery applies to them unchanged.
+//!
+//! Run with `cargo run --release --example range_queries`.
+
+use dp_core::range::{plan_range_release, RangeStrategy, RangeWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    // A bursty histogram (e.g. event counts per time slot).
+    let hist: Vec<f64> = (0..n)
+        .map(|i| {
+            let burst = if (64..96).contains(&i) { 40.0 } else { 0.0 };
+            5.0 + burst + ((i * 31) % 7) as f64
+        })
+        .collect();
+
+    let workload = RangeWorkload::all_prefixes(n).expect("power-of-two domain");
+    println!(
+        "domain n = {n}, workload: {} prefix ranges, ε = 1\n",
+        workload.ranges().len()
+    );
+
+    println!(
+        "{:>12} {:>10} {:>16} {:>16}",
+        "strategy", "budgets", "total Var(y)", "mean |error|"
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    let exact = workload.true_answers(&hist).expect("lengths match");
+    let trials = 40;
+    for strategy in [
+        RangeStrategy::Identity,
+        RangeStrategy::Hierarchical,
+        RangeStrategy::Wavelet,
+    ] {
+        for optimal in [false, true] {
+            if strategy == RangeStrategy::Identity && optimal {
+                continue; // single group: identical to uniform
+            }
+            let plan = plan_range_release(&workload, strategy, optimal, 1.0)
+                .expect("planning succeeds");
+            let mut mae = 0.0;
+            for _ in 0..trials {
+                let y = plan.release(&hist, &mut rng).expect("release succeeds");
+                mae += y
+                    .iter()
+                    .zip(&exact)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>()
+                    / (y.len() * trials) as f64;
+            }
+            println!(
+                "{:>12} {:>10} {:>16.1} {:>16.2}",
+                strategy.label(),
+                if optimal { "optimal" } else { "uniform" },
+                plan.total_variance(),
+                mae
+            );
+        }
+    }
+
+    println!(
+        "\nOptimal budgets shift ε toward the tree/wavelet levels that the \
+         recovery leans on most — the same Step-2 optimization that powers \
+         the marginal experiments, applied through the explicit-matrix path."
+    );
+}

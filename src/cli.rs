@@ -1,0 +1,349 @@
+//! Command-line interface for the `datacube-dp` binary.
+//!
+//! The argument grammar is deliberately small and hand-parsed (no external
+//! dependency):
+//!
+//! ```text
+//! datacube-dp release --dataset adult|nltcs --workload q1|q1star|q1a|q2|q2star|q2a
+//!                     --strategy f|q|c|i --budgets uniform|optimal
+//!                     --epsilon <f64> [--delta <f64>] [--seed <u64>]
+//!                     [--nonnegative] [--output <path>]
+//! datacube-dp inspect --dataset adult|nltcs
+//! ```
+
+use dp_core::prelude::*;
+use std::fmt::Write as _;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one private release and print/serialize the marginals.
+    Release(ReleaseArgs),
+    /// Print dataset/schema statistics.
+    Inspect {
+        /// Dataset selector.
+        dataset: DatasetArg,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Dataset selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetArg {
+    /// The Adult census schema (synthetic stand-in or `data/adult.data`).
+    Adult,
+    /// The NLTCS disability schema (synthetic stand-in or `data/nltcs.csv`).
+    Nltcs,
+}
+
+/// Arguments of the `release` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleaseArgs {
+    /// Which dataset to release over.
+    pub dataset: DatasetArg,
+    /// Workload family label.
+    pub workload: String,
+    /// Strategy to use.
+    pub strategy: StrategyKind,
+    /// Budget allocation mode.
+    pub budgets: Budgeting,
+    /// Privacy ε.
+    pub epsilon: f64,
+    /// Optional δ (switches to the Gaussian mechanism).
+    pub delta: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Post-process to non-negative integral marginals.
+    pub nonnegative: bool,
+    /// Optional JSON output path.
+    pub output: Option<String>,
+}
+
+/// CLI parse errors, rendered to the user verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+datacube-dp — differentially private release of datacubes and marginals
+
+USAGE:
+  datacube-dp release --dataset <adult|nltcs> --workload <q1|q1star|q1a|q2|q2star|q2a>
+                      --strategy <f|q|c|i> --budgets <uniform|optimal>
+                      --epsilon <f64> [--delta <f64>] [--seed <u64>]
+                      [--nonnegative] [--output <path.json>]
+  datacube-dp inspect --dataset <adult|nltcs>
+  datacube-dp help
+";
+
+fn parse_dataset(v: &str) -> Result<DatasetArg, CliError> {
+    match v {
+        "adult" => Ok(DatasetArg::Adult),
+        "nltcs" => Ok(DatasetArg::Nltcs),
+        other => Err(CliError(format!("unknown dataset {other:?} (adult|nltcs)"))),
+    }
+}
+
+fn parse_strategy(v: &str) -> Result<StrategyKind, CliError> {
+    match v {
+        "f" | "fourier" => Ok(StrategyKind::Fourier),
+        "q" | "workload" => Ok(StrategyKind::Workload),
+        "c" | "cluster" => Ok(StrategyKind::Cluster),
+        "i" | "identity" => Ok(StrategyKind::Identity),
+        other => Err(CliError(format!("unknown strategy {other:?} (f|q|c|i)"))),
+    }
+}
+
+fn parse_budgets(v: &str) -> Result<Budgeting, CliError> {
+    match v {
+        "uniform" => Ok(Budgeting::Uniform),
+        "optimal" => Ok(Budgeting::Optimal),
+        other => Err(CliError(format!(
+            "unknown budgeting {other:?} (uniform|optimal)"
+        ))),
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "inspect" => {
+            let mut dataset = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--dataset" => {
+                        let v = it.next().ok_or(CliError("--dataset needs a value".into()))?;
+                        dataset = Some(parse_dataset(v)?);
+                    }
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Inspect {
+                dataset: dataset.ok_or(CliError("inspect requires --dataset".into()))?,
+            })
+        }
+        "release" => {
+            let mut dataset = None;
+            let mut workload = None;
+            let mut strategy = None;
+            let mut budgets = Budgeting::Optimal;
+            let mut epsilon = None;
+            let mut delta = None;
+            let mut seed = 42u64;
+            let mut nonnegative = false;
+            let mut output = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, CliError> {
+                    it.next().ok_or(CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--dataset" => dataset = Some(parse_dataset(value("--dataset")?)?),
+                    "--workload" => workload = Some(value("--workload")?.clone()),
+                    "--strategy" => strategy = Some(parse_strategy(value("--strategy")?)?),
+                    "--budgets" => budgets = parse_budgets(value("--budgets")?)?,
+                    "--epsilon" => {
+                        epsilon = Some(value("--epsilon")?.parse::<f64>().map_err(|e| {
+                            CliError(format!("bad --epsilon: {e}"))
+                        })?)
+                    }
+                    "--delta" => {
+                        delta = Some(value("--delta")?.parse::<f64>().map_err(|e| {
+                            CliError(format!("bad --delta: {e}"))
+                        })?)
+                    }
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse::<u64>()
+                            .map_err(|e| CliError(format!("bad --seed: {e}")))?
+                    }
+                    "--nonnegative" => nonnegative = true,
+                    "--output" => output = Some(value("--output")?.clone()),
+                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Release(ReleaseArgs {
+                dataset: dataset.ok_or(CliError("release requires --dataset".into()))?,
+                workload: workload.ok_or(CliError("release requires --workload".into()))?,
+                strategy: strategy.ok_or(CliError("release requires --strategy".into()))?,
+                budgets,
+                epsilon: epsilon.ok_or(CliError("release requires --epsilon".into()))?,
+                delta,
+                seed,
+                nonnegative,
+                output,
+            }))
+        }
+        other => Err(CliError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// Builds the workload for a label over a schema.
+pub fn build_workload(schema: &Schema, label: &str) -> Result<Workload, CliError> {
+    let parse = |s: &str| -> Result<usize, CliError> {
+        s.parse::<usize>()
+            .map_err(|_| CliError(format!("bad workload label {label:?}")))
+    };
+    let res = if let Some(k) = label.strip_prefix('q').and_then(|r| r.strip_suffix("star")) {
+        Workload::k_way_plus_half(schema, parse(k)?)
+    } else if let Some(k) = label.strip_prefix('q').and_then(|r| r.strip_suffix('a')) {
+        Workload::k_way_plus_attr(schema, parse(k)?, 0)
+    } else if let Some(k) = label.strip_prefix('q') {
+        Workload::all_k_way(schema, parse(k)?)
+    } else {
+        return Err(CliError(format!(
+            "bad workload label {label:?} (q<k>, q<k>star, q<k>a)"
+        )));
+    };
+    res.map_err(|e| CliError(format!("workload construction failed: {e}")))
+}
+
+/// Loads the dataset's schema and contingency table.
+pub fn load_dataset(dataset: DatasetArg, seed: u64) -> Result<(Schema, ContingencyTable), CliError> {
+    let (schema, records) = match dataset {
+        DatasetArg::Adult => {
+            let schema = dp_data::adult_schema();
+            let (records, _) = dp_data::csv::adult_records_or_synthetic(
+                std::path::Path::new("data/adult.data"),
+                seed,
+            )
+            .map_err(|e| CliError(format!("loading adult: {e}")))?;
+            (schema, records)
+        }
+        DatasetArg::Nltcs => {
+            let schema = dp_data::nltcs_schema();
+            let (records, _) = dp_data::csv::nltcs_records_or_synthetic(
+                std::path::Path::new("data/nltcs.csv"),
+                seed,
+            )
+            .map_err(|e| CliError(format!("loading nltcs: {e}")))?;
+            (schema, records)
+        }
+    };
+    let table = ContingencyTable::from_records(&schema, &records)
+        .map_err(|e| CliError(format!("building table: {e}")))?;
+    Ok((schema, table))
+}
+
+/// Serializes released marginals as a human-readable JSON document.
+pub fn marginals_to_json(answers: &[dp_core::marginal::MarginalTable]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in answers.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"attributes\": \"{}\", \"cells\": {:?}}}",
+            m.mask(),
+            m.values()
+        );
+        out.push_str(if i + 1 < answers.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&sv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&sv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn full_release_command() {
+        let cmd = parse_args(&sv(&[
+            "release",
+            "--dataset",
+            "nltcs",
+            "--workload",
+            "q2",
+            "--strategy",
+            "f",
+            "--budgets",
+            "optimal",
+            "--epsilon",
+            "0.5",
+            "--seed",
+            "9",
+            "--nonnegative",
+            "--output",
+            "out.json",
+        ]))
+        .unwrap();
+        let Command::Release(a) = cmd else {
+            panic!("expected release");
+        };
+        assert_eq!(a.dataset, DatasetArg::Nltcs);
+        assert_eq!(a.workload, "q2");
+        assert_eq!(a.strategy, StrategyKind::Fourier);
+        assert_eq!(a.budgets, Budgeting::Optimal);
+        assert_eq!(a.epsilon, 0.5);
+        assert_eq!(a.seed, 9);
+        assert!(a.nonnegative);
+        assert_eq!(a.output.as_deref(), Some("out.json"));
+        assert_eq!(a.delta, None);
+    }
+
+    #[test]
+    fn missing_required_flags_are_reported() {
+        let err = parse_args(&sv(&["release", "--dataset", "adult"])).unwrap_err();
+        assert!(err.0.contains("--workload"));
+        let err = parse_args(&sv(&["release", "--epsilon", "1.0"])).unwrap_err();
+        assert!(err.0.contains("--dataset"));
+        let err = parse_args(&sv(&["inspect"])).unwrap_err();
+        assert!(err.0.contains("--dataset"));
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(parse_args(&sv(&["release", "--dataset", "census"])).is_err());
+        assert!(parse_args(&sv(&["release", "--strategy", "z"])).is_err());
+        assert!(parse_args(&sv(&["release", "--epsilon", "abc"])).is_err());
+        assert!(parse_args(&sv(&["bogus"])).is_err());
+        assert!(parse_args(&sv(&["release", "--epsilon"])).is_err());
+    }
+
+    #[test]
+    fn workload_labels() {
+        let schema = Schema::binary(8).unwrap();
+        assert_eq!(build_workload(&schema, "q1").unwrap().len(), 8);
+        assert_eq!(build_workload(&schema, "q2").unwrap().len(), 28);
+        assert_eq!(build_workload(&schema, "q1star").unwrap().len(), 22);
+        assert_eq!(build_workload(&schema, "q1a").unwrap().len(), 15);
+        assert!(build_workload(&schema, "w2").is_err());
+        assert!(build_workload(&schema, "qx").is_err());
+        assert!(build_workload(&schema, "q99").is_err());
+    }
+
+    #[test]
+    fn json_rendering() {
+        let m = vec![dp_core::marginal::MarginalTable::new(
+            crate::core::AttrMask(0b11),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )];
+        let j = marginals_to_json(&m);
+        assert!(j.contains("\"attributes\": \"{0,1}\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+    }
+}

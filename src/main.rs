@@ -1,0 +1,96 @@
+//! `datacube-dp` command-line tool: differentially private release of
+//! marginal workloads over the bundled datasets. See [`datacube_dp::cli`]
+//! for the argument grammar.
+
+use datacube_dp::cli::{
+    build_workload, load_dataset, marginals_to_json, parse_args, Command, ReleaseArgs, USAGE,
+};
+use datacube_dp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Inspect { dataset }) => match run_inspect(dataset) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Ok(Command::Release(args)) => match run_release(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn run_inspect(dataset: datacube_dp::cli::DatasetArg) -> Result<(), String> {
+    let (schema, table) = load_dataset(dataset, 20130401).map_err(|e| e.to_string())?;
+    println!("attributes: {}", schema.num_attributes());
+    for (i, a) in schema.attributes().iter().enumerate() {
+        println!("  [{i}] {} (cardinality {}, {} bits)", a.name, a.cardinality, a.bits());
+    }
+    println!("domain: 2^{} = {} cells", schema.domain_bits(), schema.domain_size());
+    println!("records: {}", table.total());
+    Ok(())
+}
+
+fn run_release(args: &ReleaseArgs) -> Result<(), String> {
+    let (schema, table) = load_dataset(args.dataset, 20130401).map_err(|e| e.to_string())?;
+    let workload = build_workload(&schema, &args.workload).map_err(|e| e.to_string())?;
+    let privacy = match args.delta {
+        None => PrivacyLevel::Pure {
+            epsilon: args.epsilon,
+        },
+        Some(delta) => PrivacyLevel::Approx {
+            epsilon: args.epsilon,
+            delta,
+        },
+    };
+    let planner = ReleasePlanner::new(&table, &workload, args.strategy, args.budgets)
+        .map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let release = planner.release(privacy, &mut rng).map_err(|e| e.to_string())?;
+
+    let answers = if args.nonnegative {
+        let (_, projected) = dp_core::postprocess::project_nonnegative(
+            schema.domain_bits(),
+            &release.answers,
+            dp_core::postprocess::ProjectOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        projected
+    } else {
+        release.answers
+    };
+
+    eprintln!(
+        "released {} marginals with method {} (achieved ε = {:.6})",
+        answers.len(),
+        release.label,
+        release.achieved_epsilon
+    );
+    let json = marginals_to_json(&answers);
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
