@@ -6,7 +6,9 @@
 //! Usage: `cargo run -p dp-bench --release --bin ablation_budgets`.
 
 use dp_opt::budget::{objective_value, optimal_group_budgets, GroupSpec};
-use dp_opt::convex::{general_objective, solve_general_budgets, ConvexOptions, GeneralBudgetProblem};
+use dp_opt::convex::{
+    general_objective, solve_general_budgets, ConvexOptions, GeneralBudgetProblem,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -112,10 +114,7 @@ fn main() {
             solve_general_budgets(&problem, ConvexOptions::default()).expect("solvable");
         let convex_us = t1.elapsed().as_secs_f64() * 1e6;
         let convex_obj = general_objective(&problem.b, &convex_budgets);
-        let closed_obj = objective_value(
-            &groups,
-            &closed.group_budgets,
-        );
+        let closed_obj = objective_value(&groups, &closed.group_budgets);
         let row = Row {
             case: name.to_string(),
             groups: groups.len(),

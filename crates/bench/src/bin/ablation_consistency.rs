@@ -39,10 +39,7 @@ fn main() {
         let table = ContingencyTable::from_counts(counts);
         let exact = workload.true_answers(&table);
         // Inconsistent noisy observations (uniform unit-scale noise).
-        let mut noisy: Vec<f64> = exact
-            .iter()
-            .flat_map(|m| m.values().to_vec())
-            .collect();
+        let mut noisy: Vec<f64> = exact.iter().flat_map(|m| m.values().to_vec()).collect();
         for v in &mut noisy {
             *v += rng.gen_range(-3.0..3.0);
         }
@@ -97,7 +94,13 @@ fn main() {
         };
         println!(
             "{:>3} {:>8} {:>6} {:>7} {:>14.5} {:>16.5} {:>12.2e}",
-            row.d, row.n, row.m, row.k_cells, row.fourier_seconds, row.dataspace_seconds, row.max_answer_gap
+            row.d,
+            row.n,
+            row.m,
+            row.k_cells,
+            row.fourier_seconds,
+            row.dataspace_seconds,
+            row.max_answer_gap
         );
         rows.push(row);
     }

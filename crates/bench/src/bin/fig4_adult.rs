@@ -18,7 +18,11 @@ fn main() {
     eprintln!(
         "Adult: {} records ({})",
         records.len(),
-        if real { "real file" } else { "synthetic stand-in" }
+        if real {
+            "real file"
+        } else {
+            "synthetic stand-in"
+        }
     );
     let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
 

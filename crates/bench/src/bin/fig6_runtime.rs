@@ -20,7 +20,10 @@ fn main() {
     let rows = runtime_sweep(&table, &schema, &WorkloadFamily::ALL, 44);
 
     println!("\n== Figure 6: end-to-end time (s) over NLTCS ==");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "set", "F", "C", "Q", "I");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "set", "F", "C", "Q", "I"
+    );
     for family in WorkloadFamily::ALL {
         let w = family.label();
         print!("{w:>6}");

@@ -28,11 +28,21 @@ fn main() {
     let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
 
     let mut rows = Vec::new();
-    for family in [WorkloadFamily::K(1), WorkloadFamily::KStar(1), WorkloadFamily::K(2)] {
+    for family in [
+        WorkloadFamily::K(1),
+        WorkloadFamily::KStar(1),
+        WorkloadFamily::K(2),
+    ] {
         let workload = family.build(&schema);
         let exact = workload.true_answers(&table);
-        println!("\n== workload {} under ({{ε}}, {delta})-DP ==", family.label());
-        println!("{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}", "eps", "F", "F+", "C", "C+", "Q", "Q+");
+        println!(
+            "\n== workload {} under ({{ε}}, {delta})-DP ==",
+            family.label()
+        );
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "eps", "F", "F+", "C", "C+", "Q", "Q+"
+        );
         for &eps in &[0.1f64, 0.5, 1.0] {
             print!("{eps:>5.1}");
             for (strategy, budgeting) in [
@@ -50,7 +60,13 @@ fn main() {
                 let mut err = 0.0;
                 for _ in 0..trials {
                     let r = planner
-                        .release(PrivacyLevel::Approx { epsilon: eps, delta }, &mut rng)
+                        .release(
+                            PrivacyLevel::Approx {
+                                epsilon: eps,
+                                delta,
+                            },
+                            &mut rng,
+                        )
                         .expect("release succeeds");
                     err += average_relative_error(&r.answers, &exact).expect("aligned")
                         / trials as f64;

@@ -64,7 +64,17 @@ fn main() {
     println!("== Table 1: expected L1 noise per k-way marginal (ε = 1) ==");
     println!(
         "{:>3} {:>2} | {:>12} {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "d", "k", "meas I", "meas Q", "meas F", "meas F+", "bnd I", "bnd Q", "bnd F", "bnd F+", "lower"
+        "d",
+        "k",
+        "meas I",
+        "meas Q",
+        "meas F",
+        "meas F+",
+        "bnd I",
+        "bnd Q",
+        "bnd F",
+        "bnd F+",
+        "lower"
     );
     for (d, ks) in [(12usize, vec![1usize, 2, 3]), (16, vec![1, 2])] {
         let schema = Schema::binary(d).unwrap();
@@ -82,16 +92,36 @@ fn main() {
                 d,
                 k,
                 measured_base_counts: measured_noise(
-                    &table, &w, StrategyKind::Identity, Budgeting::Uniform, trials, 1,
+                    &table,
+                    &w,
+                    StrategyKind::Identity,
+                    Budgeting::Uniform,
+                    trials,
+                    1,
                 ),
                 measured_marginals_uniform: measured_noise(
-                    &table, &w, StrategyKind::Workload, Budgeting::Uniform, trials, 2,
+                    &table,
+                    &w,
+                    StrategyKind::Workload,
+                    Budgeting::Uniform,
+                    trials,
+                    2,
                 ),
                 measured_fourier_uniform: measured_noise(
-                    &table, &w, StrategyKind::Fourier, Budgeting::Uniform, trials, 3,
+                    &table,
+                    &w,
+                    StrategyKind::Fourier,
+                    Budgeting::Uniform,
+                    trials,
+                    3,
                 ),
                 measured_fourier_nonuniform: measured_noise(
-                    &table, &w, StrategyKind::Fourier, Budgeting::Optimal, trials, 4,
+                    &table,
+                    &w,
+                    StrategyKind::Fourier,
+                    Budgeting::Optimal,
+                    trials,
+                    4,
                 ),
                 bound_base_counts: bound_base_counts(d, k, eps),
                 bound_marginals: bound_marginals(d, k, eps),

@@ -129,15 +129,14 @@ pub fn greedy_cluster_with_search(workload: &Workload, search: CentroidSearch) -
                 let base_sum = current_sum
                     - (members[i].len() * centroids[i].cell_count()) as f64
                     - (members[j].len() * centroids[j].cell_count()) as f64;
-                let evaluate = |centroid: AttrMask, best: &mut Option<(usize, usize, AttrMask, f64)>| {
-                    let new_sum = base_sum + (merged_members * centroid.cell_count()) as f64;
-                    let new_cost = ((g - 1) * (g - 1)) as f64 * new_sum;
-                    if new_cost < current_cost
-                        && best.is_none_or(|(_, _, _, b)| new_cost < b)
-                    {
-                        *best = Some((i, j, centroid, new_cost));
-                    }
-                };
+                let evaluate =
+                    |centroid: AttrMask, best: &mut Option<(usize, usize, AttrMask, f64)>| {
+                        let new_sum = base_sum + (merged_members * centroid.cell_count()) as f64;
+                        let new_cost = ((g - 1) * (g - 1)) as f64 * new_sum;
+                        if new_cost < current_cost && best.is_none_or(|(_, _, _, b)| new_cost < b) {
+                            *best = Some((i, j, centroid, new_cost));
+                        }
+                    };
                 match search {
                     CentroidSearch::Union => evaluate(u, &mut best),
                     CentroidSearch::AllDominatingCuboids => {
@@ -154,7 +153,9 @@ pub fn greedy_cluster_with_search(workload: &Workload, search: CentroidSearch) -
                 }
             }
         }
-        let Some((i, j, centroid, _)) = best else { break };
+        let Some((i, j, centroid, _)) = best else {
+            break;
+        };
         let moved = members.swap_remove(j);
         let _ = centroids.swap_remove(j);
         members[i].extend(moved);

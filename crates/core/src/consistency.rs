@@ -164,11 +164,7 @@ mod tests {
 
     fn setup() -> (ContingencyTable, Workload) {
         let t = ContingencyTable::from_counts(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
-        let w = Workload::new(
-            3,
-            vec![AttrMask(0b011), AttrMask(0b110), AttrMask(0b101)],
-        )
-        .unwrap();
+        let w = Workload::new(3, vec![AttrMask(0b011), AttrMask(0b110), AttrMask(0b101)]).unwrap();
         (t, w)
     }
 

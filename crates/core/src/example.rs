@@ -30,16 +30,16 @@ pub fn workload() -> Workload {
 /// ε, computed through the grouped-budget machinery: `48/ε²`.
 pub fn uniform_total_variance(epsilon: f64) -> f64 {
     let specs = group_specs();
-    let sol = dp_opt::budget::uniform_group_budgets(&specs, epsilon)
-        .expect("example groups are valid");
+    let sol =
+        dp_opt::budget::uniform_group_budgets(&specs, epsilon).expect("example groups are valid");
     2.0 * sol.objective
 }
 
 /// Total variance with the **optimal** budgets of Section 3.1: `46.17/ε²`.
 pub fn optimal_total_variance(epsilon: f64) -> f64 {
     let specs = group_specs();
-    let sol = dp_opt::budget::optimal_group_budgets(&specs, epsilon)
-        .expect("example groups are valid");
+    let sol =
+        dp_opt::budget::optimal_group_budgets(&specs, epsilon).expect("example groups are valid");
     2.0 * sol.objective
 }
 

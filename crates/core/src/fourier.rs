@@ -124,10 +124,7 @@ impl CoefficientSpace {
     /// (Theorem 4.1(2)) via one block WHT.
     pub fn reconstruct(&self, coeffs: &[f64], alpha: AttrMask) -> Result<MarginalTable, CoreError> {
         let positions = self.block_positions(alpha)?;
-        let mut buf: Vec<f64> = positions
-            .iter()
-            .map(|&p| coeffs[p as usize])
-            .collect();
+        let mut buf: Vec<f64> = positions.iter().map(|&p| coeffs[p as usize]).collect();
         dp_linalg::fwht(&mut buf);
         let scale = 2f64.powf(self.d as f64 / 2.0 - alpha.weight() as f64);
         for v in &mut buf {
@@ -311,11 +308,7 @@ impl ObservationOperator {
     /// independent implementation used by tests to validate the direct
     /// diagonal solve, and by callers with *non-uniform within-block*
     /// weights (where the normal matrix is no longer diagonal).
-    pub fn gls_solve_cg(
-        &self,
-        cells: &[f64],
-        cell_weights: &[f64],
-    ) -> Result<Vec<f64>, CoreError> {
+    pub fn gls_solve_cg(&self, cells: &[f64], cell_weights: &[f64]) -> Result<Vec<f64>, CoreError> {
         if cells.len() != self.num_cells || cell_weights.len() != self.num_cells {
             return Err(CoreError::Shape {
                 context: "gls_solve_cg",

@@ -68,11 +68,7 @@ impl Decomposition {
     /// that the recovery is consistent with it (Definition 3.2) — i.e.
     /// `b_i` is constant within every group. Returns the specs and the
     /// grouping's per-row constants.
-    pub fn group_specs(
-        &self,
-        grouping: &Grouping,
-        a: &[f64],
-    ) -> Result<Vec<GroupSpec>, CoreError> {
+    pub fn group_specs(&self, grouping: &Grouping, a: &[f64]) -> Result<Vec<GroupSpec>, CoreError> {
         let b = self.recovery_weights(a)?;
         let g = grouping.num_groups();
         let mut specs = vec![GroupSpec { c: 0.0, s: 0.0 }; g];
@@ -99,11 +95,7 @@ impl Decomposition {
 /// `R = Q (SᵀΣ⁻¹S)⁻¹ SᵀΣ⁻¹` where `Σ = diag(variances)`.
 ///
 /// Requires `rank(S) = N`; fails with a singularity error otherwise.
-pub fn gls_recovery(
-    q: &Matrix,
-    s: &Matrix,
-    variances: &[f64],
-) -> Result<Matrix, CoreError> {
+pub fn gls_recovery(q: &Matrix, s: &Matrix, variances: &[f64]) -> Result<Matrix, CoreError> {
     if variances.len() != s.rows() {
         return Err(CoreError::Shape {
             context: "gls_recovery variances",
@@ -281,10 +273,7 @@ mod tests {
         }
         assert!(r_naive.matmul(&s).unwrap().sub(&q).unwrap().max_abs() < 1e-12);
         let var_gls: f64 = output_variances(&r_gls, &variances).unwrap().iter().sum();
-        let var_naive: f64 = output_variances(&r_naive, &variances)
-            .unwrap()
-            .iter()
-            .sum();
+        let var_naive: f64 = output_variances(&r_naive, &variances).unwrap().iter().sum();
         assert!(var_gls <= var_naive + 1e-9, "{var_gls} vs {var_naive}");
     }
 

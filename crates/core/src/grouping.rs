@@ -84,11 +84,7 @@ pub fn detect_grouping(s: &Matrix) -> Option<Grouping> {
                 continue;
             }
             let occ = &occupied[g];
-            if row
-                .iter()
-                .enumerate()
-                .all(|(j, &v)| v == 0.0 || !occ[j])
-            {
+            if row.iter().enumerate().all(|(j, &v)| v == 0.0 || !occ[j]) {
                 for (j, &v) in row.iter().enumerate() {
                     if v != 0.0 {
                         occupied[g][j] = true;
@@ -261,8 +257,7 @@ mod tests {
                 rows[i][j] = v;
             }
         }
-        let s =
-            Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
+        let s = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
         let g = detect_grouping(&s).unwrap();
         assert_eq!(g.num_groups(), 4);
         assert!(verify_grouping(&s, &g));

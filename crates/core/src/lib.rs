@@ -65,6 +65,8 @@ pub mod postprocess;
 pub mod range;
 pub mod release;
 pub mod schema;
+pub mod serde_impls;
+pub mod strategy;
 pub mod table;
 pub mod workload;
 
@@ -75,6 +77,7 @@ pub mod prelude {
     pub use crate::metrics::{average_absolute_error, average_relative_error};
     pub use crate::release::{Budgeting, Release, ReleasePlanner, StrategyKind};
     pub use crate::schema::{Attribute, Schema};
+    pub use crate::strategy::{EngineRelease, ReleaseEngine, StrategyOperator};
     pub use crate::table::ContingencyTable;
     pub use crate::workload::Workload;
     pub use dp_mech::{Neighboring, PrivacyLevel};

@@ -252,8 +252,7 @@ mod tests {
         let d = t.dims();
         for alpha_bits in 0u64..8 {
             let alpha = AttrMask(alpha_bits);
-            let rebuilt =
-                marginal_from_fourier(d, alpha, |beta| t.fourier_coefficient(beta));
+            let rebuilt = marginal_from_fourier(d, alpha, |beta| t.fourier_coefficient(beta));
             let direct = t.marginal(alpha);
             for (a, b) in rebuilt.values().iter().zip(direct.values()) {
                 assert!((a - b).abs() < 1e-9, "alpha={alpha}: {a} vs {b}");

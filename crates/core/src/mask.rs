@@ -19,7 +19,10 @@ impl AttrMask {
 
     /// Mask with the lowest `d` bits set (the full cube).
     pub fn full(d: usize) -> AttrMask {
-        assert!(d <= 63, "domains beyond 63 binary attributes are unsupported");
+        assert!(
+            d <= 63,
+            "domains beyond 63 binary attributes are unsupported"
+        );
         AttrMask(if d == 64 { u64::MAX } else { (1u64 << d) - 1 })
     }
 

@@ -119,8 +119,7 @@ pub fn project_nonnegative(
     // negative cells even for exactly consistent inputs), so rescale back
     // to the released total afterwards — the total is the DC coefficient
     // times 2^{d/2}, i.e. what every input marginal sums to.
-    let target_total: f64 =
-        marginals.iter().map(|m| m.sum()).sum::<f64>() / marginals.len() as f64;
+    let target_total: f64 = marginals.iter().map(|m| m.sum()).sum::<f64>() / marginals.len() as f64;
     for v in &mut x {
         if *v < 0.0 {
             *v = 0.0;
@@ -158,9 +157,7 @@ fn round_preserving_total(x: &mut [f64]) {
     }
     let mut deficit = (target - floor_sum).max(0) as usize;
     if deficit > 0 {
-        remainders.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("remainders are finite")
-        });
+        remainders.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("remainders are finite"));
         for &(i, _) in remainders.iter().take(deficit.min(x.len())) {
             x[i] += 1.0;
         }

@@ -313,7 +313,9 @@ mod tests {
         let m = s.attribute_set_mask(&[0, 6]).unwrap();
         assert_eq!(
             m,
-            s.attribute_mask(0).unwrap().union(s.attribute_mask(6).unwrap())
+            s.attribute_mask(0)
+                .unwrap()
+                .union(s.attribute_mask(6).unwrap())
         );
         assert!(s.attribute_set_mask(&[99]).is_err());
     }

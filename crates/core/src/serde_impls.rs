@@ -1,0 +1,306 @@
+//! `serde` implementations for the public release types.
+//!
+//! Written by hand (rather than derived) because every one of these types
+//! guards an invariant — mask/cell-count agreement, validated cardinality,
+//! deduplicated in-domain workloads — and deserialization must re-enter
+//! through the validating constructors instead of bypassing them.
+//!
+//! Wire format (JSON via the workspace's `serde_json`):
+//!
+//! ```json
+//! {
+//!   "label": "F+",
+//!   "achieved_epsilon": 1.0,
+//!   "predicted_variance": 42.5,
+//!   "group_budgets": [0.5, 0.25],
+//!   "answers": [ {"attributes": 3, "cells": [1.0, 0.0, 2.0, 1.0]} ]
+//! }
+//! ```
+//!
+//! Attribute masks travel as their `u64` bit patterns.
+
+use crate::marginal::MarginalTable;
+use crate::mask::AttrMask;
+use crate::release::Release;
+use crate::schema::{Attribute, Schema};
+use crate::workload::Workload;
+use serde::{DeError, Deserialize, Serialize, Value};
+
+fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    value
+        .get_field(name)
+        .ok_or_else(|| DeError::missing_field(name))
+}
+
+impl Serialize for AttrMask {
+    fn serialize_value(&self) -> Value {
+        // Numbers travel as f64, which is exact only below 2^53; larger
+        // masks (domains up to 63 bits are legal) go out as decimal
+        // strings so no bit pattern is ever silently rounded.
+        if self.0 < (1u64 << 53) {
+            Value::Number(self.0 as f64)
+        } else {
+            Value::String(self.0.to_string())
+        }
+    }
+}
+
+impl Deserialize for AttrMask {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        if let Some(s) = value.as_str() {
+            return s
+                .parse::<u64>()
+                .ok()
+                .filter(|&bits| bits < (1u64 << 63))
+                .map(AttrMask)
+                .ok_or_else(|| DeError::new(format!("invalid attribute mask {s:?}")));
+        }
+        let bits = value
+            .as_f64()
+            .ok_or_else(|| DeError::new("attribute mask must be a number or string"))?;
+        if bits < 0.0 || bits.fract() != 0.0 || bits >= (1u64 << 53) as f64 {
+            return Err(DeError::new(format!("invalid attribute mask {bits}")));
+        }
+        Ok(AttrMask(bits as u64))
+    }
+}
+
+impl Serialize for MarginalTable {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("attributes".into(), self.mask().serialize_value()),
+            ("cells".into(), self.values().serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for MarginalTable {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let mask = AttrMask::deserialize_value(field(value, "attributes")?)?;
+        let cells = Vec::<f64>::deserialize_value(field(value, "cells")?)?;
+        if cells.len() != mask.cell_count() {
+            return Err(DeError::new(format!(
+                "marginal over {mask} needs {} cells, got {}",
+                mask.cell_count(),
+                cells.len()
+            )));
+        }
+        Ok(MarginalTable::new(mask, cells))
+    }
+}
+
+impl Serialize for Release {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("label".into(), self.label.serialize_value()),
+            (
+                "achieved_epsilon".into(),
+                self.achieved_epsilon.serialize_value(),
+            ),
+            (
+                "predicted_variance".into(),
+                self.predicted_variance.serialize_value(),
+            ),
+            ("group_budgets".into(), self.group_budgets.serialize_value()),
+            ("answers".into(), self.answers.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for Release {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(Release {
+            label: String::deserialize_value(field(value, "label")?)?,
+            achieved_epsilon: f64::deserialize_value(field(value, "achieved_epsilon")?)?,
+            predicted_variance: f64::deserialize_value(field(value, "predicted_variance")?)?,
+            group_budgets: Vec::<f64>::deserialize_value(field(value, "group_budgets")?)?,
+            answers: Vec::<MarginalTable>::deserialize_value(field(value, "answers")?)?,
+        })
+    }
+}
+
+impl Serialize for Attribute {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.serialize_value()),
+            ("cardinality".into(), self.cardinality.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for Attribute {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let name = String::deserialize_value(field(value, "name")?)?;
+        let cardinality = usize::deserialize_value(field(value, "cardinality")?)?;
+        Attribute::new(name, cardinality).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+impl Serialize for Schema {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![(
+            "attributes".into(),
+            self.attributes().serialize_value(),
+        )])
+    }
+}
+
+impl Deserialize for Schema {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let attributes = Vec::<Attribute>::deserialize_value(field(value, "attributes")?)?;
+        Schema::new(attributes).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+impl Serialize for Workload {
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("domain_bits".into(), self.domain_bits().serialize_value()),
+            ("marginals".into(), self.marginals().serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for Workload {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let d = usize::deserialize_value(field(value, "domain_bits")?)?;
+        let marginals = Vec::<AttrMask>::deserialize_value(field(value, "marginals")?)?;
+        Workload::new(d, marginals).map_err(|e| DeError::new(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut out = String::new();
+        render_compact(&v.serialize_value(), &mut out);
+        out
+    }
+
+    // Minimal renderer/parser stand-ins so dp-core's tests don't need a
+    // serde_json dev-dependency: the real CLI path goes through serde_json.
+    fn render_compact(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&format!("{n}")),
+            Value::String(s) => out.push_str(&format!("{s:?}")),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_compact(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, fv)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{k:?}:"));
+                    render_compact(fv, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    #[test]
+    fn release_roundtrips_through_value() {
+        let t = ContingencyTable::from_counts(vec![1.0, 2.0, 0.0, 1.0]);
+        let w = Workload::new(2, vec![AttrMask(0b01), AttrMask(0b11)]).unwrap();
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = p
+            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+            .unwrap();
+        let v = r.serialize_value();
+        let back = Release::deserialize_value(&v).unwrap();
+        assert_eq!(back.label, r.label);
+        assert_eq!(back.group_budgets, r.group_budgets);
+        assert_eq!(back.answers.len(), r.answers.len());
+        for (a, b) in back.answers.iter().zip(&r.answers) {
+            assert_eq!(a.mask(), b.mask());
+            assert_eq!(a.values(), b.values());
+        }
+        assert!(to_json(&r).contains("\"answers\""));
+    }
+
+    #[test]
+    fn schema_and_workload_roundtrip() {
+        let schema = Schema::new(vec![
+            Attribute::new("age", 16).unwrap(),
+            Attribute::new("sex", 2).unwrap(),
+        ])
+        .unwrap();
+        let back = Schema::deserialize_value(&schema.serialize_value()).unwrap();
+        assert_eq!(back, schema);
+
+        let w = Workload::all_k_way(&Schema::binary(5).unwrap(), 2).unwrap();
+        let back = Workload::deserialize_value(&w.serialize_value()).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn invalid_documents_are_rejected_by_the_validating_constructors() {
+        // Wrong cell count for the mask.
+        let bad = Value::Object(vec![
+            ("attributes".into(), Value::Number(3.0)),
+            ("cells".into(), Value::Array(vec![Value::Number(1.0)])),
+        ]);
+        assert!(MarginalTable::deserialize_value(&bad).is_err());
+
+        // Cardinality 1 is rejected by Attribute::new.
+        let bad = Value::Object(vec![
+            ("name".into(), Value::String("x".into())),
+            ("cardinality".into(), Value::Number(1.0)),
+        ]);
+        assert!(Attribute::deserialize_value(&bad).is_err());
+
+        // Workload whose mask exceeds the domain is rejected by
+        // Workload::new.
+        let bad = Value::Object(vec![
+            ("domain_bits".into(), Value::Number(2.0)),
+            ("marginals".into(), Value::Array(vec![Value::Number(8.0)])),
+        ]);
+        assert!(Workload::deserialize_value(&bad).is_err());
+
+        // Missing fields are reported.
+        assert!(Release::deserialize_value(&Value::Object(vec![])).is_err());
+        // Negative / fractional masks are rejected.
+        assert!(AttrMask::deserialize_value(&Value::Number(-1.0)).is_err());
+        assert!(AttrMask::deserialize_value(&Value::Number(1.5)).is_err());
+        assert!(AttrMask::deserialize_value(&Value::String("not a mask".into())).is_err());
+    }
+
+    #[test]
+    fn large_masks_roundtrip_exactly_via_strings() {
+        // Bit patterns at or above 2^53 cannot survive an f64; they must
+        // travel as decimal strings, bit-exactly.
+        for bits in [(1u64 << 59) | 1, (1u64 << 62) | (1 << 3), (1u64 << 53)] {
+            let mask = AttrMask(bits);
+            let v = mask.serialize_value();
+            assert!(
+                matches!(v, Value::String(_)),
+                "{bits:#x} must serialize as string"
+            );
+            assert_eq!(AttrMask::deserialize_value(&v).unwrap(), mask);
+        }
+        // Small masks stay as JSON numbers.
+        let small = AttrMask(0b101);
+        assert!(matches!(small.serialize_value(), Value::Number(_)));
+        assert_eq!(
+            AttrMask::deserialize_value(&small.serialize_value()).unwrap(),
+            small
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! The unified strategy layer: one noise/recovery engine for every release
+//! pipeline in this crate.
+//!
+//! Before this module existed the paper's Figure-3 pipeline was implemented
+//! three separate times — a dense-matrix path ([`crate::framework`]), a
+//! structured Fourier marginal path ([`crate::release`]) and a bespoke
+//! range-query path ([`crate::range`]) — each with its own budget solve,
+//! noise loop and recovery. [`StrategyOperator`] abstracts what actually
+//! differs between strategies:
+//!
+//! 1. the **group structure** (`C_r`, `s_r` per group and a group id per
+//!    observation row) feeding the Step-2 budget optimizer of `dp-opt`, and
+//! 2. the **recovery map** from noisy observations back to workload
+//!    answers — generalized least squares, carried out either in diagonal
+//!    Fourier-coefficient space (marginal strategies, Section 4.3) or by
+//!    matrix-free conjugate gradients over a
+//!    [`dp_linalg::LinearOperator`] (range strategies).
+//!
+//! [`ReleaseEngine`] owns everything shared: solving for uniform/optimal
+//! budgets, validating the achieved ε (Proposition 3.1), calibrating and
+//! drawing noise (parallelized over observation chunks with deterministic
+//! per-chunk substreams), and delegating recovery to the strategy.
+
+use crate::CoreError;
+use dp_mech::{GaussianMechanism, LaplaceMechanism, Neighboring, NoiseMechanism, PrivacyLevel};
+use dp_opt::budget::{
+    optimal_group_budgets, optimal_group_budgets_gaussian, uniform_group_budgets,
+    uniform_group_budgets_gaussian, BudgetSolution, GroupSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Noise-budget allocation mode (Step 2 of the framework).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budgeting {
+    /// One equal budget per group — what prior work does implicitly.
+    Uniform,
+    /// The paper's optimal non-uniform allocation (closed form).
+    Optimal,
+}
+
+/// A strategy, reduced to exactly what the shared engine cannot provide:
+/// its group structure and its recovery map.
+///
+/// Implementations in this crate: the four marginal strategies of
+/// [`crate::release`] (identity, workload, Fourier, cluster) and the
+/// operator-backed range strategies of [`crate::range`].
+pub trait StrategyOperator {
+    /// What a recovery produces (consistent marginal tables for marginal
+    /// workloads, plain answer vectors for range workloads).
+    type Answer;
+
+    /// Number of observation rows `m` (rows of the strategy matrix `S`).
+    fn num_rows(&self) -> usize;
+
+    /// Per-group `(C_r, s_r)` for the budget optimizer, in group order.
+    fn group_specs(&self) -> &[GroupSpec];
+
+    /// Group id of each observation row (`len == num_rows()`, values index
+    /// into [`StrategyOperator::group_specs`]).
+    fn row_groups(&self) -> &[u32];
+
+    /// Recovers workload answers from noisy observations.
+    ///
+    /// `group_weights[r]` is the GLS weight (inverse noise variance) of
+    /// group `r`'s rows; groups with budget 0 carry weight 0 and were not
+    /// released — the engine zeroes their entries of `noisy` before the
+    /// call, so even a weights-unaware recovery cannot leak exact values.
+    fn recover(&self, noisy: &[f64], group_weights: &[f64]) -> Result<Self::Answer, CoreError>;
+}
+
+impl<T: StrategyOperator + ?Sized> StrategyOperator for Box<T> {
+    type Answer = T::Answer;
+
+    fn num_rows(&self) -> usize {
+        (**self).num_rows()
+    }
+
+    fn group_specs(&self) -> &[GroupSpec] {
+        (**self).group_specs()
+    }
+
+    fn row_groups(&self) -> &[u32] {
+        (**self).row_groups()
+    }
+
+    fn recover(&self, noisy: &[f64], group_weights: &[f64]) -> Result<Self::Answer, CoreError> {
+        (**self).recover(noisy, group_weights)
+    }
+}
+
+/// One release produced by the shared engine.
+#[derive(Debug, Clone)]
+pub struct EngineRelease<A> {
+    /// The recovered workload answers.
+    pub answer: A,
+    /// Per-group noise budgets `η_r` actually used.
+    pub group_budgets: Vec<f64>,
+    /// Predicted total output variance of the *initial* recovery `R₀` (the
+    /// Step-2 objective times the mechanism constant); the GLS recovery of
+    /// Step 3 can only improve on it.
+    pub predicted_variance: f64,
+    /// Achieved ε implied by the budgets (must be ≤ the requested ε).
+    pub achieved_epsilon: f64,
+}
+
+/// Noise chunk size: one RNG substream (and one unit of parallel work) per
+/// this many observation rows.
+const NOISE_CHUNK: usize = 4096;
+
+/// The shared Steps 2–3 driver over any [`StrategyOperator`].
+#[derive(Debug, Clone)]
+pub struct ReleaseEngine<S> {
+    strategy: S,
+}
+
+impl<S: StrategyOperator + Sync> ReleaseEngine<S> {
+    /// Wraps a strategy, validating its internal consistency.
+    pub fn new(strategy: S) -> Result<Self, CoreError> {
+        let rows = strategy.num_rows();
+        if strategy.row_groups().len() != rows {
+            return Err(CoreError::Shape {
+                context: "engine row_groups",
+                expected: rows,
+                actual: strategy.row_groups().len(),
+            });
+        }
+        let groups = strategy.group_specs().len();
+        if let Some(&bad) = strategy
+            .row_groups()
+            .iter()
+            .find(|&&g| g as usize >= groups)
+        {
+            return Err(CoreError::Shape {
+                context: "engine group id",
+                expected: groups,
+                actual: bad as usize,
+            });
+        }
+        Ok(ReleaseEngine { strategy })
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+
+    /// Solves Step 2 for a privacy level and budgeting mode (no noise drawn).
+    pub fn solve_budgets(
+        &self,
+        privacy: PrivacyLevel,
+        budgeting: Budgeting,
+    ) -> Result<BudgetSolution, CoreError> {
+        privacy.validate()?;
+        let eps = privacy.epsilon();
+        let specs = self.strategy.group_specs();
+        let sol = match (privacy, budgeting) {
+            (PrivacyLevel::Pure { .. }, Budgeting::Uniform) => uniform_group_budgets(specs, eps)?,
+            (PrivacyLevel::Pure { .. }, Budgeting::Optimal) => optimal_group_budgets(specs, eps)?,
+            (PrivacyLevel::Approx { .. }, Budgeting::Uniform) => {
+                uniform_group_budgets_gaussian(specs, eps)?
+            }
+            (PrivacyLevel::Approx { .. }, Budgeting::Optimal) => {
+                optimal_group_budgets_gaussian(specs, eps)?
+            }
+        };
+        Ok(sol)
+    }
+
+    /// The ε achieved by concrete group budgets: every column of a grouped
+    /// strategy has exactly one entry of magnitude `C_r` per group, so the
+    /// pure-DP constraint value is `Σ_r C_r η_r` and the approximate-DP one
+    /// is `√(Σ_r C_r² η_r²)` (Proposition 3.1).
+    pub fn achieved_epsilon(&self, privacy: PrivacyLevel, budgets: &[f64]) -> f64 {
+        let specs = self.strategy.group_specs();
+        match privacy {
+            PrivacyLevel::Pure { .. } => specs.iter().zip(budgets).map(|(g, &e)| g.c * e).sum(),
+            PrivacyLevel::Approx { .. } => specs
+                .iter()
+                .zip(budgets)
+                .map(|(g, &e)| g.c * g.c * e * e)
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+
+    /// Runs Steps 2–3 for one release: optimal/uniform budgets, calibrated
+    /// per-row noise on `observations` (the exact strategy answers
+    /// `z = S x`), and the strategy's GLS recovery.
+    ///
+    /// Noise is drawn in `NOISE_CHUNK`-row chunks, each from its own
+    /// [`StdRng`] substream seeded sequentially from `rng` — so the output
+    /// is deterministic in `rng`'s seed regardless of how many threads the
+    /// chunks land on.
+    pub fn release_with<R: Rng + ?Sized>(
+        &self,
+        observations: &[f64],
+        privacy: PrivacyLevel,
+        budgeting: Budgeting,
+        neighboring: Neighboring,
+        rng: &mut R,
+    ) -> Result<EngineRelease<S::Answer>, CoreError> {
+        let solution = self.solve_budgets(privacy, budgeting)?;
+        self.release_with_solution(observations, privacy, &solution, neighboring, rng)
+    }
+
+    /// [`ReleaseEngine::release_with`] for a budget solution that was
+    /// already computed (e.g. at plan time) — repeated releases from one
+    /// plan skip the Step-2 solve and are guaranteed to draw noise at the
+    /// exact budgets the plan published.
+    pub fn release_with_solution<R: Rng + ?Sized>(
+        &self,
+        observations: &[f64],
+        privacy: PrivacyLevel,
+        solution: &BudgetSolution,
+        neighboring: Neighboring,
+        rng: &mut R,
+    ) -> Result<EngineRelease<S::Answer>, CoreError> {
+        if observations.len() != self.strategy.num_rows() {
+            return Err(CoreError::Shape {
+                context: "engine observations",
+                expected: self.strategy.num_rows(),
+                actual: observations.len(),
+            });
+        }
+        if solution.group_budgets.len() != self.strategy.group_specs().len() {
+            return Err(CoreError::Shape {
+                context: "engine budget solution",
+                expected: self.strategy.group_specs().len(),
+                actual: solution.group_budgets.len(),
+            });
+        }
+        let factor = neighboring.sensitivity_factor();
+        let budgets: Vec<f64> = solution.group_budgets.iter().map(|&e| e / factor).collect();
+
+        // Defense in depth: re-derive the achieved ε and fail loudly if the
+        // optimizer ever produced an infeasible allocation.
+        let achieved = self.achieved_epsilon(privacy, &budgets) * factor;
+        if achieved > privacy.epsilon() * (1.0 + 1e-9) {
+            return Err(CoreError::InfeasibleBudgets {
+                achieved,
+                requested: privacy.epsilon(),
+            });
+        }
+        let predicted_variance = mechanism_factor(privacy) * solution.objective * factor * factor;
+
+        // Step "2.5": per-row noise at the group budgets, in parallel.
+        let row_groups = self.strategy.row_groups();
+        let noisy = perturb_observations(observations, row_groups, &budgets, privacy, rng);
+
+        // Step 3: the strategy's recovery, weighted by inverse variances.
+        let group_weights: Vec<f64> = budgets
+            .iter()
+            .map(|&eta| {
+                if eta > 0.0 {
+                    1.0 / noise_variance(privacy, eta)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let answer = self.strategy.recover(&noisy, &group_weights)?;
+
+        Ok(EngineRelease {
+            answer,
+            group_budgets: budgets,
+            predicted_variance,
+            achieved_epsilon: achieved,
+        })
+    }
+}
+
+/// The mechanism's constant factor relating the Step-2 objective
+/// `Σ s_r/η_r²` to an output variance.
+pub fn mechanism_factor(privacy: PrivacyLevel) -> f64 {
+    match privacy {
+        PrivacyLevel::Pure { .. } => 2.0,
+        PrivacyLevel::Approx { delta, .. } => 2.0 * (2.0 / delta).ln(),
+    }
+}
+
+/// Noise variance of a row with budget `eps_i` under the level's mechanism.
+pub fn noise_variance(privacy: PrivacyLevel, eps_i: f64) -> f64 {
+    match privacy {
+        PrivacyLevel::Pure { .. } => LaplaceMechanism.variance(eps_i),
+        PrivacyLevel::Approx { delta, .. } => GaussianMechanism { delta }.variance(eps_i),
+    }
+}
+
+/// Samples one noise value for a row with budget `eps_i`.
+fn sample_noise<R: Rng + ?Sized>(privacy: PrivacyLevel, rng: &mut R, eps_i: f64) -> f64 {
+    match privacy {
+        PrivacyLevel::Pure { .. } => LaplaceMechanism.sample(rng, eps_i),
+        PrivacyLevel::Approx { delta, .. } => GaussianMechanism { delta }.sample(rng, eps_i),
+    }
+}
+
+/// Adds calibrated noise to every row with a positive group budget,
+/// chunk-parallel with deterministic per-chunk substreams. Rows of groups
+/// with budget 0 are **withheld** — zeroed, not passed through — so a
+/// recovery that forgets to honour its zero weights can never leak exact
+/// private values (the engine enforces this, not each plugin).
+///
+/// Public so oracle tests can replay the exact noise a release drew: the
+/// chunk seeds are the first `⌈m/NOISE_CHUNK⌉` `u64`s of `rng`, and each
+/// chunk's noise comes from an [`StdRng`] seeded with its seed.
+pub fn perturb_observations<R: Rng + ?Sized>(
+    observations: &[f64],
+    row_groups: &[u32],
+    group_budgets: &[f64],
+    privacy: PrivacyLevel,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut noisy = observations.to_vec();
+    let chunks = noisy.len().div_ceil(NOISE_CHUNK).max(1);
+    // Substream seeds are drawn sequentially from the caller's RNG, so the
+    // result depends only on its state — never on thread scheduling.
+    let seeds: Vec<u64> = (0..chunks).map(|_| rng.gen::<u64>()).collect();
+    noisy
+        .par_chunks_mut(NOISE_CHUNK)
+        .enumerate()
+        .for_each(|(c, chunk)| {
+            let mut sub = StdRng::seed_from_u64(seeds[c]);
+            let base = c * NOISE_CHUNK;
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let eta = group_budgets[row_groups[base + i] as usize];
+                if eta > 0.0 {
+                    *v += sample_noise(privacy, &mut sub, eta);
+                } else {
+                    // Unreleased row: withhold the exact value.
+                    *v = 0.0;
+                }
+            }
+        });
+    noisy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy strategy: two groups, identity recovery (answers = noisy rows).
+    struct Echo {
+        specs: Vec<GroupSpec>,
+        rows: Vec<u32>,
+    }
+
+    impl StrategyOperator for Echo {
+        type Answer = Vec<f64>;
+
+        fn num_rows(&self) -> usize {
+            self.rows.len()
+        }
+
+        fn group_specs(&self) -> &[GroupSpec] {
+            &self.specs
+        }
+
+        fn row_groups(&self) -> &[u32] {
+            &self.rows
+        }
+
+        fn recover(&self, noisy: &[f64], _w: &[f64]) -> Result<Vec<f64>, CoreError> {
+            Ok(noisy.to_vec())
+        }
+    }
+
+    fn echo() -> Echo {
+        Echo {
+            specs: vec![GroupSpec { c: 1.0, s: 4.0 }, GroupSpec { c: 1.0, s: 1.0 }],
+            rows: vec![0, 0, 1, 1],
+        }
+    }
+
+    #[test]
+    fn engine_releases_are_deterministic_per_seed() {
+        let engine = ReleaseEngine::new(echo()).unwrap();
+        let obs = vec![10.0, 20.0, 30.0, 40.0];
+        let p = PrivacyLevel::Pure { epsilon: 1.0 };
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            engine
+                .release_with(
+                    &obs,
+                    p,
+                    Budgeting::Optimal,
+                    Neighboring::AddRemove,
+                    &mut rng,
+                )
+                .unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.answer, b.answer);
+        assert_eq!(a.group_budgets, b.group_budgets);
+        let c = run(10);
+        assert_ne!(a.answer, c.answer);
+    }
+
+    #[test]
+    fn achieved_epsilon_is_tight_and_validated() {
+        let engine = ReleaseEngine::new(echo()).unwrap();
+        let obs = vec![0.0; 4];
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = engine
+            .release_with(
+                &obs,
+                PrivacyLevel::Pure { epsilon: 0.7 },
+                Budgeting::Optimal,
+                Neighboring::AddRemove,
+                &mut rng,
+            )
+            .unwrap();
+        assert!((r.achieved_epsilon - 0.7).abs() < 1e-9);
+        assert!(r.predicted_variance > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let engine = ReleaseEngine::new(echo()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(
+            engine.release_with(
+                &[1.0; 3],
+                PrivacyLevel::Pure { epsilon: 1.0 },
+                Budgeting::Uniform,
+                Neighboring::AddRemove,
+                &mut rng,
+            ),
+            Err(CoreError::Shape { .. })
+        ));
+        let bad = Echo {
+            specs: vec![GroupSpec { c: 1.0, s: 1.0 }],
+            rows: vec![0, 1],
+        };
+        assert!(ReleaseEngine::new(bad).is_err());
+    }
+
+    #[test]
+    fn zero_weight_groups_are_withheld_not_leaked() {
+        let engine = ReleaseEngine::new(Echo {
+            specs: vec![GroupSpec { c: 1.0, s: 4.0 }, GroupSpec { c: 1.0, s: 0.0 }],
+            rows: vec![0, 0, 1, 1],
+        })
+        .unwrap();
+        let obs = vec![5.0, 6.0, 7.0, 8.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = engine
+            .release_with(
+                &obs,
+                PrivacyLevel::Pure { epsilon: 1.0 },
+                Budgeting::Optimal,
+                Neighboring::AddRemove,
+                &mut rng,
+            )
+            .unwrap();
+        // Group 1 has zero recovery weight → budget 0 → its rows are
+        // zeroed by the engine, so even this weights-unaware echo recovery
+        // cannot leak the exact values 7.0/8.0.
+        assert_eq!(r.group_budgets[1], 0.0);
+        assert_eq!(&r.answer[2..], &[0.0, 0.0]);
+        assert_ne!(&r.answer[..2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn replace_neighboring_halves_budgets() {
+        let engine = ReleaseEngine::new(echo()).unwrap();
+        let obs = vec![0.0; 4];
+        let p = PrivacyLevel::Pure { epsilon: 1.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let add = engine
+            .release_with(
+                &obs,
+                p,
+                Budgeting::Uniform,
+                Neighboring::AddRemove,
+                &mut rng,
+            )
+            .unwrap();
+        let rep = engine
+            .release_with(&obs, p, Budgeting::Uniform, Neighboring::Replace, &mut rng)
+            .unwrap();
+        for (a, b) in add.group_budgets.iter().zip(&rep.group_budgets) {
+            assert!((a - 2.0 * b).abs() < 1e-12);
+        }
+        assert!((rep.predicted_variance - 4.0 * add.predicted_variance).abs() < 1e-9);
+    }
+}

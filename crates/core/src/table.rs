@@ -96,9 +96,11 @@ impl ContingencyTable {
         MarginalTable::new(alpha, marginalize(&self.counts, self.d, alpha))
     }
 
-    /// Computes several marginals (each via the folding pass).
+    /// Computes several marginals (each via the folding pass), fanned out
+    /// across cores — the hot path of exact-answer computation at plan time.
     pub fn marginals(&self, alphas: &[AttrMask]) -> Vec<MarginalTable> {
-        alphas.iter().map(|&a| self.marginal(a)).collect()
+        use rayon::prelude::*;
+        alphas.par_iter().map(|&a| self.marginal(a)).collect()
     }
 
     /// The Fourier coefficient `⟨f^α, x⟩` of the table (O(N) direct sum;

@@ -55,7 +55,10 @@ impl std::fmt::Display for WorkloadError {
                 write!(f, "marginal {mask} uses bits outside the {d}-bit domain")
             }
             WorkloadError::BadArity { k, attributes } => {
-                write!(f, "cannot form {k}-way marginals over {attributes} attributes")
+                write!(
+                    f,
+                    "cannot form {k}-way marginals over {attributes} attributes"
+                )
             }
             WorkloadError::Empty => write!(f, "workload is empty"),
             WorkloadError::Schema(e) => write!(f, "schema error: {e}"),
@@ -342,11 +345,7 @@ mod tests {
 
     #[test]
     fn dedup_preserves_order() {
-        let w = Workload::new(
-            3,
-            vec![AttrMask(0b110), AttrMask(0b001), AttrMask(0b110)],
-        )
-        .unwrap();
+        let w = Workload::new(3, vec![AttrMask(0b110), AttrMask(0b001), AttrMask(0b110)]).unwrap();
         assert_eq!(w.marginals(), &[AttrMask(0b110), AttrMask(0b001)]);
     }
 
@@ -356,7 +355,10 @@ mod tests {
             Workload::new(2, vec![AttrMask(0b100)]),
             Err(WorkloadError::MaskOutOfDomain { .. })
         ));
-        assert!(matches!(Workload::new(2, vec![]), Err(WorkloadError::Empty)));
+        assert!(matches!(
+            Workload::new(2, vec![]),
+            Err(WorkloadError::Empty)
+        ));
         assert!(matches!(
             Workload::all_k_way(&schema8(), 0),
             Err(WorkloadError::BadArity { .. })

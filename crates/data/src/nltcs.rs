@@ -127,8 +127,7 @@ mod tests {
         // Positive pairwise correlation between the first two items.
         let p0 = recs.iter().filter(|r| r[0] == 1).count() as f64 / recs.len() as f64;
         let p1 = recs.iter().filter(|r| r[1] == 1).count() as f64 / recs.len() as f64;
-        let p01 = recs.iter().filter(|r| r[0] == 1 && r[1] == 1).count() as f64
-            / recs.len() as f64;
+        let p01 = recs.iter().filter(|r| r[0] == 1 && r[1] == 1).count() as f64 / recs.len() as f64;
         assert!(p01 > 1.5 * p0 * p1, "p01={p01}, p0·p1={}", p0 * p1);
     }
 

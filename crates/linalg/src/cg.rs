@@ -213,7 +213,12 @@ mod tests {
 
     #[test]
     fn bad_preconditioner_length_is_rejected() {
-        let res = cg_solve(|v| v.to_vec(), &[1.0, 2.0], Some(&[1.0]), CgOptions::default());
+        let res = cg_solve(
+            |v| v.to_vec(),
+            &[1.0, 2.0],
+            Some(&[1.0]),
+            CgOptions::default(),
+        );
         assert!(matches!(res, Err(LinalgError::DimensionMismatch { .. })));
     }
 }

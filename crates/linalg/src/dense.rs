@@ -62,7 +62,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
@@ -339,10 +343,7 @@ mod tests {
         assert_eq!(a.matvec(&x).unwrap(), vec![5.0, 11.0]);
         let y = vec![1.0, 2.0];
         let at = a.transpose();
-        assert_eq!(
-            a.matvec_transposed(&y).unwrap(),
-            at.matvec(&y).unwrap()
-        );
+        assert_eq!(a.matvec_transposed(&y).unwrap(), at.matvec(&y).unwrap());
     }
 
     #[test]

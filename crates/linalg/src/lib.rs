@@ -18,9 +18,13 @@
 //!   discrete Fourier transform over the Boolean hypercube (Section 4.1).
 //! * [`wavelet`] — the 1-D Haar wavelet transform (the strategy of Xiao et
 //!   al. \[23\], supported by the grouping framework of Definition 3.1).
+//! * [`operator`] — the matrix-free [`LinearOperator`] abstraction unifying
+//!   all of the above (dense, sparse, WHT, hierarchical, Haar) behind one
+//!   `apply`/`apply_transpose` interface, plus operator-based GLS.
 
 pub mod cg;
 pub mod dense;
+pub mod operator;
 pub mod solve;
 pub mod sparse;
 pub mod wavelet;
@@ -28,6 +32,10 @@ pub mod wht;
 
 pub use cg::{cg_solve, CgOptions, CgOutcome};
 pub use dense::Matrix;
+pub use operator::{
+    gls_normal_solve, HaarOperator, HierarchicalOperator, IdentityOperator, LinearOperator,
+    ScaledOperator, WhtOperator,
+};
 pub use solve::{cholesky, solve_spd, CholeskyError};
 pub use sparse::CsrMatrix;
 pub use wavelet::{haar_forward, haar_inverse};

@@ -50,7 +50,11 @@ impl CsrBuilder {
     /// Panics if `col` is out of range (programmer error: the builder is an
     /// internal construction tool, not an input-validation boundary).
     pub fn push(&mut self, col: usize, value: f64) {
-        assert!(col < self.cols, "CSR column {col} out of range {}", self.cols);
+        assert!(
+            col < self.cols,
+            "CSR column {col} out of range {}",
+            self.cols
+        );
         if value != 0.0 {
             self.col_idx.push(col as u32);
             self.values.push(value);

@@ -21,7 +21,10 @@
 /// Panics if the length is not a power of two.
 pub fn haar_forward(data: &mut [f64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "Haar length {n} must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "Haar length {n} must be a power of two"
+    );
     let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
     let mut len = n;
     let mut buf = vec![0.0; n];
@@ -42,7 +45,10 @@ pub fn haar_forward(data: &mut [f64]) {
 /// [`haar_forward`].
 pub fn haar_inverse(data: &mut [f64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "Haar length {n} must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "Haar length {n} must be a power of two"
+    );
     let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
     let mut len = 2;
     let mut buf = vec![0.0; n];
@@ -84,11 +90,7 @@ pub fn haar_row_magnitude(n: usize, index: usize) -> f64 {
     // magnitude 2^{(ℓ-1)/2} / sqrt(n) ... derived from repeated 1/sqrt(2)
     // averaging: support s = n >> (level.saturating_sub(1)), magnitude
     // 1/sqrt(s).
-    let support = if level == 0 {
-        n
-    } else {
-        n >> (level - 1)
-    };
+    let support = if level == 0 { n } else { n >> (level - 1) };
     debug_assert!(level <= levels);
     1.0 / (support as f64).sqrt()
 }

@@ -8,10 +8,20 @@
 //! normalized (orthonormal) variant divides by `2^{d/2}` so that the
 //! transform is an involution.
 
+/// Vectors at least this long go through the multi-threaded blocked
+/// recursion — `2^16`, i.e. the `d ≥ 16` domains of the paper's Figure 6.
+const PARALLEL_LEN: usize = 1 << 16;
+
+/// Recursion below this block size stays on one thread.
+const SERIAL_BLOCK: usize = 1 << 13;
+
 /// Applies the **unnormalized** Walsh–Hadamard transform in place.
 ///
 /// `data.len()` must be a power of two. Applying it twice multiplies the
-/// vector by `N = data.len()`.
+/// vector by `N = data.len()`. Long vectors (`≥ 2^16`) are transformed with
+/// a blocked two-way recursion parallelized across cores; the arithmetic
+/// (operations and their order) is identical to the serial butterfly, so
+/// results are bitwise independent of the thread count.
 ///
 /// # Panics
 /// Panics if the length is not a power of two (this is a programming error:
@@ -19,6 +29,19 @@
 pub fn fwht(data: &mut [f64]) {
     let n = data.len();
     assert!(n.is_power_of_two(), "WHT length {n} must be a power of two");
+    let threads = rayon::current_num_threads();
+    if n >= PARALLEL_LEN && threads > 1 {
+        // ceil(log2(threads)) levels of parallel splitting saturate the pool.
+        let depth = usize::BITS - (threads - 1).leading_zeros();
+        fwht_blocked(data, depth as usize);
+    } else {
+        fwht_serial(data);
+    }
+}
+
+/// The classic in-place butterfly recursion.
+fn fwht_serial(data: &mut [f64]) {
+    let n = data.len();
     let mut h = 1;
     while h < n {
         for chunk in data.chunks_exact_mut(h * 2) {
@@ -32,6 +55,43 @@ pub fn fwht(data: &mut [f64]) {
         }
         h *= 2;
     }
+}
+
+/// `H_{2m} = [[H_m, H_m], [H_m, −H_m]]`: transform both halves (in
+/// parallel), then combine elementwise. This performs exactly the butterfly
+/// stages of [`fwht_serial`], reordered only across independent blocks.
+fn fwht_blocked(data: &mut [f64], par_depth: usize) {
+    let n = data.len();
+    if par_depth == 0 || n <= SERIAL_BLOCK {
+        fwht_serial(data);
+        return;
+    }
+    let (a, b) = data.split_at_mut(n / 2);
+    rayon::join(
+        || fwht_blocked(a, par_depth - 1),
+        || fwht_blocked(b, par_depth - 1),
+    );
+    butterfly_combine(a, b, par_depth);
+}
+
+/// The final cross-half butterfly, split recursively across threads.
+fn butterfly_combine(a: &mut [f64], b: &mut [f64], par_depth: usize) {
+    if par_depth == 0 || a.len() <= SERIAL_BLOCK {
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            let u = *x;
+            let v = *y;
+            *x = u + v;
+            *y = u - v;
+        }
+        return;
+    }
+    let mid = a.len() / 2;
+    let (a1, a2) = a.split_at_mut(mid);
+    let (b1, b2) = b.split_at_mut(mid);
+    rayon::join(
+        || butterfly_combine(a1, b1, par_depth - 1),
+        || butterfly_combine(a2, b2, par_depth - 1),
+    );
 }
 
 /// Applies the **orthonormal** Walsh–Hadamard transform in place
@@ -85,7 +145,11 @@ mod tests {
             x[j] = 1.0;
             fwht(&mut x);
             for (i, &v) in x.iter().enumerate() {
-                let expected = if ((i & j).count_ones() & 1) == 1 { -1.0 } else { 1.0 };
+                let expected = if ((i & j).count_ones() & 1) == 1 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 assert_eq!(v, expected, "entry ({i},{j})");
             }
         }
@@ -138,5 +202,18 @@ mod tests {
     fn non_power_of_two_panics() {
         let mut x = vec![1.0; 3];
         fwht(&mut x);
+    }
+
+    #[test]
+    fn blocked_transform_is_bitwise_identical_to_serial() {
+        // 2^17 exceeds the parallel threshold; the blocked recursion must
+        // reproduce the serial butterfly exactly (same ops, same order).
+        let n = 1usize << 17;
+        let x0: Vec<f64> = (0..n).map(|i| ((i * 31) % 101) as f64 - 50.0).collect();
+        let mut parallel = x0.clone();
+        fwht(&mut parallel);
+        let mut serial = x0;
+        fwht_serial(&mut serial);
+        assert_eq!(parallel, serial);
     }
 }

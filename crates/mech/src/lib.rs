@@ -141,7 +141,9 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        assert!(MechError::NonPositiveBudget(-1.0).to_string().contains("-1"));
+        assert!(MechError::NonPositiveBudget(-1.0)
+            .to_string()
+            .contains("-1"));
         assert!(MechError::LengthMismatch {
             answers: 1,
             budgets: 2

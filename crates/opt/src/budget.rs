@@ -166,11 +166,7 @@ pub fn uniform_group_budgets_gaussian(
     epsilon: f64,
 ) -> Result<BudgetSolution, OptError> {
     validate(groups, epsilon)?;
-    let denom: f64 = groups
-        .iter()
-        .filter(|g| g.s > 0.0)
-        .map(|g| g.c * g.c)
-        .sum();
+    let denom: f64 = groups.iter().filter(|g| g.s > 0.0).map(|g| g.c * g.c).sum();
     let eta = (epsilon * epsilon / denom).sqrt();
     let budgets: Vec<f64> = groups
         .iter()

@@ -117,11 +117,8 @@ pub fn solve_general_budgets(
     if active.is_empty() {
         return Err(OptError::BadInput("all recovery weights are zero".into()));
     }
-    let index_of: std::collections::HashMap<usize, usize> = active
-        .iter()
-        .enumerate()
-        .map(|(k, &i)| (i, k))
-        .collect();
+    let index_of: std::collections::HashMap<usize, usize> =
+        active.iter().enumerate().map(|(k, &i)| (i, k)).collect();
     let b: Vec<f64> = active.iter().map(|&i| problem.b[i]).collect();
     let na = active.len();
 
@@ -167,7 +164,11 @@ pub fn solve_general_budgets(
         if slacks.iter().any(|&s| s <= 0.0) {
             return f64::INFINITY;
         }
-        let obj: f64 = b.iter().zip(u).map(|(&bi, &ui)| bi * (-2.0 * ui).exp()).sum();
+        let obj: f64 = b
+            .iter()
+            .zip(u)
+            .map(|(&bi, &ui)| bi * (-2.0 * ui).exp())
+            .sum();
         t * obj - slacks.iter().map(|s| s.ln()).sum::<f64>()
     };
 
@@ -196,8 +197,7 @@ pub fn solve_general_budgets(
             }
             for (col, &slack) in columns.iter().zip(&slacks) {
                 let inv = 1.0 / slack;
-                let c: Vec<(usize, f64)> =
-                    col.iter().map(|&(k, a)| (k, a * u[k].exp())).collect();
+                let c: Vec<(usize, f64)> = col.iter().map(|&(k, a)| (k, a * u[k].exp())).collect();
                 for &(k, ck) in &c {
                     grad[k] += ck * inv;
                     hess[(k, k)] += ck * inv;
@@ -217,10 +217,7 @@ pub fn solve_general_budgets(
             let dir: Vec<f64> = match dp_linalg::solve_spd(&hess, &grad) {
                 Ok(d) => d,
                 Err(_) => {
-                    let scale = 1.0
-                        / (0..na)
-                            .map(|k| hess[(k, k)])
-                            .fold(1e-12_f64, f64::max);
+                    let scale = 1.0 / (0..na).map(|k| hess[(k, k)]).fold(1e-12_f64, f64::max);
                     grad.iter().map(|&g| g * scale).collect()
                 }
             };
@@ -232,7 +229,11 @@ pub fn solve_general_budgets(
             let mut step = 1.0;
             let mut accepted = false;
             for _ in 0..60 {
-                let trial: Vec<f64> = u.iter().zip(&dir).map(|(&ui, &di)| ui - step * di).collect();
+                let trial: Vec<f64> = u
+                    .iter()
+                    .zip(&dir)
+                    .map(|(&ui, &di)| ui - step * di)
+                    .collect();
                 let f1 = barrier_value(&trial, t);
                 if f1 < f0 - 1e-4 * step * decrement {
                     u = trial;
@@ -410,7 +411,10 @@ mod tests {
         let budgets = solve_general_budgets(&problem, ConvexOptions::default()).unwrap();
         assert!(budgets[1] > budgets[0] * 5.0, "{budgets:?}");
         // Compare with the closed form for singleton groups.
-        let spec = [GroupSpec { c: 1.0, s: 1.0 }, GroupSpec { c: 1.0, s: 1000.0 }];
+        let spec = [
+            GroupSpec { c: 1.0, s: 1.0 },
+            GroupSpec { c: 1.0, s: 1000.0 },
+        ];
         let closed = optimal_group_budgets(&spec, 1.0).unwrap();
         assert!((budgets[0] - closed.group_budgets[0]).abs() < 1e-3);
         assert!((budgets[1] - closed.group_budgets[1]).abs() < 1e-3);

@@ -54,6 +54,8 @@ mod tests {
     fn error_display() {
         assert!(OptError::BadInput("x".into()).to_string().contains("x"));
         assert!(OptError::Infeasible("y".into()).to_string().contains("y"));
-        assert!(OptError::NoConvergence("z".into()).to_string().contains("z"));
+        assert!(OptError::NoConvergence("z".into())
+            .to_string()
+            .contains("z"));
     }
 }

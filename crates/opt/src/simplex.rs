@@ -308,12 +308,7 @@ pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, LpError> {
             x[bv] = tab.rhs(r);
         }
     }
-    let objective = lp
-        .objective
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum::<f64>();
+    let objective = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
     Ok(LpSolution { x, objective })
 }
 

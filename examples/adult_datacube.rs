@@ -12,17 +12,19 @@ use rand::SeedableRng;
 
 fn main() {
     let schema = dp_data::adult_schema();
-    let (records, real) = dp_data::csv::adult_records_or_synthetic(
-        std::path::Path::new("data/adult.data"),
-        20130401,
-    )
-    .expect("synthesis cannot fail");
+    let (records, real) =
+        dp_data::csv::adult_records_or_synthetic(std::path::Path::new("data/adult.data"), 20130401)
+            .expect("synthesis cannot fail");
     println!(
         "Adult: {} records over {} attributes → {}-bit domain ({})",
         records.len(),
         schema.num_attributes(),
         schema.domain_bits(),
-        if real { "real data" } else { "synthetic stand-in" },
+        if real {
+            "real data"
+        } else {
+            "synthetic stand-in"
+        },
     );
     let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
 
@@ -44,13 +46,20 @@ fn main() {
         (StrategyKind::Identity, Budgeting::Uniform),
     ];
 
-    println!("{:>6} {:>12} {:>12} {:>12}", "method", "eps=0.1", "eps=0.5", "eps=1.0");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "method", "eps=0.1", "eps=0.5", "eps=1.0"
+    );
     for (strategy, budgeting) in methods {
-        let planner = ReleasePlanner::new(&table, &workload, strategy, budgeting)
-            .expect("planning succeeds");
+        let planner =
+            ReleasePlanner::new(&table, &workload, strategy, budgeting).expect("planning succeeds");
         print!("{:>6}", planner.label());
         for eps in [0.1, 0.5, 1.0] {
-            let trials = if strategy == StrategyKind::Identity { 1 } else { 3 };
+            let trials = if strategy == StrategyKind::Identity {
+                1
+            } else {
+                3
+            };
             let mut rng = StdRng::seed_from_u64(7 + (eps * 10.0) as u64);
             let mut err = 0.0;
             for _ in 0..trials {
@@ -74,12 +83,11 @@ fn main() {
             clustering.num_clusters(),
             workload.len()
         );
-        for (c, size) in clustering
-            .centroids
-            .iter()
-            .zip(clustering.cluster_sizes())
-        {
-            println!("  centroid {c} covering {size} queries ({} cells)", c.cell_count());
+        for (c, size) in clustering.centroids.iter().zip(clustering.cluster_sizes()) {
+            println!(
+                "  centroid {c} covering {size} queries ({} cells)",
+                c.cell_count()
+            );
         }
     }
 }

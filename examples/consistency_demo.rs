@@ -5,7 +5,9 @@
 //!
 //! Run with `cargo run --release --example consistency_demo`.
 
-use dp_core::consistency::{consistency_error_pair, is_consistent, make_consistent, ConsistencyNorm};
+use dp_core::consistency::{
+    consistency_error_pair, is_consistent, make_consistent, ConsistencyNorm,
+};
 use dp_core::fourier::{CoefficientSpace, ObservationOperator};
 use dp_core::prelude::*;
 use rand::rngs::StdRng;

@@ -45,7 +45,10 @@ fn main() {
 
     let workloads = [
         ("Q1*", Workload::k_way_plus_half(&schema, 1).expect("valid")),
-        ("Q1a", Workload::k_way_plus_attr(&schema, 1, 0).expect("valid")),
+        (
+            "Q1a",
+            Workload::k_way_plus_attr(&schema, 1, 0).expect("valid"),
+        ),
     ];
     let eps = 0.5;
     let trials = 10;
@@ -65,8 +68,24 @@ fn main() {
             StrategyKind::Cluster,
             StrategyKind::Workload,
         ] {
-            let uni = mean_error(&table, workload, strategy, Budgeting::Uniform, eps, trials, 5);
-            let opt = mean_error(&table, workload, strategy, Budgeting::Optimal, eps, trials, 5);
+            let uni = mean_error(
+                &table,
+                workload,
+                strategy,
+                Budgeting::Uniform,
+                eps,
+                trials,
+                5,
+            );
+            let opt = mean_error(
+                &table,
+                workload,
+                strategy,
+                Budgeting::Optimal,
+                eps,
+                trials,
+                5,
+            );
             println!(
                 "{:>9} {:>12.4} {:>12.4} {:>13.1}%",
                 strategy.label(),

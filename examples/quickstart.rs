@@ -56,10 +56,18 @@ fn main() {
     // The released marginals are mutually consistent: aggregating any two
     // to their common sub-marginal agrees.
     let a = release.answers[0]
-        .aggregate_to(release.answers[0].mask().intersect(release.answers[1].mask()))
+        .aggregate_to(
+            release.answers[0]
+                .mask()
+                .intersect(release.answers[1].mask()),
+        )
         .expect("intersection is dominated");
     let b = release.answers[1]
-        .aggregate_to(release.answers[0].mask().intersect(release.answers[1].mask()))
+        .aggregate_to(
+            release.answers[0]
+                .mask()
+                .intersect(release.answers[1].mask()),
+        )
         .expect("intersection is dominated");
     let gap: f64 = a
         .values()

@@ -41,8 +41,8 @@ fn main() {
             if strategy == RangeStrategy::Identity && optimal {
                 continue; // single group: identical to uniform
             }
-            let plan = plan_range_release(&workload, strategy, optimal, 1.0)
-                .expect("planning succeeds");
+            let plan =
+                plan_range_release(&workload, strategy, optimal, 1.0).expect("planning succeeds");
             let mut mae = 0.0;
             for _ in 0..trials {
                 let y = plan.release(&hist, &mut rng).expect("release succeeds");

@@ -56,6 +56,9 @@ pub struct ReleaseArgs {
     pub seed: u64,
     /// Post-process to non-negative integral marginals.
     pub nonnegative: bool,
+    /// Emit the full release (label, ε, budgets, answers) as a single
+    /// machine-consumable JSON document instead of the marginal list.
+    pub json: bool,
     /// Optional JSON output path.
     pub output: Option<String>,
 }
@@ -80,7 +83,7 @@ USAGE:
   datacube-dp release --dataset <adult|nltcs> --workload <q1|q1star|q1a|q2|q2star|q2a>
                       --strategy <f|q|c|i> --budgets <uniform|optimal>
                       --epsilon <f64> [--delta <f64>] [--seed <u64>]
-                      [--nonnegative] [--output <path.json>]
+                      [--nonnegative] [--json] [--output <path.json>]
   datacube-dp inspect --dataset <adult|nltcs>
   datacube-dp help
 ";
@@ -126,7 +129,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--dataset" => {
-                        let v = it.next().ok_or(CliError("--dataset needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or(CliError("--dataset needs a value".into()))?;
                         dataset = Some(parse_dataset(v)?);
                     }
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
@@ -145,6 +150,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut delta = None;
             let mut seed = 42u64;
             let mut nonnegative = false;
+            let mut json = false;
             let mut output = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
@@ -157,14 +163,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--strategy" => strategy = Some(parse_strategy(value("--strategy")?)?),
                     "--budgets" => budgets = parse_budgets(value("--budgets")?)?,
                     "--epsilon" => {
-                        epsilon = Some(value("--epsilon")?.parse::<f64>().map_err(|e| {
-                            CliError(format!("bad --epsilon: {e}"))
-                        })?)
+                        epsilon = Some(
+                            value("--epsilon")?
+                                .parse::<f64>()
+                                .map_err(|e| CliError(format!("bad --epsilon: {e}")))?,
+                        )
                     }
                     "--delta" => {
-                        delta = Some(value("--delta")?.parse::<f64>().map_err(|e| {
-                            CliError(format!("bad --delta: {e}"))
-                        })?)
+                        delta = Some(
+                            value("--delta")?
+                                .parse::<f64>()
+                                .map_err(|e| CliError(format!("bad --delta: {e}")))?,
+                        )
                     }
                     "--seed" => {
                         seed = value("--seed")?
@@ -172,6 +182,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             .map_err(|e| CliError(format!("bad --seed: {e}")))?
                     }
                     "--nonnegative" => nonnegative = true,
+                    "--json" => json = true,
                     "--output" => output = Some(value("--output")?.clone()),
                     other => return Err(CliError(format!("unknown flag {other:?}"))),
                 }
@@ -185,6 +196,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 delta,
                 seed,
                 nonnegative,
+                json,
                 output,
             }))
         }
@@ -213,7 +225,10 @@ pub fn build_workload(schema: &Schema, label: &str) -> Result<Workload, CliError
 }
 
 /// Loads the dataset's schema and contingency table.
-pub fn load_dataset(dataset: DatasetArg, seed: u64) -> Result<(Schema, ContingencyTable), CliError> {
+pub fn load_dataset(
+    dataset: DatasetArg,
+    seed: u64,
+) -> Result<(Schema, ContingencyTable), CliError> {
     let (schema, records) = match dataset {
         DatasetArg::Adult => {
             let schema = dp_data::adult_schema();
@@ -237,6 +252,12 @@ pub fn load_dataset(dataset: DatasetArg, seed: u64) -> Result<(Schema, Contingen
     let table = ContingencyTable::from_records(&schema, &records)
         .map_err(|e| CliError(format!("building table: {e}")))?;
     Ok((schema, table))
+}
+
+/// Serializes a full release — label, achieved ε, budgets and answers — as
+/// one machine-consumable JSON document (the `--json` output).
+pub fn release_to_json(release: &dp_core::Release) -> String {
+    serde_json::to_string_pretty(release).expect("release serialization is infallible")
 }
 
 /// Serializes released marginals as a human-readable JSON document.
@@ -287,6 +308,7 @@ mod tests {
             "--seed",
             "9",
             "--nonnegative",
+            "--json",
             "--output",
             "out.json",
         ]))
@@ -301,8 +323,27 @@ mod tests {
         assert_eq!(a.epsilon, 0.5);
         assert_eq!(a.seed, 9);
         assert!(a.nonnegative);
+        assert!(a.json);
         assert_eq!(a.output.as_deref(), Some("out.json"));
         assert_eq!(a.delta, None);
+    }
+
+    #[test]
+    fn release_json_document_is_parseable() {
+        use dp_core::prelude::*;
+        use rand::SeedableRng;
+        let t = ContingencyTable::from_counts(vec![3.0, 1.0, 0.0, 2.0]);
+        let w = Workload::new(2, vec![crate::core::AttrMask(0b11)]).unwrap();
+        let p = ReleasePlanner::new(&t, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let release = p
+            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+            .unwrap();
+        let doc = release_to_json(&release);
+        let back: dp_core::Release = serde_json::from_str(&doc).unwrap();
+        assert_eq!(back.label, release.label);
+        assert_eq!(back.answers.len(), 1);
+        assert_eq!(back.answers[0].values(), release.answers[0].values());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! for the argument grammar.
 
 use datacube_dp::cli::{
-    build_workload, load_dataset, marginals_to_json, parse_args, Command, ReleaseArgs, USAGE,
+    build_workload, load_dataset, marginals_to_json, parse_args, release_to_json, Command,
+    ReleaseArgs, USAGE,
 };
 use datacube_dp::prelude::*;
 use rand::rngs::StdRng;
@@ -42,9 +43,18 @@ fn run_inspect(dataset: datacube_dp::cli::DatasetArg) -> Result<(), String> {
     let (schema, table) = load_dataset(dataset, 20130401).map_err(|e| e.to_string())?;
     println!("attributes: {}", schema.num_attributes());
     for (i, a) in schema.attributes().iter().enumerate() {
-        println!("  [{i}] {} (cardinality {}, {} bits)", a.name, a.cardinality, a.bits());
+        println!(
+            "  [{i}] {} (cardinality {}, {} bits)",
+            a.name,
+            a.cardinality,
+            a.bits()
+        );
     }
-    println!("domain: 2^{} = {} cells", schema.domain_bits(), schema.domain_size());
+    println!(
+        "domain: 2^{} = {} cells",
+        schema.domain_bits(),
+        schema.domain_size()
+    );
     println!("records: {}", table.total());
     Ok(())
 }
@@ -64,27 +74,31 @@ fn run_release(args: &ReleaseArgs) -> Result<(), String> {
     let planner = ReleasePlanner::new(&table, &workload, args.strategy, args.budgets)
         .map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let release = planner.release(privacy, &mut rng).map_err(|e| e.to_string())?;
+    let mut release = planner
+        .release(privacy, &mut rng)
+        .map_err(|e| e.to_string())?;
 
-    let answers = if args.nonnegative {
+    if args.nonnegative {
         let (_, projected) = dp_core::postprocess::project_nonnegative(
             schema.domain_bits(),
             &release.answers,
             dp_core::postprocess::ProjectOptions::default(),
         )
         .map_err(|e| e.to_string())?;
-        projected
-    } else {
-        release.answers
-    };
+        release.answers = projected;
+    }
 
     eprintln!(
         "released {} marginals with method {} (achieved ε = {:.6})",
-        answers.len(),
+        release.answers.len(),
         release.label,
         release.achieved_epsilon
     );
-    let json = marginals_to_json(&answers);
+    let json = if args.json {
+        release_to_json(&release)
+    } else {
+        marginals_to_json(&release.answers)
+    };
     match &args.output {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;

@@ -80,8 +80,24 @@ fn optimal_budgets_improve_error_on_mixed_arity_workloads() {
         StrategyKind::Workload,
         StrategyKind::Cluster,
     ] {
-        let uni = mean_rel_error(&table, &workload, strategy, Budgeting::Uniform, 0.5, trials, 2);
-        let opt = mean_rel_error(&table, &workload, strategy, Budgeting::Optimal, 0.5, trials, 2);
+        let uni = mean_rel_error(
+            &table,
+            &workload,
+            strategy,
+            Budgeting::Uniform,
+            0.5,
+            trials,
+            2,
+        );
+        let opt = mean_rel_error(
+            &table,
+            &workload,
+            strategy,
+            Budgeting::Optimal,
+            0.5,
+            trials,
+            2,
+        );
         assert!(
             opt <= uni * 1.05,
             "{strategy:?}: optimal {opt} should not lose to uniform {uni}"

@@ -4,8 +4,8 @@
 //! privacy constraints computed from the explicit strategy matrices.
 
 use datacube_dp::prelude::*;
-use dp_core::framework::{gls_recovery, output_variances};
 use dp_core::fourier::{CoefficientSpace, ObservationOperator};
+use dp_core::framework::{gls_recovery, output_variances};
 use dp_linalg::Matrix;
 use dp_mech::privacy::verify_pure_budgets;
 use rand::rngs::StdRng;
@@ -30,11 +30,7 @@ fn fourier_space_gls_matches_dense_gls_recovery() {
     let table = random_table(d, 1);
     let w = Workload::new(
         d,
-        vec![
-            AttrMask(0b0011),
-            AttrMask(0b0110),
-            AttrMask(0b1001),
-        ],
+        vec![AttrMask(0b0011), AttrMask(0b0110), AttrMask(0b1001)],
     )
     .unwrap();
     let s = workload_strategy_matrix(&w);
@@ -75,8 +71,7 @@ fn fourier_space_gls_matches_dense_gls_recovery() {
         r[i] = 1.0;
         rows.push(r);
     }
-    let s_aug =
-        Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
+    let s_aug = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
     let mut vars_aug = row_vars.clone();
     vars_aug.extend(std::iter::repeat_n(1e8, n));
     let q = w.query_matrix();
@@ -114,8 +109,7 @@ fn predicted_gls_variances_match_dense_oracle_for_figure1() {
         r[i] = 1.0;
         rows.push(r);
     }
-    let s_aug =
-        Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
+    let s_aug = Matrix::from_rows(&rows.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
     let mut vars_aug = row_vars.clone();
     vars_aug.extend(std::iter::repeat_n(1e8, n));
     let r_gls = gls_recovery(&q, &s_aug, &vars_aug).unwrap();
@@ -140,7 +134,11 @@ fn budgets_satisfy_proposition_31_on_explicit_matrices() {
     let eps = 0.7;
     let mut rng = StdRng::seed_from_u64(4);
 
-    for strategy in [StrategyKind::Workload, StrategyKind::Fourier, StrategyKind::Cluster] {
+    for strategy in [
+        StrategyKind::Workload,
+        StrategyKind::Fourier,
+        StrategyKind::Cluster,
+    ] {
         let planner = ReleasePlanner::new(&table, &w, strategy, Budgeting::Optimal).unwrap();
         let release = planner
             .release(PrivacyLevel::Pure { epsilon: eps }, &mut rng)
@@ -152,8 +150,10 @@ fn budgets_satisfy_proposition_31_on_explicit_matrices() {
                 let s = w.query_matrix();
                 let mut budgets = Vec::new();
                 for (g, &alpha) in w.marginals().iter().enumerate() {
-                    budgets
-                        .extend(std::iter::repeat_n(release.group_budgets[g], alpha.cell_count()));
+                    budgets.extend(std::iter::repeat_n(
+                        release.group_budgets[g],
+                        alpha.cell_count(),
+                    ));
                 }
                 (s, budgets)
             }
@@ -163,8 +163,7 @@ fn budgets_satisfy_proposition_31_on_explicit_matrices() {
                 let mut m = Matrix::zeros(support.len(), n);
                 for (i, &beta) in support.iter().enumerate() {
                     for col in 0..n as u64 {
-                        m[(i, col as usize)] =
-                            beta.sign(AttrMask(col)) / 2f64.powf(d as f64 / 2.0);
+                        m[(i, col as usize)] = beta.sign(AttrMask(col)) / 2f64.powf(d as f64 / 2.0);
                     }
                 }
                 (m, release.group_budgets.clone())
@@ -176,8 +175,10 @@ fn budgets_satisfy_proposition_31_on_explicit_matrices() {
                 let s = cluster_workload.query_matrix();
                 let mut budgets = Vec::new();
                 for (g, &u) in cluster_workload.marginals().iter().enumerate() {
-                    budgets
-                        .extend(std::iter::repeat_n(release.group_budgets[g], u.cell_count()));
+                    budgets.extend(std::iter::repeat_n(
+                        release.group_budgets[g],
+                        u.cell_count(),
+                    ));
                 }
                 (s, budgets)
             }

@@ -1,0 +1,67 @@
+//! Demonstrates that a d = 16 release over all 2-way marginals exercises
+//! the multi-threaded paths (rayon) and never materializes a dense
+//! `2^d × 2^d` matrix — the whole release fits comfortably in memory and
+//! completes in well under a second, which a 4-billion-entry matrix could
+//! not.
+
+use datacube_dp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn nltcs_16bit_table() -> (Schema, ContingencyTable) {
+    let schema = dp_data::nltcs_schema();
+    assert_eq!(schema.domain_bits(), 16);
+    let records = dp_data::synthesize_nltcs(21_576, 7);
+    let table = ContingencyTable::from_records(&schema, &records).unwrap();
+    (schema, table)
+}
+
+#[test]
+fn d16_two_way_release_runs_on_multiple_threads() {
+    let (schema, table) = nltcs_16bit_table();
+    let w = Workload::all_k_way(&schema, 2).unwrap();
+    assert_eq!(w.len(), 120);
+
+    // `workers_spawned` is a diagnostic counter of the vendored rayon shim:
+    // it counts scoped worker threads actually spawned. On a multi-core
+    // machine a d = 16 release must fan out (per-marginal folds, chunked
+    // noising of the 65 536-cell observation vector).
+    let before = rayon::workers_spawned();
+    for strategy in [StrategyKind::Identity, StrategyKind::Fourier] {
+        let planner = ReleasePlanner::new(&table, &w, strategy, Budgeting::Optimal).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let release = planner
+            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+            .unwrap();
+        assert_eq!(release.answers.len(), w.len());
+        assert!(release.achieved_epsilon <= 1.0 + 1e-9);
+    }
+    if rayon::current_num_threads() > 1 {
+        let spawned = rayon::workers_spawned() - before;
+        assert!(
+            spawned > 0,
+            "expected the d = 16 release to spawn worker threads, got {spawned}"
+        );
+    }
+}
+
+#[test]
+fn d16_fourier_release_is_accurate_at_loose_epsilon() {
+    // End-to-end sanity on the big domain: a loose ε must give answers
+    // close to the exact marginals (no dense-matrix path could even run
+    // here if one existed by accident).
+    let (schema, table) = nltcs_16bit_table();
+    let w = Workload::all_k_way(&schema, 2).unwrap();
+    let planner =
+        ReleasePlanner::new(&table, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let release = planner
+        .release(PrivacyLevel::Pure { epsilon: 1e6 }, &mut rng)
+        .unwrap();
+    let exact = w.true_answers(&table);
+    for (noisy, exact) in release.answers.iter().zip(&exact) {
+        for (a, b) in noisy.values().iter().zip(exact.values()) {
+            assert!((a - b).abs() < 1.0, "{a} vs {b}");
+        }
+    }
+}

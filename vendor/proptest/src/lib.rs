@@ -1,0 +1,194 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with `arg in strategy` bindings, range strategies over numeric
+//! types, `collection::vec`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Each property runs a fixed number of deterministic cases (seeded from
+//! the case index), so failures are reproducible. There is no shrinking —
+//! the failing inputs are printed instead.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Number of random cases per property.
+pub const CASES: u64 = 64;
+
+/// A source of random values for strategies.
+pub type TestRng = StdRng;
+
+/// Something that can generate values for a property-test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug + Clone;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u64, u32, usize, i64, i32, isize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An inclusive-exclusive size specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Asserts inside a property, attributing the failure to the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut prop_rng = <$crate::TestRng as ::rand::SeedableRng>::seed_from_u64(
+                        0x5eed ^ case.wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strategy, &mut prop_rng);
+                    )+
+                    // Render the inputs before the body can move them, so a
+                    // failing case can be reported without shrinking support.
+                    let rendered_inputs = format!(
+                        concat!(
+                            "proptest case {} of ", stringify!($name), " failed with inputs:",
+                            $( "\n  ", stringify!($arg), " = {:?}", )+
+                        ),
+                        case, $( &$arg ),+
+                    );
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!("{rendered_inputs}");
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let u = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = collection::vec(0.0f64..1.0, 2..6);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let fixed = collection::vec(0.0f64..1.0, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_and_runs(x in 0u64..100, v in collection::vec(0.0f64..1.0, 1..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.is_empty(), false);
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no registry access, so this shim reimplements
+//! the subset of rayon's API the workspace uses — and it is **genuinely
+//! parallel**: work is split into contiguous index blocks and executed on
+//! scoped OS threads (`std::thread::scope`), one per available core, not a
+//! sequential fake. There is no work-stealing pool; for the coarse-grained
+//! data parallelism in this workspace (per-group noising, per-marginal
+//! reconstruction, blocked transforms) static block splitting is within
+//! noise of a real pool.
+//!
+//! Supported surface: `par_iter` / `par_iter_mut` / `into_par_iter` on
+//! slices, `Vec`s and ranges, `par_chunks_mut`, the `map` / `enumerate` /
+//! `for_each` / `collect` / `sum` / `reduce` adaptors, [`join`], and
+//! [`current_num_threads`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work items below this count run sequentially — one item cannot be split,
+/// and spawning for a pair is rarely worth it. Callers with many fine-grained
+/// items should batch them into chunky units (as rayon users do with
+/// `with_min_len` / `par_chunks`); this shim keeps the split static.
+const MIN_PARALLEL_LEN: usize = 4;
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// Count of scoped worker threads spawned so far (test/diagnostic hook:
+/// proves parallel paths really fan out onto extra threads).
+pub fn workers_spawned() -> usize {
+    WORKERS_SPAWNED.load(Ordering::Relaxed)
+}
+
+static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Splits `0..len` into at most `num_threads` contiguous blocks and runs
+/// `work(range)` for each block on its own scoped thread. The first block
+/// runs on the calling thread.
+fn run_blocks<F>(len: usize, work: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len < MIN_PARALLEL_LEN {
+        work(0..len);
+        return;
+    }
+    let block = len.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 1..threads {
+            let lo = t * block;
+            let hi = ((t + 1) * block).min(len);
+            if lo >= hi {
+                break;
+            }
+            let work = &work;
+            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            s.spawn(move || work(lo..hi));
+        }
+        work(0..block.min(len));
+    });
+}
+
+/// The shim's parallel-iterator abstraction: random access by index.
+///
+/// `pi_get` hands out item `i`; driver methods split the index space over
+/// threads. All adaptors preserve indexed access, so `collect` keeps order.
+pub trait ParallelIterator: Send + Sync + Sized {
+    /// The item type produced for each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces item `i`. Must be safe to call concurrently from multiple
+    /// threads with distinct indices.
+    fn pi_get(&self, i: usize) -> Self::Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        run_blocks(self.pi_len(), |range| {
+            for i in range {
+                f(self.pi_get(i));
+            }
+        });
+    }
+
+    /// Collects items in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items in parallel.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = collect_blocks(&self, |range, iter| {
+            range.map(|i| iter.pi_get(i)).sum::<S>()
+        });
+        partials.into_iter().sum()
+    }
+
+    /// Reduces the items with `op`, starting each block from `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let partials = collect_blocks(&self, |range, iter| {
+            range.fold(identity(), |acc, i| op(acc, iter.pi_get(i)))
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Compatibility no-op (the shim always splits into contiguous blocks).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Runs `f` once per contiguous block and returns the per-block results in
+/// block order.
+fn collect_blocks<I, R, F>(iter: &I, f: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(std::ops::Range<usize>, &I) -> R + Sync,
+{
+    let len = iter.pi_len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len < MIN_PARALLEL_LEN {
+        return vec![f(0..len, iter)];
+    }
+    let block = len.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(len.div_ceil(block), || None);
+    std::thread::scope(|s| {
+        let mut slots = out.iter_mut();
+        let first_slot = slots.next().expect("at least one block");
+        let mut handles = Vec::new();
+        for (t, slot) in slots.enumerate() {
+            let lo = (t + 1) * block;
+            let hi = ((t + 2) * block).min(len);
+            let f = &f;
+            WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            handles.push(s.spawn(move || *slot = Some(f(lo..hi, iter))));
+        }
+        *first_slot = Some(f(0..block.min(len), iter));
+        for h in handles {
+            h.join().expect("rayon shim: worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("rayon shim: block result missing"))
+        .collect()
+}
+
+/// Conversion from a parallel iterator (order-preserving).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from the iterator.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let blocks = collect_blocks(&iter, |range, it| {
+            range.map(|i| it.pi_get(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(iter.pi_len());
+        for b in blocks {
+            out.extend(b);
+        }
+        out
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(iter: I) -> Self {
+        let blocks = collect_blocks(&iter, |range, it| {
+            range.map(|i| it.pi_get(i)).collect::<Result<Vec<T>, E>>()
+        });
+        let mut out = Vec::with_capacity(iter.pi_len());
+        for b in blocks {
+            out.extend(b?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn pi_get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> R {
+        (self.f)(self.base.pi_get(i))
+    }
+}
+
+/// `enumerate` adaptor.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.pi_get(i))
+    }
+}
+
+/// Parallel mutable iteration over disjoint chunk views of a slice.
+///
+/// Unlike the indexed iterators above, mutable iteration hands each worker
+/// thread an exclusive sub-slice, so items are driven via [`ParChunksMut::for_each`]
+/// (optionally enumerated) rather than random access.
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    fn drive<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Send + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let n = chunks.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n == 1 {
+            for (i, c) in chunks {
+                f(i, c);
+            }
+            return;
+        }
+        // Deal chunks round-robin into per-thread work lists.
+        let mut per_thread: Vec<Vec<(usize, &mut [T])>> = Vec::new();
+        per_thread.resize_with(threads, Vec::new);
+        for (j, chunk) in chunks.into_iter().enumerate() {
+            per_thread[j % threads].push(chunk);
+        }
+        std::thread::scope(|s| {
+            let mut rest = per_thread.into_iter();
+            let mine = rest.next().expect("at least one thread");
+            for work in rest {
+                let f = &f;
+                WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+                s.spawn(move || {
+                    for (i, c) in work {
+                        f(i, c);
+                    }
+                });
+            }
+            for (i, c) in mine {
+                f(i, c);
+            }
+        });
+    }
+
+    /// Runs `f` on every chunk, chunks distributed across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        self.drive(|_, c| f(c));
+    }
+}
+
+/// Enumerated [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        self.inner.drive(|i, c| f((i, c)));
+    }
+}
+
+/// Extension traits mirroring rayon's prelude.
+pub mod prelude {
+    pub use super::{FromParallelIterator, ParallelIterator};
+
+    /// `par_iter` on shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed item type.
+        type Item: Send + 'a;
+        /// The iterator type.
+        type Iter: super::ParallelIterator<Item = Self::Item>;
+
+        /// Returns a parallel iterator over borrowed items.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = super::ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> super::ParIter<'a, T> {
+            super::ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = super::ParIter<'a, T>;
+
+        fn par_iter(&'a self) -> super::ParIter<'a, T> {
+            super::ParIter { slice: self }
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Exclusive view of the data.
+        fn psm_slice(&mut self) -> &mut [T];
+
+        /// Parallel iteration over disjoint chunks of `chunk_size`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> super::ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            super::ParChunksMut {
+                slice: self.psm_slice(),
+                chunk_size,
+            }
+        }
+
+        /// Parallel mutable per-item iteration (single-item chunks under the
+        /// hood, batched per thread).
+        fn par_iter_mut(&mut self) -> super::ParChunksMut<'_, T> {
+            let len = self.psm_slice().len().max(1);
+            let chunk = len.div_ceil(super::current_num_threads().max(1));
+            super::ParChunksMut {
+                slice: self.psm_slice(),
+                chunk_size: chunk.max(1),
+            }
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn psm_slice(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+        fn psm_slice(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    /// `into_par_iter` on ranges.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: super::ParallelIterator<Item = Self::Item>;
+
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = super::ParRange;
+
+        fn into_par_iter(self) -> super::ParRange {
+            super::ParRange {
+                start: self.start,
+                end: self.end,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let data: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i);
+        }
+    }
+
+    #[test]
+    fn par_sum_matches_sequential() {
+        let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        let par: f64 = data.par_iter().map(|&x| x).sum();
+        let seq: f64 = data.iter().sum();
+        assert!((par - seq).abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let mut data = vec![0usize; 10_000];
+        data.par_chunks_mut(100).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = i;
+            }
+        });
+        for (j, v) in data.iter().enumerate() {
+            assert_eq!(*v, j / 100);
+        }
+    }
+
+    #[test]
+    fn large_workloads_use_multiple_threads() {
+        if super::current_num_threads() <= 1 {
+            return; // single-core CI runner: nothing to demonstrate
+        }
+        let ids = Mutex::new(HashSet::new());
+        (0..100_000usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected work on more than one thread"
+        );
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn enumerate_indexes_correctly() {
+        let data: Vec<usize> = (0..5000).map(|i| i * 3).collect();
+        let out: Vec<(usize, usize)> = data.par_iter().enumerate().map(|(i, &v)| (i, v)).collect();
+        for (i, v) in out {
+            assert_eq!(v, i * 3);
+        }
+    }
+
+    #[test]
+    fn reduce_matches_fold() {
+        let data: Vec<usize> = (1..=10_000).collect();
+        let max = data.par_iter().map(|&x| x).reduce(|| 0, usize::max);
+        assert_eq!(max, 10_000);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_value() {
+        let data: Vec<usize> = (0..5000).collect();
+        let ok: Result<Vec<usize>, String> = data.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), 5000);
+        let err: Result<Vec<usize>, String> = data
+            .par_iter()
+            .map(|&x| {
+                if x == 4321 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+}

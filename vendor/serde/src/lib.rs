@@ -1,0 +1,246 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! subset of serde the workspace uses: [`Serialize`]/[`Deserialize`] traits
+//! (modelled through an owned JSON-like [`Value`] rather than serde's
+//! zero-copy visitor machinery), blanket impls for the primitive types the
+//! workspace serializes, and a `#[derive(Serialize, Deserialize)]` macro for
+//! plain named-field structs (re-exported from the sibling `serde_derive`
+//! shim). `serde_json` (also vendored) renders and parses [`Value`].
+//!
+//! The shim is API-compatible at the call sites used here; swap the
+//! workspace dependency back to crates.io when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document tree — the interchange type of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (always carried as `f64`).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error: a human-readable path + reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Convenience constructor.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// A "field missing" error.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+macro_rules! serialize_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+                value
+                    .as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| DeError::new(format!("expected number, got {value:?}")))
+            }
+        }
+    )*};
+}
+
+serialize_number!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::new(format!("expected bool, got {value:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::new(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {value:?}")))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()), Ok(1.5));
+        assert_eq!(bool::deserialize_value(&true.serialize_value()), Ok(true));
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u32>::deserialize_value(&vec![1u32, 2].serialize_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<f64>::deserialize_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(f64::deserialize_value(&Value::Bool(true)).is_err());
+        assert!(String::deserialize_value(&Value::Number(1.0)).is_err());
+        assert!(Vec::<f64>::deserialize_value(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert_eq!(v.get_field("a").and_then(Value::as_f64), Some(1.0));
+        assert!(v.get_field("b").is_none());
+    }
+}

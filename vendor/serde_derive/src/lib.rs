@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for **plain named-field structs** (no generics,
+//! no enums, no field attributes), implemented directly on
+//! [`proc_macro::TokenStream`] so it needs neither `syn` nor `quote`.
+//!
+//! The expansion targets the vendored `serde` shim's `Value`-based traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed struct: its name and the ordered list of field names.
+struct NamedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `[attrs] [pub] struct Name { [attrs] [pub] field: Type, ... }`.
+///
+/// Panics with a descriptive message on anything fancier (tuple structs,
+/// generics, enums) — extend the shim if a future type needs it.
+fn parse_named_struct(input: TokenStream) -> NamedStruct {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute body group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+                }
+                break;
+            }
+            TokenTree::Ident(_) => {} // visibility / `pub`
+            other => panic!("serde_derive shim: unexpected token {other:?} before `struct`"),
+        }
+    }
+    let name = name.expect("serde_derive shim: derive target must be a struct");
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive shim: generic structs are not supported")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple structs are not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive shim: struct `{name}` has no braced field list"),
+        }
+    };
+
+    // Fields: split on top-level commas; within each field the name is the
+    // last identifier before the first top-level `:`.
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut seen_colon = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                seen_colon = false;
+                last_ident = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon => {
+                seen_colon = true;
+                fields.push(
+                    last_ident
+                        .take()
+                        .expect("serde_derive shim: field without a name"),
+                );
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && !seen_colon => {}
+            TokenTree::Ident(id) if !seen_colon => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {} // attribute groups before the name, or the type tokens
+        }
+    }
+
+    NamedStruct { name, fields }
+}
+
+/// Expands `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_named_struct(input);
+    let pushes: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((\"{f}\".to_string(), \
+                 ::serde::Serialize::serialize_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// Expands `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_named_struct(input);
+    let inits: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\
+                 value.get_field(\"{f}\")\
+                 .ok_or_else(|| ::serde::DeError::missing_field(\"{f}\"))?)?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok({name} {{\n{inits}}})\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}
