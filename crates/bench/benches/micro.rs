@@ -102,18 +102,20 @@ fn bench_end_to_end(c: &mut Criterion) {
         StrategyKind::Cluster,
         StrategyKind::Identity,
     ] {
-        let planner = ReleasePlanner::new(&table, &w, strategy, Budgeting::Optimal).unwrap();
+        let plan = PlanBuilder::marginals(w.clone(), strategy)
+            .budgeting(Budgeting::Optimal)
+            .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+            .compile()
+            .unwrap();
+        let session = Session::bind(&plan, &table).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),
             &strategy,
             |b, _| {
-                let mut rng = StdRng::seed_from_u64(3);
+                let mut seed = 3u64;
                 b.iter(|| {
-                    black_box(
-                        planner
-                            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
-                            .unwrap(),
-                    )
+                    seed = seed.wrapping_add(1);
+                    black_box(session.release(seed).unwrap())
                 })
             },
         );

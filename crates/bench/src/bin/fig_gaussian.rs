@@ -8,8 +8,6 @@
 use dp_bench::{write_jsonl, WorkloadFamily};
 use dp_core::metrics::average_relative_error;
 use dp_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -53,28 +51,31 @@ fn main() {
                 (StrategyKind::Workload, Budgeting::Uniform),
                 (StrategyKind::Workload, Budgeting::Optimal),
             ] {
-                let planner = ReleasePlanner::new(&table, &workload, strategy, budgeting)
+                let plan = PlanBuilder::marginals(workload.clone(), strategy)
+                    .budgeting(budgeting)
+                    .privacy(PrivacyLevel::Approx {
+                        epsilon: eps,
+                        delta,
+                    })
+                    .compile()
                     .expect("planning succeeds");
-                let mut rng = StdRng::seed_from_u64(31 + eps.to_bits() % 97);
-                let trials = 6;
-                let mut err = 0.0;
-                for _ in 0..trials {
-                    let r = planner
-                        .release(
-                            PrivacyLevel::Approx {
-                                epsilon: eps,
-                                delta,
-                            },
-                            &mut rng,
-                        )
-                        .expect("release succeeds");
-                    err += average_relative_error(&r.answers, &exact).expect("aligned")
-                        / trials as f64;
-                }
+                let session = Session::bind(&plan, &table).expect("table matches");
+                let trials = 6u64;
+                let base = 31 + eps.to_bits() % 97;
+                let seeds: Vec<u64> = (0..trials).map(|t| base + t).collect();
+                let err: f64 = session
+                    .release_batch(&seeds)
+                    .expect("release succeeds")
+                    .into_iter()
+                    .map(|r| {
+                        let answers = r.answers.into_marginals().expect("marginal plan");
+                        average_relative_error(&answers, &exact).expect("aligned") / trials as f64
+                    })
+                    .sum();
                 print!(" {err:>10.4}");
                 rows.push(Row {
                     workload: family.label(),
-                    method: planner.label(),
+                    method: plan.label(),
                     epsilon: eps,
                     delta,
                     relative_error: err,

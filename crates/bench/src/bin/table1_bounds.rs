@@ -11,8 +11,6 @@
 
 use dp_core::analysis::*;
 use dp_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -39,22 +37,27 @@ fn measured_noise(
     seed: u64,
 ) -> f64 {
     let exact = workload.true_answers(table);
-    let planner =
-        ReleasePlanner::new(table, workload, strategy, budgeting).expect("planning succeeds");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut total = 0.0;
-    for _ in 0..trials {
-        let r = planner
-            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
-            .expect("release succeeds");
-        let l1: f64 = r
-            .answers
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| a.l1_distance(e).expect("aligned"))
-            .sum();
-        total += l1 / workload.len() as f64;
-    }
+    let plan = PlanBuilder::marginals(workload.clone(), strategy)
+        .budgeting(budgeting)
+        .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+        .compile()
+        .expect("planning succeeds");
+    let session = Session::bind(&plan, table).expect("table matches");
+    let seeds: Vec<u64> = (0..trials as u64).map(|t| seed + t).collect();
+    let total: f64 = session
+        .release_batch(&seeds)
+        .expect("release succeeds")
+        .into_iter()
+        .map(|r| {
+            let answers = r.answers.into_marginals().expect("marginal plan");
+            let l1: f64 = answers
+                .iter()
+                .zip(&exact)
+                .map(|(a, e)| a.l1_distance(e).expect("aligned"))
+                .sum();
+            l1 / workload.len() as f64
+        })
+        .sum();
     total / trials as f64
 }
 

@@ -5,8 +5,6 @@
 
 use dp_core::metrics::average_relative_error;
 use dp_core::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -121,38 +119,66 @@ pub fn accuracy_sweep(
             workload.total_cells()
         );
         for &(strategy, budgeting) in &METHODS {
-            let planner = match ReleasePlanner::new(table, &workload, strategy, budgeting) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("  {}: planning failed: {e}", strategy.label());
-                    continue;
-                }
+            let Some(&first_eps) = epsilons.first() else {
+                continue;
             };
             let n_trials = if strategy == StrategyKind::Identity {
                 identity_trials
             } else {
                 trials
             };
-            let mut rng = StdRng::seed_from_u64(seed ^ fxhash(&planner.label()));
-            for &eps in epsilons {
-                let mut err_sum = 0.0;
-                for _ in 0..n_trials {
-                    let release = planner
-                        .release(PrivacyLevel::Pure { epsilon: eps }, &mut rng)
-                        .expect("release cannot fail after successful planning");
-                    err_sum += average_relative_error(&release.answers, &exact)
-                        .expect("answers and exact are aligned");
+            // Compile the strategy once per method; each further ε only
+            // re-solves the budgets over the shared compiled operator.
+            let base_plan = match PlanBuilder::marginals(workload.clone(), strategy)
+                .budgeting(budgeting)
+                .privacy(PrivacyLevel::Pure { epsilon: first_eps })
+                .for_schema(schema)
+                .compile()
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("  {}: planning failed: {e}", strategy.label());
+                    continue;
                 }
+            };
+            for (e_idx, &eps) in epsilons.iter().enumerate() {
+                let resolved;
+                let plan = if e_idx == 0 {
+                    &base_plan
+                } else {
+                    resolved = base_plan
+                        .resolved_at(PrivacyLevel::Pure { epsilon: eps }, budgeting)
+                        .expect("re-solving a compiled plan at a positive ε succeeds");
+                    &resolved
+                };
+                let session = Session::bind(plan, table).expect("plan matches the table");
+                let base = seed ^ fxhash(&plan.label());
+                let seeds: Vec<u64> = (0..n_trials)
+                    .map(|t| base.wrapping_add((e_idx * 10_000 + t) as u64))
+                    .collect();
+                let err_sum: f64 = session
+                    .release_batch(&seeds)
+                    .expect("release cannot fail after successful planning")
+                    .into_iter()
+                    .map(|r| {
+                        let answers = r
+                            .answers
+                            .into_marginals()
+                            .expect("marginal plans answer marginals");
+                        average_relative_error(&answers, &exact)
+                            .expect("answers and exact are aligned")
+                    })
+                    .sum();
                 out.push(AccuracyPoint {
                     dataset: dataset.to_string(),
                     workload: family.label(),
-                    method: planner.label(),
+                    method: plan.label(),
                     epsilon: eps,
                     relative_error: err_sum / n_trials as f64,
                     trials: n_trials,
                 });
             }
-            eprintln!("  {} done", planner.label());
+            eprintln!("  {} done", base_plan.label());
         }
     }
     out
@@ -175,7 +201,6 @@ pub fn runtime_sweep(
             StrategyKind::Workload,
             StrategyKind::Identity,
         ] {
-            let mut rng = StdRng::seed_from_u64(seed);
             let start = Instant::now();
             if strategy == StrategyKind::Cluster {
                 // Charge the [6]-style candidate search that the paper's
@@ -186,11 +211,13 @@ pub fn runtime_sweep(
                     dp_core::cluster::CentroidSearch::AllDominatingCuboids,
                 );
             }
-            let planner = ReleasePlanner::new(table, &workload, strategy, Budgeting::Optimal)
+            let plan = PlanBuilder::marginals(workload.clone(), strategy)
+                .budgeting(Budgeting::Optimal)
+                .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+                .compile()
                 .expect("experiment strategies plan successfully");
-            let _release = planner
-                .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
-                .expect("release succeeds");
+            let session = Session::bind(&plan, table).expect("plan matches the table");
+            let _release = session.release(seed).expect("release succeeds");
             out.push(RuntimePoint {
                 workload: family.label(),
                 method: strategy.label().to_string(),

@@ -1,0 +1,1118 @@
+//! The unified two-phase release API: **plan once, release many**.
+//!
+//! Everything the paper's pipeline does before data arrives is
+//! data-independent — choosing a strategy, deriving its group structure,
+//! solving the Step-2 budget allocation, predicting per-query variances.
+//! This module makes that split explicit:
+//!
+//! 1. [`PlanBuilder`] compiles a [`WorkloadSpec`] (marginal *or* range
+//!    workloads behind one enum) into a [`Plan`]: the compiled strategy
+//!    operator, solved noise budgets, achieved ε and per-query variance
+//!    predictions. No table or histogram is consulted. Plans are
+//!    serde-serializable (see [`crate::serde_impls`]) so they can be
+//!    shipped between processes.
+//! 2. [`Session`] binds a plan to concrete data (a [`ContingencyTable`] or
+//!    a histogram), computing the exact observations `z = S·x` once, and
+//!    serves releases: [`Session::release`] for one, or
+//!    [`Session::release_batch`] to fan a whole batch of seeds out with
+//!    rayon. Every release is deterministic in its seed — and byte-identical
+//!    to the legacy single-shot paths (`ReleasePlanner`,
+//!    `plan_range_release`), which are now thin wrappers over the same
+//!    machinery.
+//! 3. [`PlanCache`] memoizes compiled plans keyed by (schema fingerprint,
+//!    workload, strategy, budgeting, privacy, neighbouring), so a service
+//!    handling repeated requests performs the budget solve (and the cluster
+//!    search, coefficient-space construction, …) exactly once per distinct
+//!    request shape.
+//!
+//! ```
+//! use dp_core::api::{PlanBuilder, Session};
+//! use dp_core::prelude::*;
+//!
+//! let schema = Schema::binary(4).unwrap();
+//! let workload = Workload::all_k_way(&schema, 2).unwrap();
+//! // Phase 1: compile a data-independent plan at ε = 1.
+//! let plan = PlanBuilder::marginals(workload, StrategyKind::Fourier)
+//!     .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+//!     .compile()
+//!     .unwrap();
+//! // Phase 2: bind data and serve a deterministic batch of releases.
+//! let records = vec![vec![0, 1, 0, 1], vec![1, 1, 0, 0]];
+//! let table = ContingencyTable::from_records(&schema, &records).unwrap();
+//! let session = Session::bind(&plan, &table).unwrap();
+//! let releases = session.release_batch(&[1, 2, 3]).unwrap();
+//! assert_eq!(releases.len(), 3);
+//! ```
+
+use crate::marginal::MarginalTable;
+use crate::range::{CompiledRangeStrategy, RangeStrategy, RangeWorkload};
+use crate::release::{CompiledMarginalStrategy, Release, StrategyKind};
+use crate::schema::Schema;
+use crate::strategy::{mechanism_factor, noise_variance, Budgeting, StrategyOperator};
+use crate::table::ContingencyTable;
+use crate::workload::Workload;
+use crate::{cluster::Clustering, CoreError};
+use dp_mech::{Neighboring, PrivacyLevel};
+use dp_opt::budget::{objective_value, BudgetSolution, GroupSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a plan releases: a marginal workload over a contingency table, or a
+/// range-count workload over a 1-D histogram — the two workload families of
+/// the paper, behind one type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Marginal tables of a `d`-bit contingency table (Sections 4–5).
+    Marginals {
+        /// The marginal queries to answer.
+        workload: Workload,
+        /// The strategy matrix family (Step 1).
+        strategy: StrategyKind,
+    },
+    /// Interval counts over a power-of-two 1-D domain (Section 3.1's
+    /// groupable range strategies).
+    Ranges {
+        /// The interval queries to answer.
+        workload: RangeWorkload,
+        /// The strategy matrix family (Step 1).
+        strategy: RangeStrategy,
+    },
+}
+
+impl WorkloadSpec {
+    /// Number of queries the plan answers (marginals or ranges).
+    pub fn num_queries(&self) -> usize {
+        match self {
+            WorkloadSpec::Marginals { workload, .. } => workload.len(),
+            WorkloadSpec::Ranges { workload, .. } => workload.ranges().len(),
+        }
+    }
+
+    /// Short method label matching the paper's figure legends (`"F"`,
+    /// `"H"`, …) without the budgeting suffix.
+    pub fn strategy_label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Marginals { strategy, .. } => strategy.label(),
+            WorkloadSpec::Ranges { strategy, .. } => strategy.label(),
+        }
+    }
+
+    /// Canonical `u64` encoding of the spec, the basis of plan-cache keys
+    /// and [`Plan::fingerprint`].
+    fn key_words(&self, out: &mut Vec<u64>) {
+        match self {
+            WorkloadSpec::Marginals { workload, strategy } => {
+                out.push(1);
+                out.push(workload.domain_bits() as u64);
+                out.push(match strategy {
+                    StrategyKind::Identity => 0,
+                    StrategyKind::Workload => 1,
+                    StrategyKind::Fourier => 2,
+                    StrategyKind::Cluster => 3,
+                });
+                out.extend(workload.marginals().iter().map(|m| m.0));
+            }
+            WorkloadSpec::Ranges { workload, strategy } => {
+                out.push(2);
+                out.push(workload.domain() as u64);
+                match strategy {
+                    RangeStrategy::Identity => out.push(0),
+                    RangeStrategy::Hierarchical => out.push(1),
+                    RangeStrategy::Wavelet => out.push(2),
+                    RangeStrategy::Sketch {
+                        repetitions,
+                        buckets,
+                        seed,
+                    } => out.extend([3, *repetitions as u64, *buckets as u64, *seed]),
+                }
+                for &(lo, hi) in workload.ranges() {
+                    out.extend([lo as u64, hi as u64]);
+                }
+            }
+        }
+    }
+}
+
+/// A stable fingerprint of a schema (attribute names + cardinalities),
+/// for keying cached plans by the relation they were compiled against.
+/// Two schemas that encode to the same bit layout but describe different
+/// relations fingerprint differently.
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut mix = |b: u64| {
+        h = (h ^ b).wrapping_mul(0x100000001b3);
+    };
+    for a in schema.attributes() {
+        for byte in a.name.bytes() {
+            mix(byte as u64);
+        }
+        mix(0xff); // name terminator
+        mix(a.cardinality as u64);
+    }
+    h
+}
+
+/// Builder for a data-independent [`Plan`]. Defaults: optimal budgets,
+/// pure ε-DP at ε = 1, add/remove-one neighbours (the paper's experimental
+/// configuration).
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    spec: WorkloadSpec,
+    budgeting: Budgeting,
+    privacy: PrivacyLevel,
+    neighboring: Neighboring,
+    schema_tag: u64,
+}
+
+impl PlanBuilder {
+    /// Starts a plan for a marginal workload.
+    pub fn marginals(workload: Workload, strategy: StrategyKind) -> PlanBuilder {
+        PlanBuilder::new(WorkloadSpec::Marginals { workload, strategy })
+    }
+
+    /// Starts a plan for a range workload.
+    pub fn ranges(workload: RangeWorkload, strategy: RangeStrategy) -> PlanBuilder {
+        PlanBuilder::new(WorkloadSpec::Ranges { workload, strategy })
+    }
+
+    /// Starts a plan from an explicit [`WorkloadSpec`].
+    pub fn new(spec: WorkloadSpec) -> PlanBuilder {
+        PlanBuilder {
+            spec,
+            budgeting: Budgeting::Optimal,
+            privacy: PrivacyLevel::Pure { epsilon: 1.0 },
+            neighboring: Neighboring::AddRemove,
+            schema_tag: 0,
+        }
+    }
+
+    /// Sets the budget-allocation mode (default: the paper's optimal
+    /// non-uniform allocation).
+    pub fn budgeting(mut self, budgeting: Budgeting) -> PlanBuilder {
+        self.budgeting = budgeting;
+        self
+    }
+
+    /// Sets the privacy guarantee (default: pure ε-DP at ε = 1). Both pure
+    /// and approximate levels are supported for marginal *and* range
+    /// workloads.
+    pub fn privacy(mut self, privacy: PrivacyLevel) -> PlanBuilder {
+        self.privacy = privacy;
+        self
+    }
+
+    /// Sets the neighbouring-database convention (default: add/remove-one;
+    /// `Replace` halves every budget per Proposition 3.1).
+    pub fn neighboring(mut self, neighboring: Neighboring) -> PlanBuilder {
+        self.neighboring = neighboring;
+        self
+    }
+
+    /// Tags the plan with the fingerprint of the schema it will serve, so
+    /// [`PlanCache`] keys distinguish identical bit-level workloads over
+    /// different relations.
+    pub fn for_schema(mut self, schema: &Schema) -> PlanBuilder {
+        self.schema_tag = schema_fingerprint(schema);
+        self
+    }
+
+    /// The cache key of the plan this builder would compile.
+    fn key(&self) -> PlanKey {
+        plan_key(
+            &self.spec,
+            self.budgeting,
+            self.privacy,
+            self.neighboring,
+            self.schema_tag,
+        )
+    }
+
+    /// Compiles the plan: builds the strategy operator (including the
+    /// cluster search and coefficient spaces for marginal strategies, or
+    /// the closed-form level structure for range strategies), solves the
+    /// Step-2 budgets, validates the achieved ε and predicts per-query
+    /// variances. No data is consulted.
+    pub fn compile(self) -> Result<Plan, CoreError> {
+        let compiled = Compiled::build(&self.spec)?;
+        let solution = compiled.solve_budgets(self.privacy, self.budgeting)?;
+        Plan::finish(
+            self.spec,
+            self.budgeting,
+            self.privacy,
+            self.neighboring,
+            self.schema_tag,
+            compiled,
+            solution,
+        )
+    }
+}
+
+/// The compiled (non-serialized) half of a plan: the strategy operator and
+/// shared release engine for each workload family.
+pub(crate) enum Compiled {
+    /// A compiled marginal strategy.
+    Marginals(CompiledMarginalStrategy),
+    /// A compiled range strategy.
+    Ranges(CompiledRangeStrategy),
+}
+
+impl Compiled {
+    fn build(spec: &WorkloadSpec) -> Result<Compiled, CoreError> {
+        Ok(match spec {
+            WorkloadSpec::Marginals { workload, strategy } => {
+                Compiled::Marginals(CompiledMarginalStrategy::build(workload, *strategy)?)
+            }
+            WorkloadSpec::Ranges { workload, strategy } => {
+                Compiled::Ranges(CompiledRangeStrategy::build(workload, *strategy)?)
+            }
+        })
+    }
+
+    fn group_specs(&self) -> &[GroupSpec] {
+        match self {
+            Compiled::Marginals(c) => c.engine.strategy().group_specs(),
+            Compiled::Ranges(c) => c.engine.strategy().group_specs(),
+        }
+    }
+
+    fn num_groups(&self) -> usize {
+        self.group_specs().len()
+    }
+
+    fn solve_budgets(
+        &self,
+        privacy: PrivacyLevel,
+        budgeting: Budgeting,
+    ) -> Result<BudgetSolution, CoreError> {
+        match self {
+            Compiled::Marginals(c) => c.engine.solve_budgets(privacy, budgeting),
+            Compiled::Ranges(c) => c.engine.solve_budgets(privacy, budgeting),
+        }
+    }
+
+    fn achieved_epsilon(&self, privacy: PrivacyLevel, budgets: &[f64]) -> f64 {
+        match self {
+            Compiled::Marginals(c) => c.engine.achieved_epsilon(privacy, budgets),
+            Compiled::Ranges(c) => c.engine.achieved_epsilon(privacy, budgets),
+        }
+    }
+}
+
+/// A compiled, **data-independent** release plan: the strategy operator,
+/// the solved Step-2 budgets, the achieved ε they imply, and per-query
+/// variance predictions. Bind it to data with [`Session`]; cache it with
+/// [`PlanCache`]; ship it between processes via serde (the receiving side
+/// recompiles the operator from the spec and reuses the solved budgets).
+pub struct Plan {
+    spec: WorkloadSpec,
+    budgeting: Budgeting,
+    privacy: PrivacyLevel,
+    neighboring: Neighboring,
+    schema_tag: u64,
+    solution: BudgetSolution,
+    achieved_epsilon: f64,
+    predicted_variance: f64,
+    query_variances: Vec<f64>,
+    /// Shared so [`Plan::resolved_at`] can re-solve at another privacy
+    /// level without recompiling the strategy.
+    compiled: Arc<Compiled>,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("label", &self.label())
+            .field("queries", &self.spec.num_queries())
+            .field("groups", &self.solution.group_budgets.len())
+            .field("achieved_epsilon", &self.achieved_epsilon)
+            .field("predicted_variance", &self.predicted_variance)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for Plan {
+    /// Two plans are equal when every serialized (data) part matches; the
+    /// compiled operators are deterministic functions of those parts.
+    fn eq(&self, other: &Plan) -> bool {
+        self.spec == other.spec
+            && self.budgeting == other.budgeting
+            && self.privacy == other.privacy
+            && self.neighboring == other.neighboring
+            && self.schema_tag == other.schema_tag
+            && self.solution == other.solution
+            && self.achieved_epsilon == other.achieved_epsilon
+    }
+}
+
+impl Plan {
+    /// Finishes a plan from a compiled strategy and a budget solution:
+    /// validates feasibility (Proposition 3.1) and derives the variance
+    /// predictions. Shared by [`PlanBuilder::compile`] and the serde
+    /// deserializer (which reuses a shipped solution instead of re-solving).
+    pub(crate) fn finish(
+        spec: WorkloadSpec,
+        budgeting: Budgeting,
+        privacy: PrivacyLevel,
+        neighboring: Neighboring,
+        schema_tag: u64,
+        compiled: Compiled,
+        solution: BudgetSolution,
+    ) -> Result<Plan, CoreError> {
+        Plan::finish_shared(
+            spec,
+            budgeting,
+            privacy,
+            neighboring,
+            schema_tag,
+            Arc::new(compiled),
+            solution,
+        )
+    }
+
+    /// [`Plan::finish`] over an already-shared compiled strategy (the
+    /// [`Plan::resolved_at`] path).
+    fn finish_shared(
+        spec: WorkloadSpec,
+        budgeting: Budgeting,
+        privacy: PrivacyLevel,
+        neighboring: Neighboring,
+        schema_tag: u64,
+        compiled: Arc<Compiled>,
+        solution: BudgetSolution,
+    ) -> Result<Plan, CoreError> {
+        privacy.validate()?;
+        if solution.group_budgets.len() != compiled.num_groups() {
+            return Err(CoreError::Shape {
+                context: "plan budget solution",
+                expected: compiled.num_groups(),
+                actual: solution.group_budgets.len(),
+            });
+        }
+        let factor = neighboring.sensitivity_factor();
+        let adjusted: Vec<f64> = solution.group_budgets.iter().map(|&e| e / factor).collect();
+        let achieved = compiled.achieved_epsilon(privacy, &adjusted) * factor;
+        if achieved > privacy.epsilon() * (1.0 + 1e-9) {
+            return Err(CoreError::InfeasibleBudgets {
+                achieved,
+                requested: privacy.epsilon(),
+            });
+        }
+        let predicted_variance = mechanism_factor(privacy) * solution.objective * factor * factor;
+        let group_sigma2: Vec<f64> = adjusted
+            .iter()
+            .map(|&eta| {
+                if eta > 0.0 {
+                    noise_variance(privacy, eta)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        let query_variances = match (&*compiled, &spec) {
+            (Compiled::Marginals(c), WorkloadSpec::Marginals { workload, strategy }) => {
+                c.predict_query_variances(workload, *strategy, &group_sigma2)
+            }
+            (Compiled::Ranges(c), WorkloadSpec::Ranges { workload, strategy }) => {
+                if group_sigma2.iter().any(|v| !v.is_finite()) {
+                    return Err(CoreError::Singular(
+                        "a strategy row received zero budget; drop unused rows first",
+                    ));
+                }
+                c.predict_query_variances(workload, *strategy, &group_sigma2)?
+            }
+            _ => unreachable!("Compiled::build pairs the variants"),
+        };
+        Ok(Plan {
+            spec,
+            budgeting,
+            privacy,
+            neighboring,
+            schema_tag,
+            solution,
+            achieved_epsilon: achieved,
+            predicted_variance,
+            query_variances,
+            compiled,
+        })
+    }
+
+    /// Rebuilds a plan from shipped (deserialized) parts: recompiles the
+    /// strategy operator from the spec, then revalidates and reuses the
+    /// shipped budget solution — no Step-2 solve.
+    pub(crate) fn from_shipped_parts(
+        spec: WorkloadSpec,
+        budgeting: Budgeting,
+        privacy: PrivacyLevel,
+        neighboring: Neighboring,
+        schema_tag: u64,
+        solution: BudgetSolution,
+    ) -> Result<Plan, CoreError> {
+        let compiled = Compiled::build(&spec)?;
+        // The shipped objective drives predicted_variance downstream, so a
+        // tampered document must not smuggle optimistic accounting: it has
+        // to equal `Σ_r s_r/η_r²` for the recompiled specs and shipped
+        // budgets (up to rounding).
+        if solution.group_budgets.len() == compiled.num_groups() {
+            let expected = objective_value(compiled.group_specs(), &solution.group_budgets);
+            if !solution.objective.is_finite()
+                || (solution.objective - expected).abs() > 1e-6 * expected.abs().max(1e-12)
+            {
+                return Err(CoreError::InvalidPlan(
+                    "shipped objective does not match the shipped budgets",
+                ));
+            }
+        }
+        Plan::finish(
+            spec,
+            budgeting,
+            privacy,
+            neighboring,
+            schema_tag,
+            compiled,
+            solution,
+        )
+    }
+
+    /// Re-solves this plan at another privacy level and/or budgeting mode,
+    /// **reusing the compiled strategy operator** (cluster search,
+    /// coefficient spaces, level structure) — the ε-sweep companion to
+    /// [`PlanCache`]: one compile, many budget points.
+    pub fn resolved_at(
+        &self,
+        privacy: PrivacyLevel,
+        budgeting: Budgeting,
+    ) -> Result<Plan, CoreError> {
+        let compiled = Arc::clone(&self.compiled);
+        let solution = compiled.solve_budgets(privacy, budgeting)?;
+        Plan::finish_shared(
+            self.spec.clone(),
+            budgeting,
+            privacy,
+            self.neighboring,
+            self.schema_tag,
+            compiled,
+            solution,
+        )
+    }
+
+    /// The workload spec the plan answers.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The budget-allocation mode.
+    pub fn budgeting(&self) -> Budgeting {
+        self.budgeting
+    }
+
+    /// The privacy guarantee the plan was solved for.
+    pub fn privacy(&self) -> PrivacyLevel {
+        self.privacy
+    }
+
+    /// The neighbouring-database convention.
+    pub fn neighboring(&self) -> Neighboring {
+        self.neighboring
+    }
+
+    /// The solved per-group budgets `η_r` as produced by the Step-2
+    /// optimizer, *before* the neighbouring sensitivity factor (releases
+    /// divide by it, exactly as the legacy paths did).
+    pub fn solution(&self) -> &BudgetSolution {
+        &self.solution
+    }
+
+    /// The ε actually implied by the solved budgets (≤ the requested ε up
+    /// to rounding, by the feasibility validation at compile time).
+    pub fn achieved_epsilon(&self) -> f64 {
+        self.achieved_epsilon
+    }
+
+    /// Predicted total output variance of the initial recovery `R₀` (the
+    /// Step-2 objective times the mechanism constant). The GLS recovery of
+    /// Step 3 can only improve on it.
+    pub fn predicted_variance(&self) -> f64 {
+        self.predicted_variance
+    }
+
+    /// Per-query variance predictions, in workload order: the initial
+    /// recovery's per-marginal variances for marginal plans (they sum to
+    /// [`Plan::predicted_variance`]), and the *exact* per-range GLS
+    /// variances for range plans.
+    pub fn query_variances(&self) -> &[f64] {
+        &self.query_variances
+    }
+
+    /// The greedy clustering, when the plan uses
+    /// [`StrategyKind::Cluster`].
+    pub fn clustering(&self) -> Option<&Clustering> {
+        match self.compiled() {
+            Compiled::Marginals(c) => c.clustering.as_ref(),
+            Compiled::Ranges(_) => None,
+        }
+    }
+
+    /// Display label matching the paper's figure legends, e.g. `"F+"` for
+    /// Fourier with optimal budgets or `"H"` for the uniform-budget tree.
+    pub fn label(&self) -> String {
+        match self.budgeting {
+            Budgeting::Uniform => self.spec.strategy_label().to_string(),
+            Budgeting::Optimal => format!("{}+", self.spec.strategy_label()),
+        }
+    }
+
+    /// A stable 64-bit fingerprint of everything that identifies the plan
+    /// (schema tag, workload, strategy, budgeting, privacy, neighbouring) —
+    /// the hash of its [`PlanCache`] key.
+    pub fn fingerprint(&self) -> u64 {
+        plan_key(
+            &self.spec,
+            self.budgeting,
+            self.privacy,
+            self.neighboring,
+            self.schema_tag,
+        )
+        .mix()
+    }
+
+    /// The schema tag the plan was compiled with (0 when untagged).
+    pub(crate) fn schema_tag(&self) -> u64 {
+        self.schema_tag
+    }
+
+    pub(crate) fn compiled(&self) -> &Compiled {
+        &self.compiled
+    }
+}
+
+/// One release produced by a [`Session`]: the answers plus the privacy
+/// accounting shared by every release from the same plan.
+#[derive(Debug, Clone)]
+pub struct SessionRelease {
+    /// The seed the release was drawn from (its sole source of randomness).
+    pub seed: u64,
+    /// The recovered, consistent answers.
+    pub answers: Answers,
+    /// Per-group noise budgets `η_r` actually used (after the neighbouring
+    /// factor).
+    pub group_budgets: Vec<f64>,
+    /// Predicted total output variance of the initial recovery `R₀`.
+    pub predicted_variance: f64,
+    /// Achieved ε implied by the budgets.
+    pub achieved_epsilon: f64,
+    /// Method label, e.g. `"F+"`.
+    pub label: String,
+}
+
+/// Workload answers, one variant per workload family.
+#[derive(Debug, Clone)]
+pub enum Answers {
+    /// Consistent noisy marginal tables, workload order.
+    Marginals(Vec<MarginalTable>),
+    /// Noisy range counts, workload order.
+    Ranges(Vec<f64>),
+}
+
+impl Answers {
+    /// The marginal tables, when this is a marginal release.
+    pub fn marginals(&self) -> Option<&[MarginalTable]> {
+        match self {
+            Answers::Marginals(m) => Some(m),
+            Answers::Ranges(_) => None,
+        }
+    }
+
+    /// The range counts, when this is a range release.
+    pub fn ranges(&self) -> Option<&[f64]> {
+        match self {
+            Answers::Ranges(r) => Some(r),
+            Answers::Marginals(_) => None,
+        }
+    }
+
+    /// Consumes the marginal tables, when this is a marginal release.
+    pub fn into_marginals(self) -> Option<Vec<MarginalTable>> {
+        match self {
+            Answers::Marginals(m) => Some(m),
+            Answers::Ranges(_) => None,
+        }
+    }
+
+    /// Consumes the range counts, when this is a range release.
+    pub fn into_ranges(self) -> Option<Vec<f64>> {
+        match self {
+            Answers::Ranges(r) => Some(r),
+            Answers::Marginals(_) => None,
+        }
+    }
+}
+
+impl SessionRelease {
+    /// Bridges a marginal release to the legacy [`Release`] type (used by
+    /// the CLI's JSON serializer); `None` for range releases.
+    pub fn into_release(self) -> Option<Release> {
+        let answers = self.answers.into_marginals()?;
+        Some(Release {
+            answers,
+            group_budgets: self.group_budgets,
+            predicted_variance: self.predicted_variance,
+            achieved_epsilon: self.achieved_epsilon,
+            label: self.label,
+        })
+    }
+}
+
+/// A plan bound to concrete data: the exact observations `z = S·x` are
+/// computed once at bind time, after which every release only draws noise
+/// and recovers — [`crate::strategy::ReleaseEngine::release_with_solution`]
+/// is pure given (observations, budgets, seed), so batches parallelize
+/// freely and reproduce bit-for-bit.
+pub struct Session<'p> {
+    plan: &'p Plan,
+    observations: Vec<f64>,
+}
+
+impl<'p> Session<'p> {
+    /// Binds a **marginal** plan to a contingency table.
+    ///
+    /// Fails with [`CoreError::InvalidPlan`] for range plans (use
+    /// [`Session::bind_histogram`]) and with a shape error when the table's
+    /// domain does not match the workload's.
+    pub fn bind(plan: &'p Plan, table: &ContingencyTable) -> Result<Session<'p>, CoreError> {
+        match plan.compiled() {
+            Compiled::Marginals(c) => Ok(Session {
+                plan,
+                observations: c.observe(table)?,
+            }),
+            Compiled::Ranges(_) => Err(CoreError::InvalidPlan(
+                "range plans bind to histograms; use Session::bind_histogram",
+            )),
+        }
+    }
+
+    /// Binds a **range** plan to a histogram over its 1-D domain.
+    ///
+    /// Fails with [`CoreError::InvalidPlan`] for marginal plans (use
+    /// [`Session::bind`]) and with a shape error when the histogram length
+    /// does not match the domain.
+    pub fn bind_histogram(plan: &'p Plan, hist: &[f64]) -> Result<Session<'p>, CoreError> {
+        match plan.compiled() {
+            Compiled::Ranges(c) => Ok(Session {
+                plan,
+                observations: c.observe(hist)?,
+            }),
+            Compiled::Marginals(_) => Err(CoreError::InvalidPlan(
+                "marginal plans bind to contingency tables; use Session::bind",
+            )),
+        }
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &'p Plan {
+        self.plan
+    }
+
+    /// Draws one release, deterministic in `seed`: the same (plan, data,
+    /// seed) triple always reproduces the same bytes, regardless of thread
+    /// count or batch position. The budget solution solved at plan-compile
+    /// time is reused — no Step-2 solve happens here.
+    pub fn release(&self, seed: u64) -> Result<SessionRelease, CoreError> {
+        let plan = self.plan;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (answers, out_budgets, predicted, achieved) = match plan.compiled() {
+            Compiled::Marginals(c) => {
+                let out = c.engine.release_with_solution(
+                    &self.observations,
+                    plan.privacy,
+                    &plan.solution,
+                    plan.neighboring,
+                    &mut rng,
+                )?;
+                (
+                    Answers::Marginals(out.answer),
+                    out.group_budgets,
+                    out.predicted_variance,
+                    out.achieved_epsilon,
+                )
+            }
+            Compiled::Ranges(c) => {
+                let out = c.engine.release_with_solution(
+                    &self.observations,
+                    plan.privacy,
+                    &plan.solution,
+                    plan.neighboring,
+                    &mut rng,
+                )?;
+                (
+                    Answers::Ranges(out.answer),
+                    out.group_budgets,
+                    out.predicted_variance,
+                    out.achieved_epsilon,
+                )
+            }
+        };
+        Ok(SessionRelease {
+            seed,
+            answers,
+            group_budgets: out_budgets,
+            predicted_variance: predicted,
+            achieved_epsilon: achieved,
+            label: plan.label(),
+        })
+    }
+
+    /// Draws one release per seed, fanned out with rayon. Each release
+    /// seeds its own RNG, so the output is a pure function of the seed
+    /// list — independent of batch size, ordering of other seeds, and
+    /// thread count — and element `i` equals `self.release(seeds[i])`.
+    pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
+        seeds.par_iter().map(|&s| self.release(s)).collect()
+    }
+}
+
+/// Canonical cache key: the `u64` encoding of (schema tag, spec,
+/// budgeting, privacy, neighbouring).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey(Vec<u64>);
+
+/// Encodes a plan's identity into its cache key — shared by
+/// [`PlanBuilder::key`] and [`Plan::fingerprint`] so neither clones the
+/// workload to compute it.
+fn plan_key(
+    spec: &WorkloadSpec,
+    budgeting: Budgeting,
+    privacy: PrivacyLevel,
+    neighboring: Neighboring,
+    schema_tag: u64,
+) -> PlanKey {
+    let mut words = vec![schema_tag];
+    spec.key_words(&mut words);
+    words.push(match budgeting {
+        Budgeting::Uniform => 0,
+        Budgeting::Optimal => 1,
+    });
+    match privacy {
+        PrivacyLevel::Pure { epsilon } => words.extend([0, epsilon.to_bits()]),
+        PrivacyLevel::Approx { epsilon, delta } => {
+            words.extend([1, epsilon.to_bits(), delta.to_bits()])
+        }
+    }
+    words.push(match neighboring {
+        Neighboring::AddRemove => 0,
+        Neighboring::Replace => 1,
+    });
+    PlanKey(words)
+}
+
+impl PlanKey {
+    /// FNV-mixes the key words into one stable `u64`.
+    fn mix(&self) -> u64 {
+        self.0.iter().fold(0xcbf29ce484222325u64, |h, &w| {
+            (h ^ w).wrapping_mul(0x100000001b3)
+        })
+    }
+}
+
+/// A thread-safe memo of compiled plans keyed by (schema fingerprint,
+/// workload, strategy, budgeting, privacy, neighbouring). Repeated requests
+/// for the same shape skip strategy compilation *and* the Step-2 budget
+/// solve entirely; `K` releases over one cached plan perform exactly one
+/// solve (asserted by the integration tests).
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<Plan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Returns the cached plan for the builder's key, compiling and
+    /// inserting it on first request.
+    pub fn get_or_compile(&self, builder: PlanBuilder) -> Result<Arc<Plan>, CoreError> {
+        let key = builder.key();
+        if let Some(plan) = self
+            .plans
+            .lock()
+            .expect("plan cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside the lock: compilation can be expensive (cluster
+        // search) and must not serialize unrelated requests. A concurrent
+        // duplicate compile is possible and benign — first insert wins.
+        let plan = Arc::new(builder.compile()?);
+        let mut map = self.plans.lock().expect("plan cache lock poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(plan)))
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock poisoned").len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of requests served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that compiled a new plan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached plan (statistics are kept).
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> ContingencyTable {
+        let mut counts = vec![0.0; 16];
+        for (i, c) in counts.iter_mut().enumerate() {
+            *c = ((i * 7) % 13) as f64;
+        }
+        ContingencyTable::from_counts(counts)
+    }
+
+    fn workload2() -> Workload {
+        let schema = Schema::binary(4).unwrap();
+        Workload::all_k_way(&schema, 2).unwrap()
+    }
+
+    #[test]
+    fn plan_compiles_without_data_and_sessions_release() {
+        for strategy in [
+            StrategyKind::Identity,
+            StrategyKind::Workload,
+            StrategyKind::Fourier,
+            StrategyKind::Cluster,
+        ] {
+            let plan = PlanBuilder::marginals(workload2(), strategy)
+                .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+                .compile()
+                .unwrap();
+            assert!(plan.achieved_epsilon() <= 1.0 + 1e-9);
+            assert_eq!(plan.query_variances().len(), workload2().len());
+            let table = small_table();
+            let session = Session::bind(&plan, &table).unwrap();
+            let r = session.release(7).unwrap();
+            assert_eq!(r.answers.marginals().unwrap().len(), workload2().len());
+            assert_eq!(r.label, plan.label());
+        }
+    }
+
+    #[test]
+    fn marginal_query_variances_sum_to_predicted_total() {
+        for strategy in [
+            StrategyKind::Identity,
+            StrategyKind::Workload,
+            StrategyKind::Fourier,
+            StrategyKind::Cluster,
+        ] {
+            for budgeting in [Budgeting::Uniform, Budgeting::Optimal] {
+                let plan = PlanBuilder::marginals(workload2(), strategy)
+                    .budgeting(budgeting)
+                    .privacy(PrivacyLevel::Pure { epsilon: 0.4 })
+                    .compile()
+                    .unwrap();
+                let sum: f64 = plan.query_variances().iter().sum();
+                assert!(
+                    (sum - plan.predicted_variance()).abs()
+                        < 1e-9 * plan.predicted_variance().max(1.0),
+                    "{strategy:?}/{budgeting:?}: {sum} vs {}",
+                    plan.predicted_variance()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_plans_support_approximate_privacy() {
+        let w = RangeWorkload::all_prefixes(32).unwrap();
+        for strategy in [
+            RangeStrategy::Identity,
+            RangeStrategy::Hierarchical,
+            RangeStrategy::Wavelet,
+        ] {
+            let plan = PlanBuilder::ranges(w.clone(), strategy)
+                .privacy(PrivacyLevel::Approx {
+                    epsilon: 0.8,
+                    delta: 1e-6,
+                })
+                .compile()
+                .unwrap();
+            assert!(plan.achieved_epsilon() <= 0.8 + 1e-9);
+            let hist: Vec<f64> = (0..32).map(|i| ((i * 13) % 7) as f64).collect();
+            let session = Session::bind_histogram(&plan, &hist).unwrap();
+            let r = session.release(3).unwrap();
+            assert_eq!(r.answers.ranges().unwrap().len(), w.ranges().len());
+        }
+    }
+
+    #[test]
+    fn binding_the_wrong_data_kind_is_rejected() {
+        let marginal_plan = PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+            .compile()
+            .unwrap();
+        assert!(matches!(
+            Session::bind_histogram(&marginal_plan, &[0.0; 16]),
+            Err(CoreError::InvalidPlan(_))
+        ));
+        let range_plan = PlanBuilder::ranges(
+            RangeWorkload::all_prefixes(16).unwrap(),
+            RangeStrategy::Wavelet,
+        )
+        .compile()
+        .unwrap();
+        assert!(matches!(
+            Session::bind(&range_plan, &small_table()),
+            Err(CoreError::InvalidPlan(_))
+        ));
+        // Shape mismatches still surface as shape errors.
+        assert!(matches!(
+            Session::bind_histogram(&range_plan, &[0.0; 8]),
+            Err(CoreError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_hits_skip_compilation() {
+        let cache = PlanCache::new();
+        let build = || {
+            PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+                .privacy(PrivacyLevel::Pure { epsilon: 0.5 })
+        };
+        let a = cache.get_or_compile(build()).unwrap();
+        let b = cache.get_or_compile(build()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        // A different ε is a different plan.
+        let c = cache
+            .get_or_compile(build().privacy(PrivacyLevel::Pure { epsilon: 0.25 }))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_distinguishes_schemas_with_identical_bit_layouts() {
+        let s1 = Schema::binary(4).unwrap();
+        let s2 = Schema::new(vec![
+            crate::schema::Attribute::new("age", 4).unwrap(),
+            crate::schema::Attribute::new("sex", 2).unwrap(),
+            crate::schema::Attribute::new("flag", 2).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(s1.domain_bits(), s2.domain_bits());
+        assert_ne!(schema_fingerprint(&s1), schema_fingerprint(&s2));
+        let cache = PlanCache::new();
+        let w = workload2();
+        let a = cache
+            .get_or_compile(
+                PlanBuilder::marginals(w.clone(), StrategyKind::Fourier).for_schema(&s1),
+            )
+            .unwrap();
+        let b = cache
+            .get_or_compile(PlanBuilder::marginals(w, StrategyKind::Fourier).for_schema(&s2))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn batch_elements_equal_single_releases() {
+        let plan = PlanBuilder::marginals(workload2(), StrategyKind::Workload)
+            .compile()
+            .unwrap();
+        let table = small_table();
+        let session = Session::bind(&plan, &table).unwrap();
+        let seeds = [5u64, 6, 7, 8, 9, 10, 11, 12];
+        let batch = session.release_batch(&seeds).unwrap();
+        for (r, &seed) in batch.iter().zip(&seeds) {
+            let single = session.release(seed).unwrap();
+            assert_eq!(r.seed, seed);
+            let (a, b) = (r.answers.marginals().unwrap(), single.answers.marginals());
+            for (ma, mb) in a.iter().zip(b.unwrap()) {
+                assert_eq!(ma.values(), mb.values());
+            }
+        }
+    }
+
+    #[test]
+    fn resolved_at_matches_a_fresh_compile() {
+        // Re-solving over the shared compiled operator must be
+        // indistinguishable from compiling from scratch — same budgets,
+        // same bytes per seed — while skipping the strategy build.
+        let base = PlanBuilder::marginals(workload2(), StrategyKind::Cluster)
+            .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+            .compile()
+            .unwrap();
+        let resolved = base
+            .resolved_at(PrivacyLevel::Pure { epsilon: 0.25 }, Budgeting::Uniform)
+            .unwrap();
+        let fresh = PlanBuilder::marginals(workload2(), StrategyKind::Cluster)
+            .budgeting(Budgeting::Uniform)
+            .privacy(PrivacyLevel::Pure { epsilon: 0.25 })
+            .compile()
+            .unwrap();
+        assert_eq!(resolved, fresh);
+        assert_eq!(resolved.query_variances(), fresh.query_variances());
+        let table = small_table();
+        let a = Session::bind(&resolved, &table)
+            .unwrap()
+            .release(3)
+            .unwrap();
+        let b = Session::bind(&fresh, &table).unwrap().release(3).unwrap();
+        for (x, y) in a
+            .answers
+            .marginals()
+            .unwrap()
+            .iter()
+            .zip(b.answers.marginals().unwrap())
+        {
+            assert_eq!(x.values(), y.values());
+        }
+        // The compiled operator really is shared, not rebuilt.
+        assert!(Arc::ptr_eq(&base.compiled, &resolved.compiled));
+    }
+
+    #[test]
+    fn infeasible_privacy_is_rejected_at_compile_time() {
+        assert!(PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+            .privacy(PrivacyLevel::Pure { epsilon: 0.0 })
+            .compile()
+            .is_err());
+        assert!(PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+            .privacy(PrivacyLevel::Approx {
+                epsilon: 1.0,
+                delta: 2.0,
+            })
+            .compile()
+            .is_err());
+    }
+}

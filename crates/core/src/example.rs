@@ -171,23 +171,25 @@ mod tests {
     fn empirical_release_matches_predicted_gls_variance() {
         // Monte-Carlo check: the Workload-strategy release with optimal
         // budgets should empirically achieve the analytic GLS variances.
-        use crate::release::{Budgeting, ReleasePlanner, StrategyKind};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::api::{PlanBuilder, Session};
+        use crate::release::{Budgeting, StrategyKind};
 
         let t = table();
         let w = workload();
         let exact = w.true_answers(&t);
-        let p = ReleasePlanner::new(&t, &w, StrategyKind::Workload, Budgeting::Optimal).unwrap();
-        let mut rng = StdRng::seed_from_u64(99);
+        let plan = PlanBuilder::marginals(w.clone(), StrategyKind::Workload)
+            .budgeting(Budgeting::Optimal)
+            .privacy(dp_mech::PrivacyLevel::Pure { epsilon: EPS })
+            .compile()
+            .unwrap();
+        let session = Session::bind(&plan, &t).unwrap();
         let trials = 4000;
         let mut sq = [0.0; 6];
-        for _ in 0..trials {
-            let r = p
-                .release(dp_mech::PrivacyLevel::Pure { epsilon: EPS }, &mut rng)
-                .unwrap();
+        let seeds: Vec<u64> = (0..trials as u64).map(|s| 99 + s).collect();
+        for r in session.release_batch(&seeds).unwrap() {
+            let answers = r.answers.into_marginals().unwrap();
             let mut idx = 0;
-            for (ans, ex) in r.answers.iter().zip(&exact) {
+            for (ans, ex) in answers.iter().zip(&exact) {
                 for (a, e) in ans.values().iter().zip(ex.values()) {
                     sq[idx] += (a - e) * (a - e) / trials as f64;
                     idx += 1;

@@ -25,6 +25,24 @@ pub struct Grouping {
 }
 
 impl Grouping {
+    /// Builds a grouping from an analytically-known structure (e.g. the
+    /// tree/Haar levels, whose grouping is closed-form — Section 3.1).
+    /// Callers are responsible for Definition 3.1 holding; tests verify the
+    /// analytic groupings against [`verify_grouping`] on the dense oracle.
+    ///
+    /// # Panics
+    /// Panics if a group id is out of range for `magnitudes`.
+    pub fn from_parts(assignment: Vec<usize>, magnitudes: Vec<f64>) -> Grouping {
+        assert!(
+            assignment.iter().all(|&g| g < magnitudes.len()),
+            "group id out of range"
+        );
+        Grouping {
+            assignment,
+            magnitudes,
+        }
+    }
+
     /// Group id per row.
     pub fn assignment(&self) -> &[usize] {
         &self.assignment

@@ -25,33 +25,33 @@
 //!
 //! ## Quick start
 //!
+//! Plans are **data-independent**: compile once, bind to data, release
+//! many (each release deterministic in its seed).
+//!
 //! ```
 //! use dp_core::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! // 4 binary attributes, a handful of records.
 //! let schema = Schema::binary(4).unwrap();
 //! let records = vec![vec![0,1,0,1], vec![1,1,0,0], vec![0,1,1,1]];
 //! let table = ContingencyTable::from_records(&schema, &records).unwrap();
 //!
-//! // All 2-way marginals, released with the Fourier strategy and optimal
+//! // Phase 1 (no data): all 2-way marginals, Fourier strategy, optimal
 //! // non-uniform budgets at ε = 1.
 //! let workload = Workload::all_k_way(&schema, 2).unwrap();
-//! let planner = ReleasePlanner::new(
-//!     &table,
-//!     &workload,
-//!     StrategyKind::Fourier,
-//!     Budgeting::Optimal,
-//! ).unwrap();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let release = planner.release(
-//!     PrivacyLevel::Pure { epsilon: 1.0 },
-//!     &mut rng,
-//! ).unwrap();
-//! assert_eq!(release.answers.len(), workload.len());
+//! let plan = PlanBuilder::marginals(workload.clone(), StrategyKind::Fourier)
+//!     .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+//!     .compile()
+//!     .unwrap();
+//!
+//! // Phase 2: bind the table and draw a batch of releases.
+//! let session = Session::bind(&plan, &table).unwrap();
+//! let releases = session.release_batch(&[7, 8, 9]).unwrap();
+//! assert_eq!(releases[0].answers.marginals().unwrap().len(), workload.len());
 //! ```
 
 pub mod analysis;
+pub mod api;
 pub mod cluster;
 pub mod consistency;
 pub mod example;
@@ -72,10 +72,16 @@ pub mod workload;
 
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
+    pub use crate::api::{
+        Answers, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
+    };
     pub use crate::marginal::MarginalTable;
     pub use crate::mask::AttrMask;
     pub use crate::metrics::{average_absolute_error, average_relative_error};
-    pub use crate::release::{Budgeting, Release, ReleasePlanner, StrategyKind};
+    pub use crate::range::{RangeStrategy, RangeWorkload};
+    #[allow(deprecated)] // kept so legacy callers migrate on their own schedule
+    pub use crate::release::ReleasePlanner;
+    pub use crate::release::{Budgeting, Release, StrategyKind};
     pub use crate::schema::{Attribute, Schema};
     pub use crate::strategy::{EngineRelease, ReleaseEngine, StrategyOperator};
     pub use crate::table::ContingencyTable;
@@ -83,8 +89,13 @@ pub mod prelude {
     pub use dp_mech::{Neighboring, PrivacyLevel};
 }
 
+pub use crate::api::{
+    Answers, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
+};
 pub use crate::mask::AttrMask;
-pub use crate::release::{Budgeting, Release, ReleasePlanner, StrategyKind};
+#[allow(deprecated)] // kept so legacy callers migrate on their own schedule
+pub use crate::release::ReleasePlanner;
+pub use crate::release::{Budgeting, Release, StrategyKind};
 pub use crate::schema::Schema;
 pub use crate::table::ContingencyTable;
 pub use crate::workload::Workload;
@@ -121,6 +132,8 @@ pub enum CoreError {
         /// The ε that was requested.
         requested: f64,
     },
+    /// A [`api::Plan`] was used with the wrong kind of data or document.
+    InvalidPlan(&'static str),
 }
 
 impl std::fmt::Display for CoreError {
@@ -146,6 +159,7 @@ impl std::fmt::Display for CoreError {
                 f,
                 "computed budgets achieve ε = {achieved} > requested {requested}"
             ),
+            CoreError::InvalidPlan(msg) => write!(f, "invalid plan use: {msg}"),
         }
     }
 }
@@ -198,6 +212,7 @@ mod tests {
                 achieved: 2.0,
                 requested: 1.0,
             },
+            CoreError::InvalidPlan("p"),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

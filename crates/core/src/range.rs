@@ -9,12 +9,17 @@
 //! pipeline is not marginal-specific.
 //!
 //! Since the [`crate::strategy`] refactor the module contains **no noise or
-//! recovery loop of its own**: planning derives the group structure and
-//! variance predictions (via the dense [`crate::framework`] oracle, which is
-//! fine at 1-D planning sizes), while every release runs through the shared
-//! [`ReleaseEngine`] — observations `z = S·x` and the GLS recovery are
-//! matrix-free [`LinearOperator`] applications (tree sums, Haar transforms,
-//! CSR products) with conjugate gradients on the weighted normal equations.
+//! recovery loop of its own**, and since the [`crate::api`] redesign
+//! *planning* is matrix-free too: group structure and per-query GLS
+//! variances for the identity/tree/Haar strategies come from the
+//! closed-form Haar diagonalization of their normal matrices (see the
+//! planning section below), so plans compile for domains far beyond the
+//! dense oracle's `n ≲ 4096`. The dense [`crate::framework`] path survives
+//! as the test oracle and inside the deprecated [`plan_range_release`].
+//! Every release runs through the shared [`ReleaseEngine`] — observations
+//! `z = S·x` and the GLS recovery are matrix-free [`LinearOperator`]
+//! applications (tree sums, Haar transforms, CSR products) with conjugate
+//! gradients on the weighted normal equations.
 
 use crate::framework::{gls_recovery, output_variances, Decomposition};
 use crate::grouping::{detect_grouping, Grouping};
@@ -28,6 +33,7 @@ use dp_mech::{LaplaceMechanism, Neighboring, NoiseMechanism, PrivacyLevel};
 use dp_opt::budget::{BudgetSolution, GroupSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// A workload of half-open interval counts `[lo, hi)` over domain `[0, n)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -251,7 +257,7 @@ pub fn strategy_operator(
 /// The range strategies' [`StrategyOperator`]: observations through a
 /// matrix-free `S`, recovery by CG on the weighted normal equations,
 /// answers via the prefix-sum application of `Q`.
-struct RangeStrategyOp {
+pub(crate) struct RangeStrategyOp {
     operator: Box<dyn LinearOperator + Send + Sync>,
     workload: RangeWorkload,
     specs: Vec<GroupSpec>,
@@ -285,10 +291,430 @@ impl StrategyOperator for RangeStrategyOp {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Matrix-free planning: closed-form group structure and variances.
+//
+// The key structural fact: every matrix this module groups by *levels* is
+// diagonalized by the orthonormal Haar basis. Writing `H` for the Haar
+// analysis transform,
+//
+// * the Haar strategy itself satisfies `SᵀΣ⁻¹S = Hᵀ diag(w_level(i)) H`
+//   (rows are the basis, weights constant per level), and
+// * the tree strategy's level-`t` rows are the indicators of the width
+//   `n/2^t` dyadic blocks, whose outer-product sum is the block-ones matrix
+//   `J_{n/2^t}` — and every `J_w` has the Haar vectors as eigenvectors
+//   (eigenvalue `w` for basis vectors constant on `w`-blocks, 0 otherwise),
+//   so `SᵀΣ⁻¹S = Σ_t w_t J_{n/2^t} = Hᵀ diag(λ) H` with the closed form
+//   `λ_i = Σ_{t : n/2^t ≤ p_i} w_t · n/2^t` (`p_i` = the constant-piece
+//   width of Haar vector `i`; uniform weights give `λ_i = 2p_i − 1`).
+//
+// Combined with the fact that a range indicator has only `O(log n)` nonzero
+// Haar coefficients (a mean-zero basis vector whose support does not
+// straddle an endpoint integrates to 0 over the range), group specs and
+// exact per-query GLS variances follow without materializing `Q` or `S` —
+// planning is `O(q log² n)` and works for domains far beyond the dense
+// oracle's reach. Tests cross-check everything against the dense path.
+// ---------------------------------------------------------------------------
+
+/// The nonzero orthonormal-Haar coefficients of the indicator of `[lo, hi)`
+/// over `[0, n)`, as `(coefficient index, value)` pairs — at most
+/// `2·log₂ n + 1` of them, in index order per level.
+fn haar_range_coeffs(n: usize, lo: usize, hi: usize) -> Vec<(usize, f64)> {
+    debug_assert!(lo < hi && hi <= n);
+    let overlap = |a: usize, b: usize| -> f64 { hi.min(b).saturating_sub(lo.max(a)) as f64 };
+    let mut out = vec![(0usize, (hi - lo) as f64 / (n as f64).sqrt())];
+    let levels = n.trailing_zeros() as usize;
+    for level in 1..=levels {
+        let support = n >> (level - 1);
+        let half = support / 2;
+        let mag = 1.0 / (support as f64).sqrt();
+        let base = 1usize << (level - 1);
+        let k_lo = lo / support;
+        let k_hi = (hi - 1) / support;
+        for k in [k_lo, k_hi] {
+            if k == k_hi && k_hi == k_lo && out.last().map(|&(i, _)| i) == Some(base + k) {
+                continue; // both endpoints in the same support: emit once
+            }
+            let start = k * support;
+            let v = mag * (overlap(start, start + half) - overlap(start + half, start + support));
+            if v != 0.0 {
+                out.push((base + k, v));
+            }
+        }
+    }
+    out
+}
+
+/// Haar level → constant-piece width `p`: the average vector is constant
+/// over all `n` cells; a detail vector at level `ℓ ≥ 1` has two constant
+/// pieces of width `n/2^ℓ` each.
+fn haar_piece_width(n: usize, haar_level: usize) -> usize {
+    if haar_level == 0 {
+        n
+    } else {
+        n >> haar_level
+    }
+}
+
+/// Eigenvalues of the tree normal matrix `Σ_t w_t J_{n/2^t}` in the Haar
+/// basis, indexed by Haar *level* (see the module comment): one entry per
+/// level `0 ..= log₂ n`, with `level_weights[t]` the weight of tree level
+/// `t` (root first).
+fn tree_haar_eigenvalues(n: usize, level_weights: &[f64]) -> Vec<f64> {
+    let levels = n.trailing_zeros() as usize;
+    debug_assert_eq!(level_weights.len(), levels + 1);
+    (0..=levels)
+        .map(|h| {
+            let p = haar_piece_width(n, h);
+            (0..=levels)
+                .filter(|&t| (n >> t) <= p)
+                .map(|t| level_weights[t] * (n >> t) as f64)
+                .sum()
+        })
+        .collect()
+}
+
+/// A piecewise-constant function on `[0, n)` with its prefix integral —
+/// the representation of `R₀`'s per-query input `u = (SᵀS)⁻¹ q_j` for the
+/// tree strategy (a sparse Haar synthesis).
+struct PiecewiseConstant {
+    /// Sorted breakpoints `0 = b_0 < … < b_K = n`.
+    bounds: Vec<usize>,
+    /// Value on `[b_k, b_{k+1})`.
+    values: Vec<f64>,
+    /// `P(b_k)` — prefix integral at each breakpoint.
+    prefix: Vec<f64>,
+}
+
+impl PiecewiseConstant {
+    /// Synthesizes `Σ (index, coeff) · h_index` from sparse Haar
+    /// coefficients.
+    fn from_haar(n: usize, coeffs: &[(usize, f64)]) -> PiecewiseConstant {
+        let mut bounds = vec![0, n];
+        for &(i, _) in coeffs {
+            if i > 0 {
+                let level = dp_linalg::haar_level(i);
+                let support = n >> (level - 1);
+                let start = (i - (1 << (level - 1))) * support;
+                bounds.extend([start, start + support / 2, start + support]);
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        // Evaluate the synthesis at each piece's left edge.
+        let values: Vec<f64> = bounds[..bounds.len() - 1]
+            .iter()
+            .map(|&x| {
+                coeffs
+                    .iter()
+                    .map(|&(i, c)| {
+                        if i == 0 {
+                            return c / (n as f64).sqrt();
+                        }
+                        let level = dp_linalg::haar_level(i);
+                        let support = n >> (level - 1);
+                        let start = (i - (1 << (level - 1))) * support;
+                        let mag = 1.0 / (support as f64).sqrt();
+                        if x >= start && x < start + support / 2 {
+                            c * mag
+                        } else if x >= start + support / 2 && x < start + support {
+                            -c * mag
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut prefix = vec![0.0; bounds.len()];
+        for k in 0..values.len() {
+            prefix[k + 1] = prefix[k] + values[k] * (bounds[k + 1] - bounds[k]) as f64;
+        }
+        PiecewiseConstant {
+            bounds,
+            values,
+            prefix,
+        }
+    }
+
+    /// The prefix integral `P(t) = ∫₀ᵗ u`.
+    fn integral_to(&self, t: usize) -> f64 {
+        let k = self.bounds.partition_point(|&b| b <= t) - 1;
+        self.prefix[k] + self.values.get(k).copied().unwrap_or(0.0) * (t - self.bounds[k]) as f64
+    }
+
+    /// `Σ_k (∫ over dyadic node k of width w)²` for all `n/w` nodes: nodes
+    /// containing an interior breakpoint are evaluated directly; maximal
+    /// runs of nodes inside one piece contribute `count · (w·v)²` at once.
+    fn node_sum_of_squares(&self, w: usize) -> f64 {
+        let mut total = 0.0;
+        // Nodes with a breakpoint strictly inside.
+        let n = *self.bounds.last().expect("bounds non-empty");
+        let mut last_special = usize::MAX;
+        for &b in &self.bounds {
+            if b == 0 || b >= n || b % w == 0 {
+                continue;
+            }
+            let k = b / w;
+            if k != last_special {
+                let v = self.integral_to((k + 1) * w) - self.integral_to(k * w);
+                total += v * v;
+                last_special = k;
+            }
+        }
+        // Runs of nodes fully inside one constant piece.
+        for (k, &v) in self.values.iter().enumerate() {
+            let first = self.bounds[k].div_ceil(w);
+            let last = self.bounds[k + 1] / w;
+            if last > first {
+                total += (last - first) as f64 * (w as f64 * v) * (w as f64 * v);
+            }
+        }
+        total
+    }
+}
+
+/// Closed-form group structure of a range strategy: the grouping (levels)
+/// and the per-group specs `(C_r, s_r)` with `s_r` from the uniform-noise
+/// initial recovery `R₀` — all without materializing `Q` or `S`. `None`
+/// for [`RangeStrategy::Sketch`], whose structure is data-driven.
+fn analytic_range_structure(
+    workload: &RangeWorkload,
+    strategy: RangeStrategy,
+) -> Option<(Vec<GroupSpec>, Grouping)> {
+    let n = workload.domain();
+    let levels = n.trailing_zeros() as usize;
+    match strategy {
+        RangeStrategy::Identity => {
+            // R₀ = Q: b_i counts the ranges covering cell i, so the single
+            // group's weight is the total covered length.
+            let s: usize = workload.ranges().iter().map(|&(lo, hi)| hi - lo).sum();
+            Some((
+                vec![GroupSpec {
+                    c: 1.0,
+                    s: s as f64,
+                }],
+                Grouping::from_parts(vec![0; n], vec![1.0]),
+            ))
+        }
+        RangeStrategy::Wavelet => {
+            // R₀ = Q Hᵀ (Observation 1): row j of R₀ is exactly the sparse
+            // Haar analysis of range j's indicator.
+            let mut s_per_level = vec![0.0; levels + 1];
+            for &(lo, hi) in workload.ranges() {
+                for (i, c) in haar_range_coeffs(n, lo, hi) {
+                    s_per_level[dp_linalg::haar_level(i)] += c * c;
+                }
+            }
+            let assignment: Vec<usize> = (0..n).map(dp_linalg::haar_level).collect();
+            let magnitudes: Vec<f64> = (0..=levels)
+                .map(|h| {
+                    if h == 0 {
+                        1.0 / (n as f64).sqrt()
+                    } else {
+                        1.0 / ((n >> (h - 1)) as f64).sqrt()
+                    }
+                })
+                .collect();
+            let specs = magnitudes
+                .iter()
+                .zip(&s_per_level)
+                .map(|(&c, &s)| GroupSpec { c, s })
+                .collect();
+            Some((specs, Grouping::from_parts(assignment, magnitudes)))
+        }
+        RangeStrategy::Hierarchical => {
+            // R₀ = Q(SᵀS)⁻¹Sᵀ: per query, u = (SᵀS)⁻¹q_j is a sparse Haar
+            // synthesis (closed-form eigenvalues 2p − 1), and row j of R₀
+            // restricted to tree level t is the node sums of u at width
+            // n/2^t.
+            let lam = tree_haar_eigenvalues(n, &vec![1.0; levels + 1]);
+            let mut s_per_level = vec![0.0; levels + 1];
+            let level_sums: Vec<Vec<f64>> = workload
+                .ranges()
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let scaled: Vec<(usize, f64)> = haar_range_coeffs(n, lo, hi)
+                        .into_iter()
+                        .map(|(i, c)| (i, c / lam[dp_linalg::haar_level(i)]))
+                        .collect();
+                    let u = PiecewiseConstant::from_haar(n, &scaled);
+                    (0..=levels)
+                        .map(|t| u.node_sum_of_squares(n >> t))
+                        .collect()
+                })
+                .collect();
+            for sums in level_sums {
+                for (acc, v) in s_per_level.iter_mut().zip(sums) {
+                    *acc += v;
+                }
+            }
+            let mut assignment = Vec::with_capacity(2 * n - 1);
+            for t in 0..=levels {
+                assignment.extend(std::iter::repeat_n(t, 1usize << t));
+            }
+            let specs = s_per_level
+                .iter()
+                .map(|&s| GroupSpec { c: 1.0, s })
+                .collect();
+            Some((
+                specs,
+                Grouping::from_parts(assignment, vec![1.0; levels + 1]),
+            ))
+        }
+        RangeStrategy::Sketch { .. } => None,
+    }
+}
+
+/// Dense group-structure oracle: materializes `S`, detects the grouping and
+/// derives `s_r` from the dense uniform-noise `R₀`. Used for the sketch
+/// strategy (whose structure is data-driven) and by tests as the
+/// cross-check for [`analytic_range_structure`].
+pub(crate) fn dense_range_structure(
+    workload: &RangeWorkload,
+    strategy: RangeStrategy,
+) -> Result<(Vec<GroupSpec>, Grouping), CoreError> {
+    let n = workload.domain();
+    let q = workload.query_matrix();
+    let s = strategy_matrix(strategy, n);
+    let grouping =
+        detect_grouping(&s).ok_or(CoreError::Singular("strategy matrix is not groupable"))?;
+    // Initial recovery R₀ for the budget weights: least squares under
+    // uniform noise (this matches prior work's recovery for each strategy).
+    let r0 = gls_recovery(&q, &s, &vec![1.0; s.rows()])?;
+    let dec0 = Decomposition { q, s, r: r0 };
+    // For non-marginal recoveries R₀ may violate exact per-group weight
+    // equality (Definition 3.2); group_specs enforces it strictly, so fall
+    // back to summing weights per group when it does not hold exactly.
+    let specs: Vec<GroupSpec> = match dec0.group_specs(&grouping, &vec![1.0; dec0.q.rows()]) {
+        Ok(s) => s,
+        Err(_) => {
+            let b = dec0.recovery_weights(&vec![1.0; dec0.q.rows()])?;
+            let g = grouping.num_groups();
+            let mut specs = vec![GroupSpec { c: 0.0, s: 0.0 }; g];
+            for (i, &gid) in grouping.assignment().iter().enumerate() {
+                specs[gid].c = grouping.magnitudes()[gid];
+                specs[gid].s += b[i];
+            }
+            specs
+        }
+    };
+    Ok((specs, grouping))
+}
+
+/// A range strategy compiled **without data**: the shared release engine
+/// over the matrix-free operator, plus the grouping — what
+/// [`crate::api::Plan`] embeds for range workloads. Identity, hierarchical
+/// and Haar strategies compile analytically (no dense matrix at any size);
+/// sketches fall back to the dense oracle.
+pub(crate) struct CompiledRangeStrategy {
+    pub(crate) engine: ReleaseEngine<RangeStrategyOp>,
+    pub(crate) grouping: Grouping,
+}
+
+impl CompiledRangeStrategy {
+    /// Compiles the strategy for a workload (data-independent).
+    pub(crate) fn build(
+        workload: &RangeWorkload,
+        strategy: RangeStrategy,
+    ) -> Result<Self, CoreError> {
+        let n = workload.domain();
+        let (specs, grouping) = match analytic_range_structure(workload, strategy) {
+            Some(parts) => parts,
+            None => dense_range_structure(workload, strategy)?,
+        };
+        let row_groups: Vec<u32> = grouping.assignment().iter().map(|&g| g as u32).collect();
+        let engine = ReleaseEngine::new(RangeStrategyOp {
+            operator: strategy_operator(strategy, n),
+            workload: workload.clone(),
+            specs,
+            row_groups,
+        })?;
+        Ok(CompiledRangeStrategy { engine, grouping })
+    }
+
+    /// Computes the exact observation vector `z = S·hist` through the
+    /// matrix-free operator — the data-dependent step, run once per bound
+    /// histogram.
+    pub(crate) fn observe(&self, hist: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let op = &self.engine.strategy().operator;
+        if hist.len() != op.cols() {
+            return Err(CoreError::Shape {
+                context: "range release histogram",
+                expected: op.cols(),
+                actual: hist.len(),
+            });
+        }
+        Ok(op.apply(hist))
+    }
+
+    /// Exact per-query output variances of the final GLS recovery, given
+    /// per-group noise variances (`group_sigma2[r]`, group order):
+    /// `Var(y_j) = q_jᵀ (SᵀΣ⁻¹S)⁻¹ q_j`, in closed form through the Haar
+    /// diagonalization for the structured strategies and via the dense
+    /// oracle for sketches.
+    pub(crate) fn predict_query_variances(
+        &self,
+        workload: &RangeWorkload,
+        strategy: RangeStrategy,
+        group_sigma2: &[f64],
+    ) -> Result<Vec<f64>, CoreError> {
+        let n = workload.domain();
+        match strategy {
+            RangeStrategy::Identity => Ok(workload
+                .ranges()
+                .iter()
+                .map(|&(lo, hi)| (hi - lo) as f64 * group_sigma2[0])
+                .collect()),
+            RangeStrategy::Wavelet => Ok(workload
+                .ranges()
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    haar_range_coeffs(n, lo, hi)
+                        .into_iter()
+                        .map(|(i, c)| c * c * group_sigma2[dp_linalg::haar_level(i)])
+                        .sum()
+                })
+                .collect()),
+            RangeStrategy::Hierarchical => {
+                let weights: Vec<f64> = group_sigma2.iter().map(|&v| 1.0 / v).collect();
+                let lam = tree_haar_eigenvalues(n, &weights);
+                Ok(workload
+                    .ranges()
+                    .par_iter()
+                    .map(|&(lo, hi)| {
+                        haar_range_coeffs(n, lo, hi)
+                            .into_iter()
+                            .map(|(i, c)| c * c / lam[dp_linalg::haar_level(i)])
+                            .sum()
+                    })
+                    .collect())
+            }
+            RangeStrategy::Sketch { .. } => {
+                let row_variances: Vec<f64> = self
+                    .grouping
+                    .assignment()
+                    .iter()
+                    .map(|&g| group_sigma2[g])
+                    .collect();
+                let q = workload.query_matrix();
+                let s = strategy_matrix(strategy, n);
+                let r = gls_recovery(&q, &s, &row_variances)?;
+                output_variances(&r, &row_variances)
+            }
+        }
+    }
+}
+
 /// A fully planned range release: group structure, budgets, variance
 /// predictions and the shared release engine, ready to draw noise from.
+#[deprecated(
+    since = "0.3.0",
+    note = "use dp_core::api::{PlanBuilder, Session} with WorkloadSpec::ranges — plans are \
+            data-independent, support (ε,δ) privacy and batch releases"
+)]
 pub struct RangePlan {
-    engine: ReleaseEngine<RangeStrategyOp>,
+    compiled: CompiledRangeStrategy,
     epsilon: f64,
     /// The Step-2 solve performed at plan time; every release reuses it, so
     /// the published budgets and the noise actually drawn cannot diverge.
@@ -309,7 +735,14 @@ pub struct RangePlan {
 /// Plans a range release: builds `S`, groups it, computes budgets
 /// (uniform or optimal via `dp-opt`), and predicts the GLS recovery
 /// variances for those budgets (Steps 1–3 of the paper's framework). Pure
-/// ε-DP / Laplace only — the Gaussian analogue differs only in constants.
+/// ε-DP / Laplace only, and the retained [`Decomposition`] oracle keeps it
+/// dense — the [`crate::api`] path is matrix-free and supports (ε,δ).
+#[deprecated(
+    since = "0.3.0",
+    note = "use dp_core::api::PlanBuilder::ranges(..).compile() — matrix-free planning that \
+            scales past the dense oracle and supports PrivacyLevel::Approx"
+)]
+#[allow(deprecated)]
 pub fn plan_range_release(
     workload: &RangeWorkload,
     strategy: RangeStrategy,
@@ -317,51 +750,17 @@ pub fn plan_range_release(
     epsilon: f64,
 ) -> Result<RangePlan, CoreError> {
     let n = workload.domain();
-    let q = workload.query_matrix();
-    let s = strategy_matrix(strategy, n);
-    let grouping =
-        detect_grouping(&s).ok_or(CoreError::Singular("strategy matrix is not groupable"))?;
-
-    // Initial recovery R₀ for the budget weights: least squares under
-    // uniform noise (this matches prior work's recovery for each strategy).
-    let r0 = gls_recovery(&q, &s, &vec![1.0; s.rows()])?;
-    let dec0 = Decomposition {
-        q: q.clone(),
-        s: s.clone(),
-        r: r0,
-    };
-    // For non-marginal recoveries R₀ may violate exact per-group weight
-    // equality (Definition 3.2); group_specs enforces it strictly, so fall
-    // back to summing weights per group when it does not hold exactly.
-    let specs: Vec<GroupSpec> = match dec0.group_specs(&grouping, &vec![1.0; q.rows()]) {
-        Ok(s) => s,
-        Err(_) => {
-            let b = dec0.recovery_weights(&vec![1.0; q.rows()])?;
-            let g = grouping.num_groups();
-            let mut specs = vec![GroupSpec { c: 0.0, s: 0.0 }; g];
-            for (i, &gid) in grouping.assignment().iter().enumerate() {
-                specs[gid].c = grouping.magnitudes()[gid];
-                specs[gid].s += b[i];
-            }
-            specs
-        }
-    };
-
+    let compiled = CompiledRangeStrategy::build(workload, strategy)?;
     let budgeting = if optimal_budgets {
         Budgeting::Optimal
     } else {
         Budgeting::Uniform
     };
-    let row_groups: Vec<u32> = grouping.assignment().iter().map(|&g| g as u32).collect();
-    let engine = ReleaseEngine::new(RangeStrategyOp {
-        operator: strategy_operator(strategy, n),
-        workload: workload.clone(),
-        specs,
-        row_groups,
-    })?;
-
-    let solution = engine.solve_budgets(PrivacyLevel::Pure { epsilon }, budgeting)?;
-    let row_budgets: Vec<f64> = grouping
+    let solution = compiled
+        .engine
+        .solve_budgets(PrivacyLevel::Pure { epsilon }, budgeting)?;
+    let row_budgets: Vec<f64> = compiled
+        .grouping
         .assignment()
         .iter()
         .map(|&gid| solution.group_budgets[gid])
@@ -385,10 +784,13 @@ pub fn plan_range_release(
 
     // Step 3 (prediction): the GLS recovery for the chosen variances and
     // its exact per-query output variances, via the dense oracle.
+    let q = workload.query_matrix();
+    let s = strategy_matrix(strategy, n);
     let r = gls_recovery(&q, &s, &row_variances)?;
     let query_variances = output_variances(&r, &row_variances)?;
+    let grouping = compiled.grouping.clone();
     Ok(RangePlan {
-        engine,
+        compiled,
         epsilon,
         solution,
         decomposition: Decomposition { q, s, r },
@@ -399,6 +801,7 @@ pub fn plan_range_release(
     })
 }
 
+#[allow(deprecated)]
 impl RangePlan {
     /// Draws one private release of the range answers for a histogram:
     /// `z = S·hist` through the matrix-free operator, per-row Laplace noise
@@ -408,16 +811,8 @@ impl RangePlan {
         hist: &[f64],
         rng: &mut R,
     ) -> Result<Vec<f64>, CoreError> {
-        let strategy = self.engine.strategy();
-        if hist.len() != strategy.operator.cols() {
-            return Err(CoreError::Shape {
-                context: "range release histogram",
-                expected: strategy.operator.cols(),
-                actual: hist.len(),
-            });
-        }
-        let z = strategy.operator.apply(hist);
-        let out = self.engine.release_with_solution(
+        let z = self.compiled.observe(hist)?;
+        let out = self.compiled.engine.release_with_solution(
             &z,
             PrivacyLevel::Pure {
                 epsilon: self.epsilon,
@@ -436,6 +831,7 @@ impl RangePlan {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy dense planner keeps its behavioral suite
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -697,6 +1093,166 @@ mod tests {
             seed: 3,
         };
         assert!(plan_range_release(&w, strategy, true, 1.0).is_err());
+    }
+
+    #[test]
+    fn haar_range_coeffs_match_dense_transform() {
+        // The sparse closed-form Haar analysis of a range indicator must
+        // equal haar_forward applied to the dense indicator, for a battery
+        // of ranges including edge-touching and single-cell ones.
+        for n in [8usize, 16, 32] {
+            let cases = [
+                (0, n),
+                (0, 1),
+                (n - 1, n),
+                (1, n - 1),
+                (3, 7),
+                (n / 4, 3 * n / 4),
+                (n / 2 - 1, n / 2 + 1),
+            ];
+            for &(lo, hi) in &cases {
+                if lo >= hi || hi > n {
+                    continue;
+                }
+                let mut dense = vec![0.0; n];
+                for v in dense.iter_mut().take(hi).skip(lo) {
+                    *v = 1.0;
+                }
+                dp_linalg::haar_forward(&mut dense);
+                let mut sparse = vec![0.0; n];
+                for (i, c) in haar_range_coeffs(n, lo, hi) {
+                    assert_eq!(sparse[i], 0.0, "coefficient {i} emitted twice");
+                    sparse[i] = c;
+                }
+                for (i, (a, b)) in sparse.iter().zip(&dense).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "n={n} [{lo},{hi}) coeff {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_structure_matches_dense_oracle() {
+        // The matrix-free group specs must agree with the dense R₀-based
+        // derivation (same grouping, same C_r, same s_r).
+        for n in [16usize, 64] {
+            let workloads = [
+                RangeWorkload::all_prefixes(n).unwrap(),
+                RangeWorkload::new(n, vec![(0, 5), (3, 11), (8, n), (n / 2, n / 2 + 1)]).unwrap(),
+                RangeWorkload::sliding_windows(n, 3).unwrap(),
+            ];
+            for w in &workloads {
+                for strategy in [
+                    RangeStrategy::Identity,
+                    RangeStrategy::Hierarchical,
+                    RangeStrategy::Wavelet,
+                ] {
+                    let (fast_specs, fast_grouping) =
+                        analytic_range_structure(w, strategy).expect("structured strategy");
+                    let (dense_specs, dense_grouping) = dense_range_structure(w, strategy).unwrap();
+                    assert_eq!(fast_grouping.assignment(), dense_grouping.assignment());
+                    for (a, b) in fast_grouping
+                        .magnitudes()
+                        .iter()
+                        .zip(dense_grouping.magnitudes())
+                    {
+                        assert!((a - b).abs() < 1e-12, "{strategy:?}: C {a} vs {b}");
+                    }
+                    assert_eq!(fast_specs.len(), dense_specs.len());
+                    for (g, (a, b)) in fast_specs.iter().zip(&dense_specs).enumerate() {
+                        assert!((a.c - b.c).abs() < 1e-12, "{strategy:?} group {g}");
+                        assert!(
+                            (a.s - b.s).abs() < 1e-8 * b.s.abs().max(1.0),
+                            "{strategy:?} n={n} group {g}: s {} vs {}",
+                            a.s,
+                            b.s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_query_variances_match_dense_oracle() {
+        // The closed-form per-query GLS variances must match the dense
+        // R/output_variances oracle for both budgeting modes.
+        let n = 32;
+        let w = RangeWorkload::all_prefixes(n).unwrap();
+        for strategy in [
+            RangeStrategy::Identity,
+            RangeStrategy::Hierarchical,
+            RangeStrategy::Wavelet,
+        ] {
+            for budgeting in [Budgeting::Uniform, Budgeting::Optimal] {
+                let compiled = CompiledRangeStrategy::build(&w, strategy).unwrap();
+                let solution = compiled
+                    .engine
+                    .solve_budgets(PrivacyLevel::Pure { epsilon: 0.7 }, budgeting)
+                    .unwrap();
+                let sigma2: Vec<f64> = solution
+                    .group_budgets
+                    .iter()
+                    .map(|&e| LaplaceMechanism.variance(e))
+                    .collect();
+                let fast = compiled
+                    .predict_query_variances(&w, strategy, &sigma2)
+                    .unwrap();
+                let row_variances: Vec<f64> = compiled
+                    .grouping
+                    .assignment()
+                    .iter()
+                    .map(|&g| sigma2[g])
+                    .collect();
+                let q = w.query_matrix();
+                let s = strategy_matrix(strategy, n);
+                let r = gls_recovery(&q, &s, &row_variances).unwrap();
+                let oracle = output_variances(&r, &row_variances).unwrap();
+                for (j, (a, b)) in fast.iter().zip(&oracle).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-6 * b.max(1e-12),
+                        "{strategy:?}/{budgeting:?} query {j}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_free_planning_scales_past_the_dense_oracle() {
+        // A domain of 2^14 would need a 16384×32767-entry dense S (and an
+        // O(n³) GLS) under the old planner; the analytic path compiles the
+        // full prefix workload in well under a second.
+        let n = 1usize << 14;
+        let w = RangeWorkload::all_prefixes(n).unwrap();
+        for strategy in [RangeStrategy::Hierarchical, RangeStrategy::Wavelet] {
+            let compiled = CompiledRangeStrategy::build(&w, strategy).unwrap();
+            let groups = compiled.engine.strategy().group_specs().len();
+            assert_eq!(groups, 15, "{strategy:?}: log2(n)+1 level groups");
+            assert!(compiled
+                .engine
+                .strategy()
+                .group_specs()
+                .iter()
+                .all(|g| g.s > 0.0 && g.c > 0.0));
+            let solution = compiled
+                .engine
+                .solve_budgets(PrivacyLevel::Pure { epsilon: 1.0 }, Budgeting::Optimal)
+                .unwrap();
+            let sigma2: Vec<f64> = solution
+                .group_budgets
+                .iter()
+                .map(|&e| LaplaceMechanism.variance(e))
+                .collect();
+            let vars = compiled
+                .predict_query_variances(&w, strategy, &sigma2)
+                .unwrap();
+            assert_eq!(vars.len(), n);
+            assert!(vars.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
     }
 
     #[test]

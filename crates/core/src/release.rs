@@ -2,11 +2,13 @@
 //! marginal workloads, expressed as [`StrategyOperator`] implementations
 //! over the shared [`ReleaseEngine`].
 //!
-//! A [`ReleasePlanner`] fixes the data, workload, strategy and budgeting
-//! mode, precomputing everything that does not depend on the privacy level
-//! or the random draw (exact strategy answers, coefficient spaces, group
-//! structure). [`ReleasePlanner::release`] then delegates Steps 2–3 —
-//! budgets, noise, generalized-least-squares recovery — to the engine in
+//! `CompiledMarginalStrategy` compiles a workload + strategy into the
+//! fully **data-independent** half of the pipeline (group structure,
+//! coefficient spaces, recovery map, observation recipe); binding it to a
+//! table and drawing releases is the job of [`crate::api::Session`]. The
+//! deprecated [`ReleasePlanner`] wraps the same machinery for callers that
+//! still fuse planning to data. Steps 2–3 — budgets, noise,
+//! generalized-least-squares recovery — live in the engine in
 //! [`crate::strategy`]; the types here only encode what is specific to each
 //! marginal strategy: its group structure and its (Fourier-space) recovery.
 
@@ -181,46 +183,52 @@ impl StrategyOperator for FourierStrategy {
 
 /// The marginal strategies behind one object-safe interface — proof that
 /// the planner is open to new strategy plugins.
-type MarginalStrategyBox = Box<dyn StrategyOperator<Answer = Vec<MarginalTable>> + Send + Sync>;
+pub(crate) type MarginalStrategyBox =
+    Box<dyn StrategyOperator<Answer = Vec<MarginalTable>> + Send + Sync>;
 
-/// Precomputed release plan; see the module docs.
-pub struct ReleasePlanner<'a> {
-    workload: &'a Workload,
-    strategy: StrategyKind,
-    budgeting: Budgeting,
-    engine: ReleaseEngine<MarginalStrategyBox>,
-    /// Exact strategy observations `z = S x`, precomputed at plan time.
-    observations: Vec<f64>,
-    /// The clustering, retained for inspection when `strategy == Cluster`.
-    clustering: Option<Clustering>,
+/// How a compiled marginal strategy turns a concrete table into its exact
+/// observation vector `z = S x` — the *only* data-dependent step of the
+/// pipeline, deferred to [`CompiledMarginalStrategy::observe`].
+enum ObserveKind {
+    /// `z` = the raw base counts (`S = I`).
+    BaseCounts,
+    /// `z` = the concatenated cells of the observed marginals.
+    MarginalCells(Vec<AttrMask>),
+    /// `z` = the Fourier coefficients of the support, filled from the
+    /// listed (workload) marginals.
+    FourierCoefficients {
+        space: CoefficientSpace,
+        fill_from: Vec<AttrMask>,
+    },
 }
 
-impl<'a> ReleasePlanner<'a> {
-    /// Builds the plan: runs the strategy search (for `Cluster`), computes
-    /// exact strategy answers and the group structure.
-    pub fn new(
-        table: &ContingencyTable,
-        workload: &'a Workload,
-        strategy: StrategyKind,
-        budgeting: Budgeting,
-    ) -> Result<Self, CoreError> {
-        if table.dims() != workload.domain_bits() {
-            return Err(CoreError::Shape {
-                context: "planner domain bits",
-                expected: workload.domain_bits(),
-                actual: table.dims(),
-            });
-        }
-        let d = table.dims();
+/// A marginal strategy compiled **without data**: the shared release engine
+/// (group structure + recovery map), the clustering (for `Cluster`), and
+/// the recipe for computing observations once a table arrives. This is the
+/// data-independent half of the old `ReleasePlanner`, and what
+/// [`crate::api::Plan`] embeds for marginal workloads.
+pub(crate) struct CompiledMarginalStrategy {
+    pub(crate) engine: ReleaseEngine<MarginalStrategyBox>,
+    pub(crate) clustering: Option<Clustering>,
+    observe: ObserveKind,
+    d: usize,
+}
+
+impl CompiledMarginalStrategy {
+    /// Compiles the strategy for a workload: runs the strategy search (for
+    /// `Cluster`), derives the group structure and the recovery map. No
+    /// table is consulted.
+    pub(crate) fn build(workload: &Workload, strategy: StrategyKind) -> Result<Self, CoreError> {
+        let d = workload.domain_bits();
         let ell = workload.len() as f64;
         let targets = workload.marginals().to_vec();
 
-        let (boxed, observations, clustering): (MarginalStrategyBox, Vec<f64>, _) = match strategy {
+        let (boxed, observe, clustering): (MarginalStrategyBox, ObserveKind, _) = match strategy {
             StrategyKind::Identity => {
                 // One group of all N base cells, C = 1. Recovery weight
                 // per cell is the number of workload marginals (each
                 // uses every cell exactly once), so s = ℓ·N.
-                let n = table.domain_size();
+                let n = 1usize << d;
                 let specs = vec![GroupSpec {
                     c: 1.0,
                     s: ell * n as f64,
@@ -231,14 +239,14 @@ impl<'a> ReleasePlanner<'a> {
                     specs,
                     row_groups: vec![0; n],
                 };
-                (Box::new(inner), table.counts().to_vec(), None)
+                (Box::new(inner), ObserveKind::BaseCounts, None)
             }
             StrategyKind::Workload => {
                 let observed = workload.marginals().to_vec();
                 // R₀ = I: b_i = 1 per released cell, s_r = 2^{‖α_r‖}.
                 let weights: Vec<f64> = observed.iter().map(|m| m.cell_count() as f64).collect();
-                let (inner, obs) = marginals_strategy(table, d, observed, targets, weights)?;
-                (Box::new(inner), obs, None)
+                let inner = marginals_strategy(d, observed.clone(), targets, weights)?;
+                (Box::new(inner), ObserveKind::MarginalCells(observed), None)
             }
             StrategyKind::Cluster => {
                 let clustering = greedy_cluster(workload);
@@ -251,17 +259,15 @@ impl<'a> ReleasePlanner<'a> {
                     .zip(clustering.cluster_sizes())
                     .map(|(u, lc)| (lc * u.cell_count()) as f64)
                     .collect();
-                let (inner, obs) = marginals_strategy(table, d, observed, targets, weights)?;
-                (Box::new(inner), obs, Some(clustering))
+                let inner = marginals_strategy(d, observed.clone(), targets, weights)?;
+                (
+                    Box::new(inner),
+                    ObserveKind::MarginalCells(observed),
+                    Some(clustering),
+                )
             }
             StrategyKind::Fourier => {
                 let space = CoefficientSpace::from_marginals(d, workload.marginals());
-                // Exact coefficients from the workload marginals (one
-                // fold pass per marginal plus per-block WHTs).
-                let mut exact_coeffs = vec![0.0; space.len()];
-                for m in workload.true_answers(table) {
-                    space.fill_from_marginal(&mut exact_coeffs, &m)?;
-                }
                 // b_β = Σ_{α ⊇ β, α ∈ W} 2^{‖α‖} · (2^{d/2−‖α‖})²
                 //     = Σ 2^{d−‖α‖}; singleton groups with C = 2^{−d/2}.
                 let c = 2f64.powf(-(d as f64) / 2.0);
@@ -281,32 +287,172 @@ impl<'a> ReleasePlanner<'a> {
                 let row_groups = (0..space.len() as u32).collect();
                 let inner = FourierStrategy {
                     targets,
-                    space,
+                    space: space.clone(),
                     specs,
                     row_groups,
                 };
-                (Box::new(inner), exact_coeffs, None)
+                let observe = ObserveKind::FourierCoefficients {
+                    space,
+                    fill_from: workload.marginals().to_vec(),
+                };
+                (Box::new(inner), observe, None)
             }
         };
 
+        Ok(CompiledMarginalStrategy {
+            engine: ReleaseEngine::new(boxed)?,
+            clustering,
+            observe,
+            d,
+        })
+    }
+
+    /// Computes the exact observation vector `z = S x` for a table — the
+    /// data-dependent step, run once per bound dataset.
+    pub(crate) fn observe(&self, table: &ContingencyTable) -> Result<Vec<f64>, CoreError> {
+        if table.dims() != self.d {
+            return Err(CoreError::Shape {
+                context: "planner domain bits",
+                expected: self.d,
+                actual: table.dims(),
+            });
+        }
+        match &self.observe {
+            ObserveKind::BaseCounts => Ok(table.counts().to_vec()),
+            ObserveKind::MarginalCells(observed) => Ok(table
+                .marginals(observed)
+                .iter()
+                .flat_map(|m| m.values().to_vec())
+                .collect()),
+            ObserveKind::FourierCoefficients { space, fill_from } => {
+                // Exact coefficients from the workload marginals (one fold
+                // pass per marginal plus per-block WHTs).
+                let mut coeffs = vec![0.0; space.len()];
+                for m in table.marginals(fill_from) {
+                    space.fill_from_marginal(&mut coeffs, &m)?;
+                }
+                Ok(coeffs)
+            }
+        }
+    }
+
+    /// Predicted per-marginal output variance of the *initial* recovery
+    /// `R₀`, given the per-group noise variances `group_sigma2` (one per
+    /// group, in group order). The entries sum to the engine's
+    /// `predicted_variance` total.
+    pub(crate) fn predict_query_variances(
+        &self,
+        workload: &Workload,
+        strategy: StrategyKind,
+        group_sigma2: &[f64],
+    ) -> Vec<f64> {
+        let d = self.d;
+        match strategy {
+            // Each marginal cell sums 2^{d−‖α‖} base cells of variance σ₀²;
+            // over 2^{‖α‖} cells: 2^d σ₀² per marginal.
+            StrategyKind::Identity => {
+                let v = (1u64 << d) as f64 * group_sigma2[0];
+                vec![v; workload.len()]
+            }
+            // Group g observes marginal α_g directly: 2^{‖α‖} σ_g².
+            StrategyKind::Workload => workload
+                .marginals()
+                .iter()
+                .enumerate()
+                .map(|(g, m)| m.cell_count() as f64 * group_sigma2[g])
+                .collect(),
+            // Marginal α answered from centroid u: each of its 2^{‖α‖}
+            // cells sums 2^{‖u‖−‖α‖} centroid cells → 2^{‖u‖} σ_c² total.
+            StrategyKind::Cluster => {
+                let clustering = self
+                    .clustering
+                    .as_ref()
+                    .expect("cluster strategy always retains its clustering");
+                clustering
+                    .assignment
+                    .iter()
+                    .map(|&c| clustering.centroids[c].cell_count() as f64 * group_sigma2[c])
+                    .collect()
+            }
+            // Marginal α reconstructs from the coefficients β ≼ α, each
+            // contributing 2^{d−‖α‖} σ_β² (the same per-(α,β) weight that
+            // builds the group specs).
+            StrategyKind::Fourier => {
+                let ObserveKind::FourierCoefficients { space, .. } = &self.observe else {
+                    unreachable!("Fourier strategy always observes coefficients");
+                };
+                workload
+                    .marginals()
+                    .par_iter()
+                    .map(|&alpha| {
+                        let scale = 2f64.powi((d as u32 - alpha.weight()) as i32);
+                        alpha
+                            .subsets()
+                            .map(|beta| {
+                                let pos = space
+                                    .position(beta)
+                                    .expect("support contains every workload downset");
+                                scale * group_sigma2[pos]
+                            })
+                            .sum()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Precomputed release plan; see the module docs.
+#[deprecated(
+    since = "0.3.0",
+    note = "use dp_core::api::{PlanBuilder, Session}: compile a data-independent Plan once, \
+            bind it to tables with Session, and batch releases"
+)]
+pub struct ReleasePlanner<'a> {
+    workload: &'a Workload,
+    strategy: StrategyKind,
+    budgeting: Budgeting,
+    compiled: CompiledMarginalStrategy,
+    /// Exact strategy observations `z = S x`, precomputed at plan time.
+    observations: Vec<f64>,
+}
+
+#[allow(deprecated)]
+impl<'a> ReleasePlanner<'a> {
+    /// Builds the plan: runs the strategy search (for `Cluster`), computes
+    /// exact strategy answers and the group structure.
+    pub fn new(
+        table: &ContingencyTable,
+        workload: &'a Workload,
+        strategy: StrategyKind,
+        budgeting: Budgeting,
+    ) -> Result<Self, CoreError> {
+        if table.dims() != workload.domain_bits() {
+            return Err(CoreError::Shape {
+                context: "planner domain bits",
+                expected: workload.domain_bits(),
+                actual: table.dims(),
+            });
+        }
+        let compiled = CompiledMarginalStrategy::build(workload, strategy)?;
+        let observations = compiled.observe(table)?;
         Ok(ReleasePlanner {
             workload,
             strategy,
             budgeting,
-            engine: ReleaseEngine::new(boxed)?,
+            compiled,
             observations,
-            clustering,
         })
     }
 
     /// The strategy's group specifications (`C_r`, `s_r`), for inspection.
     pub fn group_specs(&self) -> &[GroupSpec] {
-        self.engine.strategy().group_specs()
+        self.compiled.engine.strategy().group_specs()
     }
 
     /// The greedy clustering, when the strategy is `Cluster`.
     pub fn clustering(&self) -> Option<&Clustering> {
-        self.clustering.as_ref()
+        self.compiled.clustering.as_ref()
     }
 
     /// The workload this plan releases.
@@ -344,7 +490,7 @@ impl<'a> ReleasePlanner<'a> {
         neighboring: Neighboring,
         rng: &mut R,
     ) -> Result<Release, CoreError> {
-        let out = self.engine.release_with(
+        let out = self.compiled.engine.release_with(
             &self.observations,
             privacy,
             self.budgeting,
@@ -361,17 +507,16 @@ impl<'a> ReleasePlanner<'a> {
     }
 }
 
-/// Shared construction for the `Workload` and `Cluster` strategies: exact
-/// cells of the observed marginals, coefficient space, observation operator
-/// and one group per observed marginal with `s_r` given by `weights`
-/// (aligned index-for-index with `observed`).
+/// Shared construction for the `Workload` and `Cluster` strategies:
+/// coefficient space, observation operator and one group per observed
+/// marginal with `s_r` given by `weights` (aligned index-for-index with
+/// `observed`). Data-independent — exact cells are computed at bind time.
 fn marginals_strategy(
-    table: &ContingencyTable,
     d: usize,
     observed: Vec<AttrMask>,
     targets: Vec<AttrMask>,
     weights: Vec<f64>,
-) -> Result<(MarginalsStrategy, Vec<f64>), CoreError> {
+) -> Result<MarginalsStrategy, CoreError> {
     if weights.len() != observed.len() {
         return Err(CoreError::Shape {
             context: "marginals_strategy weights",
@@ -381,27 +526,19 @@ fn marginals_strategy(
     }
     let space = CoefficientSpace::from_marginals(d, &observed);
     let op = ObservationOperator::new(&space, &observed)?;
-    let exact_cells: Vec<f64> = table
-        .marginals(&observed)
-        .iter()
-        .flat_map(|m| m.values().to_vec())
-        .collect();
     let specs: Vec<GroupSpec> = weights.iter().map(|&s| GroupSpec { c: 1.0, s }).collect();
-    let mut row_groups = Vec::with_capacity(exact_cells.len());
+    let mut row_groups = Vec::new();
     for (g, m) in observed.iter().enumerate() {
         row_groups.extend(std::iter::repeat_n(g as u32, m.cell_count()));
     }
-    Ok((
-        MarginalsStrategy {
-            observed,
-            targets,
-            space,
-            op,
-            specs,
-            row_groups,
-        },
-        exact_cells,
-    ))
+    Ok(MarginalsStrategy {
+        observed,
+        targets,
+        space,
+        op,
+        specs,
+        row_groups,
+    })
 }
 
 impl MarginalsStrategy {
@@ -413,6 +550,7 @@ impl MarginalsStrategy {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy planner keeps its behavioral test suite
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -18,12 +18,26 @@
 //! ```
 //!
 //! Attribute masks travel as their `u64` bit patterns.
+//!
+//! [`Plan`] documents additionally carry the solved budgets, the privacy
+//! parameters and the variance predictions, so a compiled plan can be
+//! shipped between processes; deserialization recompiles the strategy
+//! operator from the spec and re-validates the shipped budgets (see the
+//! [`Deserialize`] impl for [`Plan`]).
 
+use crate::api::{Plan, WorkloadSpec};
 use crate::marginal::MarginalTable;
 use crate::mask::AttrMask;
-use crate::release::Release;
-use crate::schema::{Attribute, Schema};
+use crate::range::{RangeStrategy, RangeWorkload};
+use crate::release::{Release, StrategyKind};
+use crate::strategy::Budgeting;
 use crate::workload::Workload;
+use crate::{
+    schema::{Attribute, Schema},
+    CoreError,
+};
+use dp_mech::{Neighboring, PrivacyLevel};
+use dp_opt::budget::BudgetSolution;
 use serde::{DeError, Deserialize, Serialize, Value};
 
 fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
@@ -32,36 +46,47 @@ fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
         .ok_or_else(|| DeError::missing_field(name))
 }
 
+/// Serializes a `u64` exactly: as a JSON number below 2^53 (where f64 is
+/// exact) and as a decimal string above.
+fn u64_value(v: u64) -> Value {
+    if v < (1u64 << 53) {
+        Value::Number(v as f64)
+    } else {
+        Value::String(v.to_string())
+    }
+}
+
+/// Inverse of [`u64_value`].
+fn u64_from(value: &Value, what: &str) -> Result<u64, DeError> {
+    if let Some(s) = value.as_str() {
+        return s
+            .parse::<u64>()
+            .map_err(|_| DeError::new(format!("invalid {what} {s:?}")));
+    }
+    let bits = value
+        .as_f64()
+        .ok_or_else(|| DeError::new(format!("{what} must be a number or string")))?;
+    if bits < 0.0 || bits.fract() != 0.0 || bits >= (1u64 << 53) as f64 {
+        return Err(DeError::new(format!("invalid {what} {bits}")));
+    }
+    Ok(bits as u64)
+}
+
 impl Serialize for AttrMask {
     fn serialize_value(&self) -> Value {
-        // Numbers travel as f64, which is exact only below 2^53; larger
-        // masks (domains up to 63 bits are legal) go out as decimal
-        // strings so no bit pattern is ever silently rounded.
-        if self.0 < (1u64 << 53) {
-            Value::Number(self.0 as f64)
-        } else {
-            Value::String(self.0.to_string())
-        }
+        u64_value(self.0)
     }
 }
 
 impl Deserialize for AttrMask {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        if let Some(s) = value.as_str() {
-            return s
-                .parse::<u64>()
-                .ok()
-                .filter(|&bits| bits < (1u64 << 63))
-                .map(AttrMask)
-                .ok_or_else(|| DeError::new(format!("invalid attribute mask {s:?}")));
-        }
-        let bits = value
-            .as_f64()
-            .ok_or_else(|| DeError::new("attribute mask must be a number or string"))?;
-        if bits < 0.0 || bits.fract() != 0.0 || bits >= (1u64 << 53) as f64 {
+        // On top of the shared u64 wire rule, masks carry the domain bound:
+        // domains up to 63 bits are legal.
+        let bits = u64_from(value, "attribute mask")?;
+        if bits >= (1u64 << 63) {
             return Err(DeError::new(format!("invalid attribute mask {bits}")));
         }
-        Ok(AttrMask(bits as u64))
+        Ok(AttrMask(bits))
     }
 }
 
@@ -152,6 +177,217 @@ impl Deserialize for Schema {
     }
 }
 
+impl Serialize for WorkloadSpec {
+    fn serialize_value(&self) -> Value {
+        match self {
+            WorkloadSpec::Marginals { workload, strategy } => Value::Object(vec![
+                ("kind".into(), Value::String("marginals".into())),
+                ("workload".into(), workload.serialize_value()),
+                (
+                    "strategy".into(),
+                    Value::String(
+                        match strategy {
+                            StrategyKind::Identity => "identity",
+                            StrategyKind::Workload => "workload",
+                            StrategyKind::Fourier => "fourier",
+                            StrategyKind::Cluster => "cluster",
+                        }
+                        .into(),
+                    ),
+                ),
+            ]),
+            WorkloadSpec::Ranges { workload, strategy } => {
+                let ranges: Vec<Value> = workload
+                    .ranges()
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        Value::Array(vec![Value::Number(lo as f64), Value::Number(hi as f64)])
+                    })
+                    .collect();
+                let strategy_value = match strategy {
+                    RangeStrategy::Identity => Value::String("identity".into()),
+                    RangeStrategy::Hierarchical => Value::String("hierarchical".into()),
+                    RangeStrategy::Wavelet => Value::String("wavelet".into()),
+                    RangeStrategy::Sketch {
+                        repetitions,
+                        buckets,
+                        seed,
+                    } => Value::Object(vec![
+                        ("kind".into(), Value::String("sketch".into())),
+                        ("repetitions".into(), Value::Number(*repetitions as f64)),
+                        ("buckets".into(), Value::Number(*buckets as f64)),
+                        ("seed".into(), u64_value(*seed)),
+                    ]),
+                };
+                Value::Object(vec![
+                    ("kind".into(), Value::String("ranges".into())),
+                    ("domain".into(), Value::Number(workload.domain() as f64)),
+                    ("ranges".into(), Value::Array(ranges)),
+                    ("strategy".into(), strategy_value),
+                ])
+            }
+        }
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let kind = String::deserialize_value(field(value, "kind")?)?;
+        match kind.as_str() {
+            "marginals" => {
+                let workload = Workload::deserialize_value(field(value, "workload")?)?;
+                let strategy = match String::deserialize_value(field(value, "strategy")?)?.as_str()
+                {
+                    "identity" => StrategyKind::Identity,
+                    "workload" => StrategyKind::Workload,
+                    "fourier" => StrategyKind::Fourier,
+                    "cluster" => StrategyKind::Cluster,
+                    other => return Err(DeError::new(format!("unknown strategy {other:?}"))),
+                };
+                Ok(WorkloadSpec::Marginals { workload, strategy })
+            }
+            "ranges" => {
+                let n = usize::deserialize_value(field(value, "domain")?)?;
+                let ranges = Vec::<Vec<usize>>::deserialize_value(field(value, "ranges")?)?
+                    .into_iter()
+                    .map(|pair| match pair.as_slice() {
+                        [lo, hi] => Ok((*lo, *hi)),
+                        _ => Err(DeError::new("range must be a [lo, hi) pair")),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let strategy_value = field(value, "strategy")?;
+                let strategy = if let Some(name) = strategy_value.as_str() {
+                    match name {
+                        "identity" => RangeStrategy::Identity,
+                        "hierarchical" => RangeStrategy::Hierarchical,
+                        "wavelet" => RangeStrategy::Wavelet,
+                        other => {
+                            return Err(DeError::new(format!("unknown range strategy {other:?}")))
+                        }
+                    }
+                } else {
+                    let kind = String::deserialize_value(field(strategy_value, "kind")?)?;
+                    if kind != "sketch" {
+                        return Err(DeError::new(format!("unknown range strategy {kind:?}")));
+                    }
+                    RangeStrategy::Sketch {
+                        repetitions: usize::deserialize_value(field(
+                            strategy_value,
+                            "repetitions",
+                        )?)?,
+                        buckets: usize::deserialize_value(field(strategy_value, "buckets")?)?,
+                        seed: u64_from(field(strategy_value, "seed")?, "sketch seed")?,
+                    }
+                };
+                let workload = RangeWorkload::new(n, ranges)
+                    .map_err(|e| DeError::new(format!("invalid range workload: {e}")))?;
+                Ok(WorkloadSpec::Ranges { workload, strategy })
+            }
+            other => Err(DeError::new(format!("unknown workload kind {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Plan {
+    /// A plan's wire format carries everything data-like — spec, budgeting,
+    /// privacy, neighbouring, the solved budgets and the variance
+    /// predictions. The compiled operator is *not* shipped: the receiving
+    /// side recompiles it deterministically from the spec (and keeps the
+    /// shipped budget solution, skipping the Step-2 solve).
+    fn serialize_value(&self) -> Value {
+        let privacy = match self.privacy() {
+            PrivacyLevel::Pure { epsilon } => {
+                Value::Object(vec![("epsilon".into(), epsilon.serialize_value())])
+            }
+            PrivacyLevel::Approx { epsilon, delta } => Value::Object(vec![
+                ("epsilon".into(), epsilon.serialize_value()),
+                ("delta".into(), delta.serialize_value()),
+            ]),
+        };
+        Value::Object(vec![
+            ("spec".into(), self.spec().serialize_value()),
+            (
+                "budgeting".into(),
+                Value::String(
+                    match self.budgeting() {
+                        Budgeting::Uniform => "uniform",
+                        Budgeting::Optimal => "optimal",
+                    }
+                    .into(),
+                ),
+            ),
+            ("privacy".into(), privacy),
+            (
+                "neighboring".into(),
+                Value::String(
+                    match self.neighboring() {
+                        Neighboring::AddRemove => "add_remove",
+                        Neighboring::Replace => "replace",
+                    }
+                    .into(),
+                ),
+            ),
+            ("schema_fingerprint".into(), u64_value(self.schema_tag())),
+            (
+                "group_budgets".into(),
+                self.solution().group_budgets.serialize_value(),
+            ),
+            (
+                "objective".into(),
+                self.solution().objective.serialize_value(),
+            ),
+            (
+                "achieved_epsilon".into(),
+                self.achieved_epsilon().serialize_value(),
+            ),
+            (
+                "predicted_variance".into(),
+                self.predicted_variance().serialize_value(),
+            ),
+            (
+                "query_variances".into(),
+                self.query_variances().serialize_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Plan {
+    /// Recompiles the strategy operator from the spec and re-validates the
+    /// shipped budget solution against it (group count, Proposition-3.1
+    /// feasibility). The achieved ε and variance predictions are re-derived
+    /// — a tampered document cannot smuggle optimistic accounting.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        let spec = WorkloadSpec::deserialize_value(field(value, "spec")?)?;
+        let budgeting = match String::deserialize_value(field(value, "budgeting")?)?.as_str() {
+            "uniform" => Budgeting::Uniform,
+            "optimal" => Budgeting::Optimal,
+            other => return Err(DeError::new(format!("unknown budgeting {other:?}"))),
+        };
+        let privacy_value = field(value, "privacy")?;
+        let epsilon = f64::deserialize_value(field(privacy_value, "epsilon")?)?;
+        let privacy = match privacy_value.get_field("delta") {
+            Some(delta) => PrivacyLevel::Approx {
+                epsilon,
+                delta: f64::deserialize_value(delta)?,
+            },
+            None => PrivacyLevel::Pure { epsilon },
+        };
+        let neighboring = match String::deserialize_value(field(value, "neighboring")?)?.as_str() {
+            "add_remove" => Neighboring::AddRemove,
+            "replace" => Neighboring::Replace,
+            other => return Err(DeError::new(format!("unknown neighboring {other:?}"))),
+        };
+        let schema_tag = u64_from(field(value, "schema_fingerprint")?, "schema fingerprint")?;
+        let solution = BudgetSolution {
+            group_budgets: Vec::<f64>::deserialize_value(field(value, "group_budgets")?)?,
+            objective: f64::deserialize_value(field(value, "objective")?)?,
+        };
+        Plan::from_shipped_parts(spec, budgeting, privacy, neighboring, schema_tag, solution)
+            .map_err(|e: CoreError| DeError::new(format!("invalid plan document: {e}")))
+    }
+}
+
 impl Serialize for Workload {
     fn serialize_value(&self) -> Value {
         Value::Object(vec![
@@ -173,8 +409,6 @@ impl Deserialize for Workload {
 mod tests {
     use super::*;
     use crate::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn to_json<T: Serialize>(v: &T) -> String {
         let mut out = String::new();
@@ -218,11 +452,12 @@ mod tests {
     fn release_roundtrips_through_value() {
         let t = ContingencyTable::from_counts(vec![1.0, 2.0, 0.0, 1.0]);
         let w = Workload::new(2, vec![AttrMask(0b01), AttrMask(0b11)]).unwrap();
-        let p = ReleasePlanner::new(&t, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
-        let mut rng = StdRng::seed_from_u64(1);
-        let r = p
-            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+        let plan = PlanBuilder::marginals(w, StrategyKind::Fourier)
+            .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+            .compile()
             .unwrap();
+        let session = Session::bind(&plan, &t).unwrap();
+        let r = session.release(1).unwrap().into_release().unwrap();
         let v = r.serialize_value();
         let back = Release::deserialize_value(&v).unwrap();
         assert_eq!(back.label, r.label);
@@ -280,6 +515,64 @@ mod tests {
         assert!(AttrMask::deserialize_value(&Value::Number(-1.0)).is_err());
         assert!(AttrMask::deserialize_value(&Value::Number(1.5)).is_err());
         assert!(AttrMask::deserialize_value(&Value::String("not a mask".into())).is_err());
+    }
+
+    #[test]
+    fn marginal_plan_roundtrips_through_value() {
+        let w = Workload::new(3, vec![AttrMask(0b011), AttrMask(0b110)]).unwrap();
+        let plan = PlanBuilder::marginals(w, StrategyKind::Cluster)
+            .privacy(PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: 1e-6,
+            })
+            .compile()
+            .unwrap();
+        let v = plan.serialize_value();
+        let back = Plan::deserialize_value(&v).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.query_variances(), plan.query_variances());
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn range_plan_roundtrips_and_rejects_tampering() {
+        let w = crate::range::RangeWorkload::all_prefixes(16).unwrap();
+        let plan = PlanBuilder::ranges(w, crate::range::RangeStrategy::Hierarchical)
+            .privacy(PrivacyLevel::Pure { epsilon: 0.3 })
+            .compile()
+            .unwrap();
+        let v = plan.serialize_value();
+        let back = Plan::deserialize_value(&v).unwrap();
+        assert_eq!(back, plan);
+
+        // Inflating a shipped budget must fail Proposition-3.1 validation.
+        let Value::Object(mut fields) = v.clone() else {
+            panic!("plan serializes as an object");
+        };
+        for (k, fv) in &mut fields {
+            if k == "group_budgets" {
+                let Value::Array(budgets) = fv else {
+                    panic!("budgets are an array");
+                };
+                budgets[0] = Value::Number(10.0);
+            }
+        }
+        assert!(Plan::deserialize_value(&Value::Object(fields)).is_err());
+
+        // Deflating the shipped objective (which drives predicted_variance)
+        // must fail the objective-vs-budgets consistency check.
+        let Value::Object(mut fields) = v else {
+            panic!("plan serializes as an object");
+        };
+        for (k, fv) in &mut fields {
+            if k == "objective" {
+                *fv = Value::Number(1e-12);
+            }
+        }
+        assert!(matches!(
+            Plan::deserialize_value(&Value::Object(fields)),
+            Err(DeError { .. })
+        ));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use operator::{
 };
 pub use solve::{cholesky, solve_spd, CholeskyError};
 pub use sparse::CsrMatrix;
-pub use wavelet::{haar_forward, haar_inverse};
+pub use wavelet::{haar_forward, haar_inverse, haar_level, haar_row_magnitude};
 pub use wht::{fwht, fwht_normalized, ifwht_normalized};
 
 /// Errors produced by the linear-algebra kernels.

@@ -24,6 +24,17 @@
 //! is free in the privacy accounting).
 
 use crate::OptError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of Step-2 budget solves performed (all four solver
+/// entry points). A diagnostic hook for the plan-cache machinery: tests
+/// assert that `K` releases over one cached plan perform exactly one solve.
+static SOLVE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of budget solves performed by this process so far.
+pub fn solve_count() -> u64 {
+    SOLVE_COUNT.load(Ordering::Relaxed)
+}
 
 /// One group of strategy rows (Definition 3.1): `c` is the common magnitude
 /// of the group's non-zero entries (`C_r`), `s` is the summed recovery
@@ -75,6 +86,9 @@ fn validate(groups: &[GroupSpec], epsilon: f64) -> Result<(), OptError> {
             "all groups have zero recovery weight".into(),
         ));
     }
+    // Every solver validates exactly once, so this is the one place to
+    // count solves for the plan-cache diagnostics.
+    SOLVE_COUNT.fetch_add(1, Ordering::Relaxed);
     Ok(())
 }
 

@@ -79,4 +79,18 @@ fn main() {
     println!("\nPer Section 3.3, every ratio above is guaranteed ≤ 2 — and in");
     println!("practice the projection usually *reduces* the error (ratio < 1),");
     println!("because averaging overlapping marginals cancels independent noise.");
+
+    // Contrast: releases served through the plan/session API recover in a
+    // single coefficient space, so they are consistent *by construction* —
+    // no repair step needed.
+    let plan = PlanBuilder::marginals(workload.clone(), StrategyKind::Fourier)
+        .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+        .compile()
+        .expect("planning succeeds");
+    let session = Session::bind(&plan, &table).expect("table matches");
+    let release = session.release(123).expect("release succeeds");
+    println!(
+        "\nplan/session release consistent by construction? {}",
+        is_consistent(release.answers.marginals().expect("marginal plan"), 1e-6)
+    );
 }

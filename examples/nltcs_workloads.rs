@@ -1,13 +1,12 @@
 //! NLTCS workload study (the paper's Section 5.2 scenario): quantify how
 //! much the optimal non-uniform budgeting improves each strategy on the
 //! mixed-arity workloads `Q*_1` and `Q^a_1`, where marginal sizes differ
-//! and budget shaping matters most.
+//! and budget shaping matters most. Each method compiles one plan and
+//! batches all its trials through a single [`Session`].
 //!
 //! Run with `cargo run --release --example nltcs_workloads`.
 
 use datacube_dp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn mean_error(
     table: &ContingencyTable,
@@ -19,15 +18,20 @@ fn mean_error(
     seed: u64,
 ) -> f64 {
     let exact = workload.true_answers(table);
-    let planner =
-        ReleasePlanner::new(table, workload, strategy, budgeting).expect("planning succeeds");
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..trials)
-        .map(|_| {
-            let r = planner
-                .release(PrivacyLevel::Pure { epsilon: eps }, &mut rng)
-                .expect("release succeeds");
-            average_relative_error(&r.answers, &exact).expect("aligned")
+    let plan = PlanBuilder::marginals(workload.clone(), strategy)
+        .budgeting(budgeting)
+        .privacy(PrivacyLevel::Pure { epsilon: eps })
+        .compile()
+        .expect("planning succeeds");
+    let session = Session::bind(&plan, table).expect("table matches");
+    let seeds: Vec<u64> = (0..trials as u64).map(|t| seed + t).collect();
+    session
+        .release_batch(&seeds)
+        .expect("release succeeds")
+        .into_iter()
+        .map(|r| {
+            let answers = r.answers.into_marginals().expect("marginal plan");
+            average_relative_error(&answers, &exact).expect("aligned")
         })
         .sum::<f64>()
         / trials as f64

@@ -1,12 +1,11 @@
 //! Quickstart: release all 2-way marginals of a small synthetic dataset
-//! with ε-differential privacy, using the Fourier strategy and the paper's
-//! optimal non-uniform noise budgets.
+//! with ε-differential privacy through the two-phase plan/session API —
+//! compile a data-independent plan once, bind the data, draw a
+//! deterministic batch of releases.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use datacube_dp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // A toy relation: 6 binary attributes, 1000 correlated records.
@@ -28,26 +27,35 @@ fn main() {
         workload.fourier_support().len()
     );
 
-    // Plan once (strategy search + exact answers), release at ε = 0.5.
-    let planner = ReleasePlanner::new(&table, &workload, StrategyKind::Fourier, Budgeting::Optimal)
+    // Phase 1 — no data in sight: compile the Fourier strategy with the
+    // paper's optimal non-uniform budgets at ε = 0.5. The plan carries the
+    // solved budgets, the achieved ε and per-marginal variance predictions.
+    let plan = PlanBuilder::marginals(workload.clone(), StrategyKind::Fourier)
+        .budgeting(Budgeting::Optimal)
+        .privacy(PrivacyLevel::Pure { epsilon: 0.5 })
+        .for_schema(&schema)
+        .compile()
         .expect("planning succeeds on a valid workload");
-    let mut rng = StdRng::seed_from_u64(2013);
-    let release = planner
-        .release(PrivacyLevel::Pure { epsilon: 0.5 }, &mut rng)
-        .expect("release succeeds");
-
     println!(
-        "method {} achieved ε = {:.6} (requested 0.5)",
-        release.label, release.achieved_epsilon
+        "plan {}: achieved ε = {:.6} (requested 0.5), predicted total Var = {:.1}",
+        plan.label(),
+        plan.achieved_epsilon(),
+        plan.predicted_variance()
     );
+
+    // Phase 2: bind the table (computes the exact observations once) and
+    // draw releases — each one deterministic in its seed.
+    let session = Session::bind(&plan, &table).expect("table matches the plan's domain");
+    let release = session.release(2013).expect("release succeeds");
+    let answers = release.answers.marginals().expect("marginal plan");
 
     // Compare against the exact answers.
     let exact = workload.true_answers(&table);
-    let rel = average_relative_error(&release.answers, &exact).expect("aligned answers");
+    let rel = average_relative_error(answers, &exact).expect("aligned answers");
     println!("average relative error: {rel:.4}");
 
     // Show one released marginal next to the truth.
-    let m = &release.answers[0];
+    let m = &answers[0];
     println!("\nmarginal over attributes {} (noisy vs exact):", m.mask());
     for (noisy, truth) in m.values().iter().zip(exact[0].values()) {
         println!("  {noisy:>10.2}  vs  {truth:>8.1}");
@@ -55,19 +63,12 @@ fn main() {
 
     // The released marginals are mutually consistent: aggregating any two
     // to their common sub-marginal agrees.
-    let a = release.answers[0]
-        .aggregate_to(
-            release.answers[0]
-                .mask()
-                .intersect(release.answers[1].mask()),
-        )
+    let common = answers[0].mask().intersect(answers[1].mask());
+    let a = answers[0]
+        .aggregate_to(common)
         .expect("intersection is dominated");
-    let b = release.answers[1]
-        .aggregate_to(
-            release.answers[0]
-                .mask()
-                .intersect(release.answers[1].mask()),
-        )
+    let b = answers[1]
+        .aggregate_to(common)
         .expect("intersection is dominated");
     let gap: f64 = a
         .values()
@@ -76,4 +77,17 @@ fn main() {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0, f64::max);
     println!("\nconsistency check: max disagreement between overlapping marginals = {gap:.2e}");
+
+    // Batches reuse the one solved plan and are reproducible seed-by-seed.
+    let batch = session.release_batch(&[1, 2, 3]).expect("batch succeeds");
+    let again = session.release(2).expect("release succeeds");
+    assert_eq!(
+        batch[1].answers.marginals().unwrap()[0].values(),
+        again.answers.marginals().unwrap()[0].values(),
+        "same (plan, data, seed) ⇒ same bytes, batched or not"
+    );
+    println!(
+        "\nbatch of {} releases from one plan; seed 2 reproduces bit-for-bit",
+        batch.len()
+    );
 }

@@ -6,10 +6,20 @@
 //! ```text
 //! datacube-dp release --dataset adult|nltcs --workload q1|q1star|q1a|q2|q2star|q2a
 //!                     --strategy f|q|c|i --budgets uniform|optimal
-//!                     --epsilon <f64> [--delta <f64>] [--seed <u64>]
-//!                     [--nonnegative] [--output <path>]
+//!                     --epsilon <f64> [--delta <f64>] [--seed <u64>] [--batch <n>]
+//!                     [--nonnegative] [--json] [--output <path>]
+//! datacube-dp plan    --dataset adult|nltcs --workload <label> --strategy f|q|c|i
+//!                     --budgets uniform|optimal --epsilon <f64> [--delta <f64>]
+//!                     [--output <path>]
 //! datacube-dp inspect --dataset adult|nltcs
 //! ```
+//!
+//! `release` runs through the two-phase [`dp_core::api`]: it compiles one
+//! data-independent [`Plan`], binds the dataset in a [`Session`], and
+//! serves `--batch N` deterministic releases (seeds `seed..seed+N`) from
+//! that single plan — one budget solve for the whole batch. `plan` stops
+//! after phase 1 and emits the serialized plan document, which another
+//! process can load without re-solving.
 
 use dp_core::prelude::*;
 use std::fmt::Write as _;
@@ -17,8 +27,10 @@ use std::fmt::Write as _;
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Run one private release and print/serialize the marginals.
+    /// Run a batch of private releases and print/serialize the marginals.
     Release(ReleaseArgs),
+    /// Compile a data-independent release plan and emit it as JSON.
+    Plan(PlanArgs),
     /// Print dataset/schema statistics.
     Inspect {
         /// Dataset selector.
@@ -52,13 +64,37 @@ pub struct ReleaseArgs {
     pub epsilon: f64,
     /// Optional δ (switches to the Gaussian mechanism).
     pub delta: Option<f64>,
-    /// RNG seed.
+    /// RNG seed of the first release; release `i` uses `seed + i`.
     pub seed: u64,
+    /// Number of releases to draw from the one compiled plan. When > 1 the
+    /// output is a JSON array with one per-release document per seed.
+    pub batch: usize,
     /// Post-process to non-negative integral marginals.
     pub nonnegative: bool,
-    /// Emit the full release (label, ε, budgets, answers) as a single
-    /// machine-consumable JSON document instead of the marginal list.
+    /// Emit the full release (label, ε, budgets, answers) as a
+    /// machine-consumable JSON document per release instead of the
+    /// marginal list.
     pub json: bool,
+    /// Optional JSON output path.
+    pub output: Option<String>,
+}
+
+/// Arguments of the `plan` subcommand (the data-independent subset of
+/// [`ReleaseArgs`]: the dataset is consulted only for its schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanArgs {
+    /// Which dataset's schema to plan against.
+    pub dataset: DatasetArg,
+    /// Workload family label.
+    pub workload: String,
+    /// Strategy to use.
+    pub strategy: StrategyKind,
+    /// Budget allocation mode.
+    pub budgets: Budgeting,
+    /// Privacy ε.
+    pub epsilon: f64,
+    /// Optional δ (switches to the Gaussian mechanism).
+    pub delta: Option<f64>,
     /// Optional JSON output path.
     pub output: Option<String>,
 }
@@ -82,10 +118,18 @@ datacube-dp — differentially private release of datacubes and marginals
 USAGE:
   datacube-dp release --dataset <adult|nltcs> --workload <q1|q1star|q1a|q2|q2star|q2a>
                       --strategy <f|q|c|i> --budgets <uniform|optimal>
-                      --epsilon <f64> [--delta <f64>] [--seed <u64>]
+                      --epsilon <f64> [--delta <f64>] [--seed <u64>] [--batch <n>]
                       [--nonnegative] [--json] [--output <path.json>]
+  datacube-dp plan    --dataset <adult|nltcs> --workload <label> --strategy <f|q|c|i>
+                      --budgets <uniform|optimal> --epsilon <f64> [--delta <f64>]
+                      [--output <path.json>]
   datacube-dp inspect --dataset <adult|nltcs>
   datacube-dp help
+
+`release` compiles one data-independent plan, binds the dataset, and draws
+--batch deterministic releases (seeds seed..seed+batch) from it; --batch > 1
+emits one JSON array (marginal lists, or full documents with --json).
+`plan` stops after compilation and emits the serialized plan document.
 ";
 
 fn parse_dataset(v: &str) -> Result<DatasetArg, CliError> {
@@ -141,7 +185,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 dataset: dataset.ok_or(CliError("inspect requires --dataset".into()))?,
             })
         }
-        "release" => {
+        "release" | "plan" => {
+            let is_plan = sub == "plan";
             let mut dataset = None;
             let mut workload = None;
             let mut strategy = None;
@@ -149,6 +194,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut epsilon = None;
             let mut delta = None;
             let mut seed = 42u64;
+            let mut batch = 1usize;
             let mut nonnegative = false;
             let mut json = false;
             let mut output = None;
@@ -176,29 +222,53 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .map_err(|e| CliError(format!("bad --delta: {e}")))?,
                         )
                     }
-                    "--seed" => {
+                    "--seed" if !is_plan => {
                         seed = value("--seed")?
                             .parse::<u64>()
                             .map_err(|e| CliError(format!("bad --seed: {e}")))?
                     }
-                    "--nonnegative" => nonnegative = true,
-                    "--json" => json = true,
+                    "--batch" if !is_plan => {
+                        batch = value("--batch")?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or(CliError("bad --batch: need an integer ≥ 1".into()))?
+                    }
+                    "--nonnegative" if !is_plan => nonnegative = true,
+                    "--json" if !is_plan => json = true,
                     "--output" => output = Some(value("--output")?.clone()),
-                    other => return Err(CliError(format!("unknown flag {other:?}"))),
+                    other => return Err(CliError(format!("unknown flag {other:?} for {sub}"))),
                 }
             }
-            Ok(Command::Release(ReleaseArgs {
-                dataset: dataset.ok_or(CliError("release requires --dataset".into()))?,
-                workload: workload.ok_or(CliError("release requires --workload".into()))?,
-                strategy: strategy.ok_or(CliError("release requires --strategy".into()))?,
-                budgets,
-                epsilon: epsilon.ok_or(CliError("release requires --epsilon".into()))?,
-                delta,
-                seed,
-                nonnegative,
-                json,
-                output,
-            }))
+            let dataset = dataset.ok_or(CliError(format!("{sub} requires --dataset")))?;
+            let workload = workload.ok_or(CliError(format!("{sub} requires --workload")))?;
+            let strategy = strategy.ok_or(CliError(format!("{sub} requires --strategy")))?;
+            let epsilon = epsilon.ok_or(CliError(format!("{sub} requires --epsilon")))?;
+            if is_plan {
+                Ok(Command::Plan(PlanArgs {
+                    dataset,
+                    workload,
+                    strategy,
+                    budgets,
+                    epsilon,
+                    delta,
+                    output,
+                }))
+            } else {
+                Ok(Command::Release(ReleaseArgs {
+                    dataset,
+                    workload,
+                    strategy,
+                    budgets,
+                    epsilon,
+                    delta,
+                    seed,
+                    batch,
+                    nonnegative,
+                    json,
+                    output,
+                }))
+            }
         }
         other => Err(CliError(format!("unknown subcommand {other:?}"))),
     }
@@ -222,6 +292,39 @@ pub fn build_workload(schema: &Schema, label: &str) -> Result<Workload, CliError
         )));
     };
     res.map_err(|e| CliError(format!("workload construction failed: {e}")))
+}
+
+/// The dataset's schema alone — all `plan` needs, since plans are
+/// data-independent.
+pub fn dataset_schema(dataset: DatasetArg) -> Schema {
+    match dataset {
+        DatasetArg::Adult => dp_data::adult_schema(),
+        DatasetArg::Nltcs => dp_data::nltcs_schema(),
+    }
+}
+
+/// Builds the privacy level from ε and the optional δ.
+pub fn privacy_level(epsilon: f64, delta: Option<f64>) -> PrivacyLevel {
+    match delta {
+        None => PrivacyLevel::Pure { epsilon },
+        Some(delta) => PrivacyLevel::Approx { epsilon, delta },
+    }
+}
+
+/// Compiles the data-independent plan for a parsed workload request.
+pub fn compile_plan(
+    schema: &Schema,
+    workload: Workload,
+    strategy: StrategyKind,
+    budgets: Budgeting,
+    privacy: PrivacyLevel,
+) -> Result<Plan, CliError> {
+    PlanBuilder::marginals(workload, strategy)
+        .budgeting(budgets)
+        .privacy(privacy)
+        .for_schema(schema)
+        .compile()
+        .map_err(|e| CliError(format!("plan compilation failed: {e}")))
 }
 
 /// Loads the dataset's schema and contingency table.
@@ -258,6 +361,17 @@ pub fn load_dataset(
 /// one machine-consumable JSON document (the `--json` output).
 pub fn release_to_json(release: &dp_core::Release) -> String {
     serde_json::to_string_pretty(release).expect("release serialization is infallible")
+}
+
+/// Serializes a whole release batch as one JSON array (the `--json` output
+/// when `--batch > 1`).
+pub fn release_batch_to_json(releases: &[dp_core::Release]) -> String {
+    serde_json::to_string_pretty(releases).expect("release serialization is infallible")
+}
+
+/// Serializes a compiled plan as its shippable JSON document.
+pub fn plan_to_json(plan: &Plan) -> String {
+    serde_json::to_string_pretty(plan).expect("plan serialization is infallible")
 }
 
 /// Serializes released marginals as a human-readable JSON document.
@@ -307,6 +421,8 @@ mod tests {
             "0.5",
             "--seed",
             "9",
+            "--batch",
+            "4",
             "--nonnegative",
             "--json",
             "--output",
@@ -322,6 +438,7 @@ mod tests {
         assert_eq!(a.budgets, Budgeting::Optimal);
         assert_eq!(a.epsilon, 0.5);
         assert_eq!(a.seed, 9);
+        assert_eq!(a.batch, 4);
         assert!(a.nonnegative);
         assert!(a.json);
         assert_eq!(a.output.as_deref(), Some("out.json"));
@@ -329,21 +446,85 @@ mod tests {
     }
 
     #[test]
+    fn plan_command_parses_and_rejects_release_only_flags() {
+        let cmd = parse_args(&sv(&[
+            "plan",
+            "--dataset",
+            "adult",
+            "--workload",
+            "q1",
+            "--strategy",
+            "c",
+            "--budgets",
+            "uniform",
+            "--epsilon",
+            "2.0",
+            "--delta",
+            "1e-6",
+            "--output",
+            "plan.json",
+        ]))
+        .unwrap();
+        let Command::Plan(a) = cmd else {
+            panic!("expected plan");
+        };
+        assert_eq!(a.dataset, DatasetArg::Adult);
+        assert_eq!(a.strategy, StrategyKind::Cluster);
+        assert_eq!(a.budgets, Budgeting::Uniform);
+        assert_eq!(a.delta, Some(1e-6));
+        assert_eq!(a.output.as_deref(), Some("plan.json"));
+        // Seeds/batches belong to `release`, not the data-independent plan.
+        assert!(parse_args(&sv(&["plan", "--seed", "1"])).is_err());
+        assert!(parse_args(&sv(&["plan", "--batch", "2"])).is_err());
+        assert!(parse_args(&sv(&["release", "--batch", "0"])).is_err());
+    }
+
+    #[test]
     fn release_json_document_is_parseable() {
         use dp_core::prelude::*;
-        use rand::SeedableRng;
         let t = ContingencyTable::from_counts(vec![3.0, 1.0, 0.0, 2.0]);
         let w = Workload::new(2, vec![crate::core::AttrMask(0b11)]).unwrap();
-        let p = ReleasePlanner::new(&t, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let release = p
-            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+        let plan = PlanBuilder::marginals(w, StrategyKind::Fourier)
+            .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+            .compile()
             .unwrap();
+        let session = Session::bind(&plan, &t).unwrap();
+        let release = session.release(4).unwrap().into_release().unwrap();
         let doc = release_to_json(&release);
         let back: dp_core::Release = serde_json::from_str(&doc).unwrap();
         assert_eq!(back.label, release.label);
         assert_eq!(back.answers.len(), 1);
         assert_eq!(back.answers[0].values(), release.answers[0].values());
+
+        // Batches serialize as one JSON array of the same documents.
+        let batch: Vec<_> = session
+            .release_batch(&[4, 5])
+            .unwrap()
+            .into_iter()
+            .map(|r| r.into_release().unwrap())
+            .collect();
+        let arr = release_batch_to_json(&batch);
+        let back: Vec<dp_core::Release> = serde_json::from_str(&arr).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].answers[0].values(), release.answers[0].values());
+    }
+
+    #[test]
+    fn plan_json_document_roundtrips() {
+        let schema = dataset_schema(DatasetArg::Nltcs);
+        let w = build_workload(&schema, "q1").unwrap();
+        let plan = compile_plan(
+            &schema,
+            w,
+            StrategyKind::Fourier,
+            Budgeting::Optimal,
+            privacy_level(0.5, None),
+        )
+        .unwrap();
+        let doc = plan_to_json(&plan);
+        let back: Plan = serde_json::from_str(&doc).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.fingerprint(), plan.fingerprint());
     }
 
     #[test]

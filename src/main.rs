@@ -1,14 +1,13 @@
 //! `datacube-dp` command-line tool: differentially private release of
-//! marginal workloads over the bundled datasets. See [`datacube_dp::cli`]
-//! for the argument grammar.
+//! marginal workloads over the bundled datasets, through the two-phase
+//! plan/session API. See [`datacube_dp::cli`] for the argument grammar.
 
 use datacube_dp::cli::{
-    build_workload, load_dataset, marginals_to_json, parse_args, release_to_json, Command,
+    build_workload, compile_plan, dataset_schema, load_dataset, marginals_to_json, parse_args,
+    plan_to_json, privacy_level, release_batch_to_json, release_to_json, Command, PlanArgs,
     ReleaseArgs, USAGE,
 };
 use datacube_dp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,6 +18,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(Command::Inspect { dataset }) => match run_inspect(dataset) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Ok(Command::Plan(args)) => match run_plan(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },
@@ -59,45 +62,84 @@ fn run_inspect(dataset: datacube_dp::cli::DatasetArg) -> Result<(), String> {
     Ok(())
 }
 
+/// Phase 1 only: compile the data-independent plan and emit its document.
+/// No record is ever read — the dataset argument selects the schema.
+fn run_plan(args: &PlanArgs) -> Result<(), String> {
+    let schema = dataset_schema(args.dataset);
+    let workload = build_workload(&schema, &args.workload).map_err(|e| e.to_string())?;
+    let privacy = privacy_level(args.epsilon, args.delta);
+    let plan = compile_plan(&schema, workload, args.strategy, args.budgets, privacy)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "compiled plan {}: {} queries, {} budget groups, achieved ε = {:.6}, predicted Var = {:.4e}",
+        plan.label(),
+        plan.spec().num_queries(),
+        plan.solution().group_budgets.len(),
+        plan.achieved_epsilon(),
+        plan.predicted_variance(),
+    );
+    let json = plan_to_json(&plan);
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Phase 1 + 2: compile one plan, bind the dataset, draw `--batch`
+/// deterministic releases (seeds `seed..seed+batch`) from it.
 fn run_release(args: &ReleaseArgs) -> Result<(), String> {
     let (schema, table) = load_dataset(args.dataset, 20130401).map_err(|e| e.to_string())?;
     let workload = build_workload(&schema, &args.workload).map_err(|e| e.to_string())?;
-    let privacy = match args.delta {
-        None => PrivacyLevel::Pure {
-            epsilon: args.epsilon,
-        },
-        Some(delta) => PrivacyLevel::Approx {
-            epsilon: args.epsilon,
-            delta,
-        },
-    };
-    let planner = ReleasePlanner::new(&table, &workload, args.strategy, args.budgets)
+    let privacy = privacy_level(args.epsilon, args.delta);
+    let plan = compile_plan(&schema, workload, args.strategy, args.budgets, privacy)
         .map_err(|e| e.to_string())?;
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut release = planner
-        .release(privacy, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let session = Session::bind(&plan, &table).map_err(|e| e.to_string())?;
+    let seeds: Vec<u64> = (0..args.batch as u64)
+        .map(|i| args.seed.wrapping_add(i))
+        .collect();
+    let batch = session.release_batch(&seeds).map_err(|e| e.to_string())?;
 
-    if args.nonnegative {
-        let (_, projected) = dp_core::postprocess::project_nonnegative(
-            schema.domain_bits(),
-            &release.answers,
-            dp_core::postprocess::ProjectOptions::default(),
-        )
-        .map_err(|e| e.to_string())?;
-        release.answers = projected;
+    let mut releases = Vec::with_capacity(batch.len());
+    for r in batch {
+        let mut release = r
+            .into_release()
+            .expect("marginal sessions produce marginal releases");
+        if args.nonnegative {
+            let (_, projected) = dp_core::postprocess::project_nonnegative(
+                schema.domain_bits(),
+                &release.answers,
+                dp_core::postprocess::ProjectOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            release.answers = projected;
+        }
+        releases.push(release);
     }
 
     eprintln!(
-        "released {} marginals with method {} (achieved ε = {:.6})",
-        release.answers.len(),
-        release.label,
-        release.achieved_epsilon
+        "released {} × {} marginals with method {} (achieved ε = {:.6} per release, one plan)",
+        releases.len(),
+        releases[0].answers.len(),
+        releases[0].label,
+        releases[0].achieved_epsilon
     );
-    let json = if args.json {
-        release_to_json(&release)
-    } else {
-        marginals_to_json(&release.answers)
+    // --json selects the full-release document either way; --batch > 1
+    // wraps the per-release documents (full or marginal-list) in one array.
+    let json = match (args.json, args.batch > 1) {
+        (true, true) => release_batch_to_json(&releases),
+        (true, false) => release_to_json(&releases[0]),
+        (false, false) => marginals_to_json(&releases[0].answers),
+        (false, true) => {
+            let docs: Vec<String> = releases
+                .iter()
+                .map(|r| marginals_to_json(&r.answers))
+                .collect();
+            format!("[\n{}\n]", docs.join(",\n"))
+        }
     };
     match &args.output {
         Some(path) => {

@@ -4,8 +4,6 @@
 
 use datacube_dp::prelude::*;
 use dp_core::consistency::is_consistent;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn nltcs_small() -> (Schema, ContingencyTable) {
     // A reduced NLTCS (first 10 attributes) keeps the tests fast while
@@ -29,14 +27,20 @@ fn mean_rel_error(
     seed: u64,
 ) -> f64 {
     let exact = workload.true_answers(table);
-    let planner = ReleasePlanner::new(table, workload, strategy, budgeting).unwrap();
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..trials)
-        .map(|_| {
-            let r = planner
-                .release(PrivacyLevel::Pure { epsilon: eps }, &mut rng)
-                .unwrap();
-            average_relative_error(&r.answers, &exact).unwrap()
+    let plan = PlanBuilder::marginals(workload.clone(), strategy)
+        .budgeting(budgeting)
+        .privacy(PrivacyLevel::Pure { epsilon: eps })
+        .compile()
+        .unwrap();
+    let session = Session::bind(&plan, table).unwrap();
+    let seeds: Vec<u64> = (0..trials as u64).map(|t| seed.wrapping_add(t)).collect();
+    session
+        .release_batch(&seeds)
+        .unwrap()
+        .into_iter()
+        .map(|r| {
+            let answers = r.answers.into_marginals().unwrap();
+            average_relative_error(&answers, &exact).unwrap()
         })
         .sum::<f64>()
         / trials as f64
@@ -46,7 +50,6 @@ fn mean_rel_error(
 fn all_methods_release_consistent_answers_on_nltcs() {
     let (schema, table) = nltcs_small();
     let workload = Workload::k_way_plus_attr(&schema, 1, 0).unwrap();
-    let mut rng = StdRng::seed_from_u64(1);
     for strategy in [
         StrategyKind::Identity,
         StrategyKind::Workload,
@@ -54,13 +57,17 @@ fn all_methods_release_consistent_answers_on_nltcs() {
         StrategyKind::Cluster,
     ] {
         for budgeting in [Budgeting::Uniform, Budgeting::Optimal] {
-            let planner = ReleasePlanner::new(&table, &workload, strategy, budgeting).unwrap();
-            let r = planner
-                .release(PrivacyLevel::Pure { epsilon: 0.5 }, &mut rng)
+            let plan = PlanBuilder::marginals(workload.clone(), strategy)
+                .budgeting(budgeting)
+                .privacy(PrivacyLevel::Pure { epsilon: 0.5 })
+                .compile()
                 .unwrap();
-            assert_eq!(r.answers.len(), workload.len());
+            let session = Session::bind(&plan, &table).unwrap();
+            let r = session.release(1).unwrap();
+            let answers = r.answers.into_marginals().unwrap();
+            assert_eq!(answers.len(), workload.len());
             assert!(
-                is_consistent(&r.answers, 1e-5),
+                is_consistent(&answers, 1e-5),
                 "{strategy:?}/{budgeting:?} released inconsistent marginals"
             );
             assert!(r.achieved_epsilon <= 0.5 + 1e-9);
@@ -190,17 +197,22 @@ fn adult_schema_pipeline_smoke() {
     let table = ContingencyTable::from_records(&schema, &records).unwrap();
     assert_eq!(table.total(), 4000.0);
     let workload = Workload::all_k_way(&schema, 2).unwrap();
-    let planner =
-        ReleasePlanner::new(&table, &workload, StrategyKind::Cluster, Budgeting::Optimal).unwrap();
-    let mut rng = StdRng::seed_from_u64(6);
-    let r = planner
-        .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+    let plan = PlanBuilder::marginals(workload, StrategyKind::Cluster)
+        .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+        .for_schema(&schema)
+        .compile()
         .unwrap();
-    assert!(is_consistent(&r.answers, 1e-5));
+    let session = Session::bind(&plan, &table).unwrap();
+    let answers = session
+        .release(6)
+        .unwrap()
+        .answers
+        .into_marginals()
+        .unwrap();
+    assert!(is_consistent(&answers, 1e-5));
     // The marginal over (sex, salary) has 4 cells even though other
     // attributes have dead encoding space.
-    let sex_salary = r
-        .answers
+    let sex_salary = answers
         .iter()
         .find(|m| m.mask() == schema.attribute_set_mask(&[2, 3]).unwrap())
         .expect("workload contains (sex, salary)");
@@ -211,23 +223,23 @@ fn adult_schema_pipeline_smoke() {
 fn gaussian_and_laplace_paths_both_work_end_to_end() {
     let (schema, table) = nltcs_small();
     let workload = Workload::all_k_way(&schema, 2).unwrap();
-    let planner =
-        ReleasePlanner::new(&table, &workload, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
-    let mut rng = StdRng::seed_from_u64(8);
-    let pure = planner
-        .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
-        .unwrap();
-    let approx = planner
-        .release(
-            PrivacyLevel::Approx {
-                epsilon: 1.0,
-                delta: 1e-6,
-            },
-            &mut rng,
-        )
-        .unwrap();
-    assert!(pure.achieved_epsilon <= 1.0 + 1e-9);
-    assert!(approx.achieved_epsilon <= 1.0 + 1e-9);
-    assert!(is_consistent(&pure.answers, 1e-5));
-    assert!(is_consistent(&approx.answers, 1e-5));
+    let mut releases = Vec::new();
+    for privacy in [
+        PrivacyLevel::Pure { epsilon: 1.0 },
+        PrivacyLevel::Approx {
+            epsilon: 1.0,
+            delta: 1e-6,
+        },
+    ] {
+        let plan = PlanBuilder::marginals(workload.clone(), StrategyKind::Fourier)
+            .privacy(privacy)
+            .compile()
+            .unwrap();
+        let session = Session::bind(&plan, &table).unwrap();
+        releases.push(session.release(8).unwrap());
+    }
+    for r in releases {
+        assert!(r.achieved_epsilon <= 1.0 + 1e-9);
+        assert!(is_consistent(&r.answers.into_marginals().unwrap(), 1e-5));
+    }
 }

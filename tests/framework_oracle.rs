@@ -3,6 +3,8 @@
 //! small domains, and the noise budgets must satisfy Proposition 3.1's
 //! privacy constraints computed from the explicit strategy matrices.
 
+#![allow(deprecated)] // pins the legacy single-shot planner to the oracle
+
 use datacube_dp::prelude::*;
 use dp_core::fourier::{CoefficientSpace, ObservationOperator};
 use dp_core::framework::{gls_recovery, output_variances};

@@ -5,8 +5,6 @@
 //! not.
 
 use datacube_dp::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn nltcs_16bit_table() -> (Schema, ContingencyTable) {
     let schema = dp_data::nltcs_schema();
@@ -28,13 +26,18 @@ fn d16_two_way_release_runs_on_multiple_threads() {
     // noising of the 65 536-cell observation vector).
     let before = rayon::workers_spawned();
     for strategy in [StrategyKind::Identity, StrategyKind::Fourier] {
-        let planner = ReleasePlanner::new(&table, &w, strategy, Budgeting::Optimal).unwrap();
-        let mut rng = StdRng::seed_from_u64(42);
-        let release = planner
-            .release(PrivacyLevel::Pure { epsilon: 1.0 }, &mut rng)
+        let plan = PlanBuilder::marginals(w.clone(), strategy)
+            .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+            .compile()
             .unwrap();
-        assert_eq!(release.answers.len(), w.len());
-        assert!(release.achieved_epsilon <= 1.0 + 1e-9);
+        let session = Session::bind(&plan, &table).unwrap();
+        // A small batch exercises the seed fan-out on top of the per-release
+        // chunked noising.
+        let releases = session.release_batch(&[42, 43]).unwrap();
+        for release in releases {
+            assert_eq!(release.answers.marginals().unwrap().len(), w.len());
+            assert!(release.achieved_epsilon <= 1.0 + 1e-9);
+        }
     }
     if rayon::current_num_threads() > 1 {
         let spawned = rayon::workers_spawned() - before;
@@ -52,14 +55,19 @@ fn d16_fourier_release_is_accurate_at_loose_epsilon() {
     // here if one existed by accident).
     let (schema, table) = nltcs_16bit_table();
     let w = Workload::all_k_way(&schema, 2).unwrap();
-    let planner =
-        ReleasePlanner::new(&table, &w, StrategyKind::Fourier, Budgeting::Optimal).unwrap();
-    let mut rng = StdRng::seed_from_u64(3);
-    let release = planner
-        .release(PrivacyLevel::Pure { epsilon: 1e6 }, &mut rng)
+    let plan = PlanBuilder::marginals(w.clone(), StrategyKind::Fourier)
+        .privacy(PrivacyLevel::Pure { epsilon: 1e6 })
+        .compile()
+        .unwrap();
+    let session = Session::bind(&plan, &table).unwrap();
+    let answers = session
+        .release(3)
+        .unwrap()
+        .answers
+        .into_marginals()
         .unwrap();
     let exact = w.true_answers(&table);
-    for (noisy, exact) in release.answers.iter().zip(&exact) {
+    for (noisy, exact) in answers.iter().zip(&exact) {
         for (a, b) in noisy.values().iter().zip(exact.values()) {
             assert!((a - b).abs() < 1.0, "{a} vs {b}");
         }

@@ -3,6 +3,12 @@
 //! framework (`dp_core::framework`, explicit `Q`/`S`, Eq.-(7) GLS) applied
 //! to the *identical* noisy observations — for marginal and range
 //! workloads — and the fast Walsh–Hadamard transform must be an involution.
+//!
+//! These tests intentionally drive the **deprecated** single-shot entry
+//! points: they pin the legacy paths to the dense oracle, and the
+//! `plan_session` suite separately pins the new plan/session API
+//! byte-for-byte to the legacy paths.
+#![allow(deprecated)]
 
 use datacube_dp::prelude::*;
 use dp_core::framework::gls_recovery;

@@ -46,7 +46,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// An inclusive-exclusive size specification for [`vec`].
+    /// An inclusive-exclusive size specification for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
