@@ -78,12 +78,22 @@ fn bench_gls_solve(c: &mut Criterion) {
 }
 
 fn bench_cluster(c: &mut Criterion) {
+    // Optimized (incremental + pruned + parallel) vs the retained naive
+    // reference, same clustering out of both.
     let mut group = c.benchmark_group("greedy_cluster");
     for n_attr in [8usize, 12, 16] {
         let schema = Schema::binary(n_attr).unwrap();
         let w = Workload::all_k_way(&schema, 2).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n_attr), &n_attr, |b, _| {
+        group.bench_with_input(BenchmarkId::new("optimized", n_attr), &n_attr, |b, _| {
             b.iter(|| black_box(dp_core::cluster::greedy_cluster(&w)))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n_attr), &n_attr, |b, _| {
+            b.iter(|| {
+                black_box(dp_core::cluster::greedy_cluster_reference(
+                    &w,
+                    dp_core::cluster::CentroidSearch::Union,
+                ))
+            })
         });
     }
     group.finish();

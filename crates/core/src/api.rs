@@ -51,7 +51,10 @@ use crate::schema::Schema;
 use crate::strategy::{mechanism_factor, noise_variance, Budgeting, StrategyOperator};
 use crate::table::ContingencyTable;
 use crate::workload::Workload;
-use crate::{cluster::Clustering, CoreError};
+use crate::{
+    cluster::{CentroidSearch, ClusterConfig, Clustering},
+    CoreError,
+};
 use dp_mech::{Neighboring, PrivacyLevel};
 use dp_opt::budget::{objective_value, BudgetSolution, GroupSpec};
 use rand::rngs::StdRng;
@@ -72,6 +75,10 @@ pub enum WorkloadSpec {
         workload: Workload,
         /// The strategy matrix family (Step 1).
         strategy: StrategyKind,
+        /// Configuration of the cluster-strategy search (only meaningful
+        /// for [`StrategyKind::Cluster`]; normalized to the default for
+        /// every other strategy, so it never perturbs plan identity).
+        cluster: ClusterConfig,
     },
     /// Interval counts over a power-of-two 1-D domain (Section 3.1's
     /// groupable range strategies).
@@ -101,11 +108,31 @@ impl WorkloadSpec {
         }
     }
 
+    /// Normalizes the spec: the cluster config is only meaningful for the
+    /// cluster strategy, so every other strategy carries the default —
+    /// keeping plan equality, cache keys and serialized documents free of
+    /// irrelevant configuration.
+    pub(crate) fn normalized(mut self) -> WorkloadSpec {
+        if let WorkloadSpec::Marginals {
+            strategy, cluster, ..
+        } = &mut self
+        {
+            if *strategy != StrategyKind::Cluster {
+                *cluster = ClusterConfig::default();
+            }
+        }
+        self
+    }
+
     /// Canonical `u64` encoding of the spec, the basis of plan-cache keys
     /// and [`Plan::fingerprint`].
     fn key_words(&self, out: &mut Vec<u64>) {
         match self {
-            WorkloadSpec::Marginals { workload, strategy } => {
+            WorkloadSpec::Marginals {
+                workload,
+                strategy,
+                cluster,
+            } => {
                 out.push(1);
                 out.push(workload.domain_bits() as u64);
                 out.push(match strategy {
@@ -114,6 +141,16 @@ impl WorkloadSpec {
                     StrategyKind::Fourier => 2,
                     StrategyKind::Cluster => 3,
                 });
+                // `cluster.parallel` is an execution hint — it provably
+                // never changes the clustering (deterministic min-reduce;
+                // see the invariance tests) — so it is excluded here:
+                // plans differing only in the fan-out share one cache
+                // entry and one fingerprint.
+                out.push(match cluster.search {
+                    CentroidSearch::Union => 0,
+                    CentroidSearch::AllDominatingCuboids => 1,
+                });
+                out.push(u64::from(cluster.faithful));
                 out.extend(workload.marginals().iter().map(|m| m.0));
             }
             WorkloadSpec::Ranges { workload, strategy } => {
@@ -169,9 +206,14 @@ pub struct PlanBuilder {
 }
 
 impl PlanBuilder {
-    /// Starts a plan for a marginal workload.
+    /// Starts a plan for a marginal workload (cluster strategies use the
+    /// optimized default search; see [`PlanBuilder::cluster_config`]).
     pub fn marginals(workload: Workload, strategy: StrategyKind) -> PlanBuilder {
-        PlanBuilder::new(WorkloadSpec::Marginals { workload, strategy })
+        PlanBuilder::new(WorkloadSpec::Marginals {
+            workload,
+            strategy,
+            cluster: ClusterConfig::default(),
+        })
     }
 
     /// Starts a plan for a range workload.
@@ -179,10 +221,11 @@ impl PlanBuilder {
         PlanBuilder::new(WorkloadSpec::Ranges { workload, strategy })
     }
 
-    /// Starts a plan from an explicit [`WorkloadSpec`].
+    /// Starts a plan from an explicit [`WorkloadSpec`] (normalized: a
+    /// cluster config on a non-cluster strategy is reset to the default).
     pub fn new(spec: WorkloadSpec) -> PlanBuilder {
         PlanBuilder {
-            spec,
+            spec: spec.normalized(),
             budgeting: Budgeting::Optimal,
             privacy: PrivacyLevel::Pure { epsilon: 1.0 },
             neighboring: Neighboring::AddRemove,
@@ -209,6 +252,24 @@ impl PlanBuilder {
     /// `Replace` halves every budget per Proposition 3.1).
     pub fn neighboring(mut self, neighboring: Neighboring) -> PlanBuilder {
         self.neighboring = neighboring;
+        self
+    }
+
+    /// Configures the cluster-strategy search (default:
+    /// [`ClusterConfig::FAST`] — incremental, pruned, rayon-parallel).
+    /// Pass [`ClusterConfig::PAPER`] for the paper-faithful exponential
+    /// walk of the Figure-6 reproduction; both produce the identical
+    /// clustering. Ignored unless the spec is a marginal workload with
+    /// [`StrategyKind::Cluster`].
+    pub fn cluster_config(mut self, config: ClusterConfig) -> PlanBuilder {
+        if let WorkloadSpec::Marginals {
+            strategy: StrategyKind::Cluster,
+            cluster,
+            ..
+        } = &mut self.spec
+        {
+            *cluster = config;
+        }
         self
     }
 
@@ -263,9 +324,13 @@ pub(crate) enum Compiled {
 impl Compiled {
     fn build(spec: &WorkloadSpec) -> Result<Compiled, CoreError> {
         Ok(match spec {
-            WorkloadSpec::Marginals { workload, strategy } => {
-                Compiled::Marginals(CompiledMarginalStrategy::build(workload, *strategy)?)
-            }
+            WorkloadSpec::Marginals {
+                workload,
+                strategy,
+                cluster,
+            } => Compiled::Marginals(CompiledMarginalStrategy::build(
+                workload, *strategy, *cluster,
+            )?),
             WorkloadSpec::Ranges { workload, strategy } => {
                 Compiled::Ranges(CompiledRangeStrategy::build(workload, *strategy)?)
             }
@@ -413,9 +478,12 @@ impl Plan {
             })
             .collect();
         let query_variances = match (&*compiled, &spec) {
-            (Compiled::Marginals(c), WorkloadSpec::Marginals { workload, strategy }) => {
-                c.predict_query_variances(workload, *strategy, &group_sigma2)
-            }
+            (
+                Compiled::Marginals(c),
+                WorkloadSpec::Marginals {
+                    workload, strategy, ..
+                },
+            ) => c.predict_query_variances(workload, *strategy, &group_sigma2),
             (Compiled::Ranges(c), WorkloadSpec::Ranges { workload, strategy }) => {
                 if group_sigma2.iter().any(|v| !v.is_finite()) {
                     return Err(CoreError::Singular(
@@ -451,6 +519,7 @@ impl Plan {
         schema_tag: u64,
         solution: BudgetSolution,
     ) -> Result<Plan, CoreError> {
+        let spec = spec.normalized();
         let compiled = Compiled::build(&spec)?;
         // The shipped objective drives predicted_variance downstream, so a
         // tampered document must not smuggle optimistic accounting: it has
@@ -1017,6 +1086,34 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cluster_parallel_flag_does_not_split_cache_entries_or_fingerprints() {
+        // The fan-out toggle is an execution hint with provably identical
+        // output, so fast and serial compiles must share one cache slot
+        // and one fingerprint — while the faithful/search toggles (which
+        // select a different measured code path) stay distinct keys.
+        let cache = PlanCache::new();
+        let build = |config: ClusterConfig| {
+            PlanBuilder::marginals(workload2(), StrategyKind::Cluster).cluster_config(config)
+        };
+        let fast = cache.get_or_compile(build(ClusterConfig::FAST)).unwrap();
+        let serial = cache
+            .get_or_compile(build(ClusterConfig::FAST.serial()))
+            .unwrap();
+        assert!(Arc::ptr_eq(&fast, &serial));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            fast.fingerprint(),
+            build(ClusterConfig::FAST.serial())
+                .compile()
+                .unwrap()
+                .fingerprint()
+        );
+        let faithful = cache.get_or_compile(build(ClusterConfig::PAPER)).unwrap();
+        assert!(!Arc::ptr_eq(&fast, &faithful));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod prelude {
     pub use crate::api::{
         Answers, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
     };
+    pub use crate::cluster::{CentroidSearch, ClusterConfig};
     pub use crate::marginal::MarginalTable;
     pub use crate::mask::AttrMask;
     pub use crate::metrics::{average_absolute_error, average_relative_error};
@@ -92,6 +93,7 @@ pub mod prelude {
 pub use crate::api::{
     Answers, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
 };
+pub use crate::cluster::{CentroidSearch, ClusterConfig};
 pub use crate::mask::AttrMask;
 #[allow(deprecated)] // kept so legacy callers migrate on their own schedule
 pub use crate::release::ReleasePlanner;

@@ -12,7 +12,7 @@
 //! [`crate::strategy`]; the types here only encode what is specific to each
 //! marginal strategy: its group structure and its (Fourier-space) recovery.
 
-use crate::cluster::{greedy_cluster, Clustering};
+use crate::cluster::{greedy_cluster_with_config, ClusterConfig, Clustering};
 use crate::fourier::{CoefficientSpace, ObservationOperator};
 use crate::marginal::MarginalTable;
 use crate::mask::AttrMask;
@@ -216,9 +216,13 @@ pub(crate) struct CompiledMarginalStrategy {
 
 impl CompiledMarginalStrategy {
     /// Compiles the strategy for a workload: runs the strategy search (for
-    /// `Cluster`), derives the group structure and the recovery map. No
-    /// table is consulted.
-    pub(crate) fn build(workload: &Workload, strategy: StrategyKind) -> Result<Self, CoreError> {
+    /// `Cluster`, under the given [`ClusterConfig`]), derives the group
+    /// structure and the recovery map. No table is consulted.
+    pub(crate) fn build(
+        workload: &Workload,
+        strategy: StrategyKind,
+        cluster: ClusterConfig,
+    ) -> Result<Self, CoreError> {
         let d = workload.domain_bits();
         let ell = workload.len() as f64;
         let targets = workload.marginals().to_vec();
@@ -249,15 +253,17 @@ impl CompiledMarginalStrategy {
                 (Box::new(inner), ObserveKind::MarginalCells(observed), None)
             }
             StrategyKind::Cluster => {
-                let clustering = greedy_cluster(workload);
-                let observed = clustering.centroids.clone();
+                let clustering = greedy_cluster_with_config(workload, cluster);
+                let observed = clustering.centroids().to_vec();
                 // R₀ aggregates the centroid's cells into each assigned
                 // marginal: each centroid cell is used once per assigned
-                // marginal, so s_c = ℓ_c · 2^{‖u_c‖}.
-                let weights: Vec<f64> = observed
+                // marginal, so s_c = ℓ_c · 2^{‖u_c‖} (cell counts memoized
+                // by the clustering).
+                let weights: Vec<f64> = clustering
+                    .cell_counts()
                     .iter()
                     .zip(clustering.cluster_sizes())
-                    .map(|(u, lc)| (lc * u.cell_count()) as f64)
+                    .map(|(&cells, lc)| (lc * cells) as f64)
                     .collect();
                 let inner = marginals_strategy(d, observed.clone(), targets, weights)?;
                 (
@@ -369,9 +375,9 @@ impl CompiledMarginalStrategy {
                     .as_ref()
                     .expect("cluster strategy always retains its clustering");
                 clustering
-                    .assignment
+                    .assignment()
                     .iter()
-                    .map(|&c| clustering.centroids[c].cell_count() as f64 * group_sigma2[c])
+                    .map(|&c| clustering.cell_counts()[c] as f64 * group_sigma2[c])
                     .collect()
             }
             // Marginal α reconstructs from the coefficients β ≼ α, each
@@ -434,7 +440,8 @@ impl<'a> ReleasePlanner<'a> {
                 actual: table.dims(),
             });
         }
-        let compiled = CompiledMarginalStrategy::build(workload, strategy)?;
+        let compiled =
+            CompiledMarginalStrategy::build(workload, strategy, ClusterConfig::default())?;
         let observations = compiled.observe(table)?;
         Ok(ReleasePlanner {
             workload,

@@ -26,6 +26,7 @@
 //! [`Deserialize`] impl for [`Plan`]).
 
 use crate::api::{Plan, WorkloadSpec};
+use crate::cluster::{CentroidSearch, ClusterConfig};
 use crate::marginal::MarginalTable;
 use crate::mask::AttrMask;
 use crate::range::{RangeStrategy, RangeWorkload};
@@ -177,25 +178,68 @@ impl Deserialize for Schema {
     }
 }
 
+/// Wire encoding of a [`ClusterConfig`] (the `"cluster"` field of marginal
+/// specs with the cluster strategy).
+fn cluster_config_value(config: &ClusterConfig) -> Value {
+    Value::Object(vec![
+        (
+            "search".into(),
+            Value::String(
+                match config.search {
+                    CentroidSearch::Union => "union",
+                    CentroidSearch::AllDominatingCuboids => "all_dominating_cuboids",
+                }
+                .into(),
+            ),
+        ),
+        ("faithful".into(), Value::Bool(config.faithful)),
+        ("parallel".into(), Value::Bool(config.parallel)),
+    ])
+}
+
+/// Inverse of [`cluster_config_value`].
+fn cluster_config_from(value: &Value) -> Result<ClusterConfig, DeError> {
+    let search = match String::deserialize_value(field(value, "search")?)?.as_str() {
+        "union" => CentroidSearch::Union,
+        "all_dominating_cuboids" => CentroidSearch::AllDominatingCuboids,
+        other => return Err(DeError::new(format!("unknown centroid search {other:?}"))),
+    };
+    Ok(ClusterConfig {
+        search,
+        faithful: bool::deserialize_value(field(value, "faithful")?)?,
+        parallel: bool::deserialize_value(field(value, "parallel")?)?,
+    })
+}
+
 impl Serialize for WorkloadSpec {
     fn serialize_value(&self) -> Value {
         match self {
-            WorkloadSpec::Marginals { workload, strategy } => Value::Object(vec![
-                ("kind".into(), Value::String("marginals".into())),
-                ("workload".into(), workload.serialize_value()),
-                (
-                    "strategy".into(),
-                    Value::String(
-                        match strategy {
-                            StrategyKind::Identity => "identity",
-                            StrategyKind::Workload => "workload",
-                            StrategyKind::Fourier => "fourier",
-                            StrategyKind::Cluster => "cluster",
-                        }
-                        .into(),
+            WorkloadSpec::Marginals {
+                workload,
+                strategy,
+                cluster,
+            } => {
+                let mut fields = vec![
+                    ("kind".into(), Value::String("marginals".into())),
+                    ("workload".into(), workload.serialize_value()),
+                    (
+                        "strategy".into(),
+                        Value::String(
+                            match strategy {
+                                StrategyKind::Identity => "identity",
+                                StrategyKind::Workload => "workload",
+                                StrategyKind::Fourier => "fourier",
+                                StrategyKind::Cluster => "cluster",
+                            }
+                            .into(),
+                        ),
                     ),
-                ),
-            ]),
+                ];
+                if *strategy == StrategyKind::Cluster {
+                    fields.push(("cluster".into(), cluster_config_value(cluster)));
+                }
+                Value::Object(fields)
+            }
             WorkloadSpec::Ranges { workload, strategy } => {
                 let ranges: Vec<Value> = workload
                     .ranges()
@@ -244,7 +288,17 @@ impl Deserialize for WorkloadSpec {
                     "cluster" => StrategyKind::Cluster,
                     other => return Err(DeError::new(format!("unknown strategy {other:?}"))),
                 };
-                Ok(WorkloadSpec::Marginals { workload, strategy })
+                // Documents from before the configurable search (and
+                // non-cluster specs) omit the field: the optimized default.
+                let cluster = match value.get_field("cluster") {
+                    Some(v) => cluster_config_from(v)?,
+                    None => ClusterConfig::default(),
+                };
+                Ok(WorkloadSpec::Marginals {
+                    workload,
+                    strategy,
+                    cluster,
+                })
             }
             "ranges" => {
                 let n = usize::deserialize_value(field(value, "domain")?)?;
@@ -532,6 +586,52 @@ mod tests {
         assert_eq!(back, plan);
         assert_eq!(back.query_variances(), plan.query_variances());
         assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn cluster_config_roundtrips_and_defaults_when_absent() {
+        use crate::cluster::{CentroidSearch, ClusterConfig};
+        let w = Workload::new(3, vec![AttrMask(0b011), AttrMask(0b110)]).unwrap();
+        // A non-default config survives the wire.
+        let plan = PlanBuilder::marginals(w.clone(), StrategyKind::Cluster)
+            .cluster_config(ClusterConfig::PAPER)
+            .compile()
+            .unwrap();
+        let v = plan.serialize_value();
+        let back = Plan::deserialize_value(&v).unwrap();
+        assert_eq!(back, plan);
+        let WorkloadSpec::Marginals { cluster, .. } = back.spec() else {
+            panic!("marginal spec expected");
+        };
+        assert_eq!(*cluster, ClusterConfig::PAPER);
+        assert_eq!(cluster.search, CentroidSearch::AllDominatingCuboids);
+
+        // Pre-PR-3 documents carry no "cluster" field → the optimized
+        // default.
+        let Value::Object(mut fields) = v else {
+            panic!("plan serializes as an object");
+        };
+        for (k, fv) in &mut fields {
+            if k == "spec" {
+                let Value::Object(spec_fields) = fv else {
+                    panic!("spec is an object");
+                };
+                spec_fields.retain(|(name, _)| name != "cluster");
+            }
+        }
+        let legacy = Plan::deserialize_value(&Value::Object(fields)).unwrap();
+        let WorkloadSpec::Marginals { cluster, .. } = legacy.spec() else {
+            panic!("marginal spec expected");
+        };
+        assert_eq!(*cluster, ClusterConfig::default());
+
+        // Unknown search names are rejected.
+        let bad = Value::Object(vec![
+            ("search".into(), Value::String("turbo".into())),
+            ("faithful".into(), Value::Bool(false)),
+            ("parallel".into(), Value::Bool(true)),
+        ]);
+        assert!(super::cluster_config_from(&bad).is_err());
     }
 
     #[test]

@@ -104,7 +104,11 @@ fn main() {
             clustering.num_clusters(),
             workload.len()
         );
-        for (c, size) in clustering.centroids.iter().zip(clustering.cluster_sizes()) {
+        for (c, size) in clustering
+            .centroids()
+            .iter()
+            .zip(clustering.cluster_sizes())
+        {
             println!(
                 "  centroid {c} covering {size} queries ({} cells)",
                 c.cell_count()

@@ -7,10 +7,11 @@
 //! datacube-dp release --dataset adult|nltcs --workload q1|q1star|q1a|q2|q2star|q2a
 //!                     --strategy f|q|c|i --budgets uniform|optimal
 //!                     --epsilon <f64> [--delta <f64>] [--seed <u64>] [--batch <n>]
+//!                     [--cluster fast|serial|faithful]
 //!                     [--nonnegative] [--json] [--output <path>]
 //! datacube-dp plan    --dataset adult|nltcs --workload <label> --strategy f|q|c|i
 //!                     --budgets uniform|optimal --epsilon <f64> [--delta <f64>]
-//!                     [--output <path>]
+//!                     [--cluster fast|serial|faithful] [--output <path>]
 //! datacube-dp inspect --dataset adult|nltcs
 //! ```
 //!
@@ -64,6 +65,8 @@ pub struct ReleaseArgs {
     pub epsilon: f64,
     /// Optional δ (switches to the Gaussian mechanism).
     pub delta: Option<f64>,
+    /// Cluster-strategy search configuration (only used with `--strategy c`).
+    pub cluster: ClusterConfig,
     /// RNG seed of the first release; release `i` uses `seed + i`.
     pub seed: u64,
     /// Number of releases to draw from the one compiled plan. When > 1 the
@@ -95,6 +98,8 @@ pub struct PlanArgs {
     pub epsilon: f64,
     /// Optional δ (switches to the Gaussian mechanism).
     pub delta: Option<f64>,
+    /// Cluster-strategy search configuration (only used with `--strategy c`).
+    pub cluster: ClusterConfig,
     /// Optional JSON output path.
     pub output: Option<String>,
 }
@@ -119,10 +124,11 @@ USAGE:
   datacube-dp release --dataset <adult|nltcs> --workload <q1|q1star|q1a|q2|q2star|q2a>
                       --strategy <f|q|c|i> --budgets <uniform|optimal>
                       --epsilon <f64> [--delta <f64>] [--seed <u64>] [--batch <n>]
+                      [--cluster <fast|serial|faithful>]
                       [--nonnegative] [--json] [--output <path.json>]
   datacube-dp plan    --dataset <adult|nltcs> --workload <label> --strategy <f|q|c|i>
                       --budgets <uniform|optimal> --epsilon <f64> [--delta <f64>]
-                      [--output <path.json>]
+                      [--cluster <fast|serial|faithful>] [--output <path.json>]
   datacube-dp inspect --dataset <adult|nltcs>
   datacube-dp help
 
@@ -130,6 +136,10 @@ USAGE:
 --batch deterministic releases (seeds seed..seed+batch) from it; --batch > 1
 emits one JSON array (marginal lists, or full documents with --json).
 `plan` stops after compilation and emits the serialized plan document.
+`--cluster` picks the cluster-strategy (`--strategy c`) search: `fast` (the
+optimized incremental search, default), `serial` (same, without the rayon
+fan-out), or `faithful` (the paper-faithful exponential candidate walk of
+the Figure-6 reproduction); all three produce the identical clustering.
 ";
 
 fn parse_dataset(v: &str) -> Result<DatasetArg, CliError> {
@@ -147,6 +157,17 @@ fn parse_strategy(v: &str) -> Result<StrategyKind, CliError> {
         "c" | "cluster" => Ok(StrategyKind::Cluster),
         "i" | "identity" => Ok(StrategyKind::Identity),
         other => Err(CliError(format!("unknown strategy {other:?} (f|q|c|i)"))),
+    }
+}
+
+fn parse_cluster(v: &str) -> Result<ClusterConfig, CliError> {
+    match v {
+        "fast" => Ok(ClusterConfig::FAST),
+        "serial" => Ok(ClusterConfig::FAST.serial()),
+        "faithful" => Ok(ClusterConfig::PAPER),
+        other => Err(CliError(format!(
+            "unknown cluster search {other:?} (fast|serial|faithful)"
+        ))),
     }
 }
 
@@ -191,6 +212,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut workload = None;
             let mut strategy = None;
             let mut budgets = Budgeting::Optimal;
+            let mut cluster = ClusterConfig::default();
             let mut epsilon = None;
             let mut delta = None;
             let mut seed = 42u64;
@@ -208,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--workload" => workload = Some(value("--workload")?.clone()),
                     "--strategy" => strategy = Some(parse_strategy(value("--strategy")?)?),
                     "--budgets" => budgets = parse_budgets(value("--budgets")?)?,
+                    "--cluster" => cluster = parse_cluster(value("--cluster")?)?,
                     "--epsilon" => {
                         epsilon = Some(
                             value("--epsilon")?
@@ -252,6 +275,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     budgets,
                     epsilon,
                     delta,
+                    cluster,
                     output,
                 }))
             } else {
@@ -262,6 +286,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     budgets,
                     epsilon,
                     delta,
+                    cluster,
                     seed,
                     batch,
                     nonnegative,
@@ -318,10 +343,12 @@ pub fn compile_plan(
     strategy: StrategyKind,
     budgets: Budgeting,
     privacy: PrivacyLevel,
+    cluster: ClusterConfig,
 ) -> Result<Plan, CliError> {
     PlanBuilder::marginals(workload, strategy)
         .budgeting(budgets)
         .privacy(privacy)
+        .cluster_config(cluster)
         .for_schema(schema)
         .compile()
         .map_err(|e| CliError(format!("plan compilation failed: {e}")))
@@ -472,11 +499,42 @@ mod tests {
         assert_eq!(a.strategy, StrategyKind::Cluster);
         assert_eq!(a.budgets, Budgeting::Uniform);
         assert_eq!(a.delta, Some(1e-6));
+        assert_eq!(a.cluster, ClusterConfig::default());
         assert_eq!(a.output.as_deref(), Some("plan.json"));
         // Seeds/batches belong to `release`, not the data-independent plan.
         assert!(parse_args(&sv(&["plan", "--seed", "1"])).is_err());
         assert!(parse_args(&sv(&["plan", "--batch", "2"])).is_err());
         assert!(parse_args(&sv(&["release", "--batch", "0"])).is_err());
+    }
+
+    #[test]
+    fn cluster_search_flag_parses_all_modes() {
+        let base = [
+            "release",
+            "--dataset",
+            "nltcs",
+            "--workload",
+            "q1",
+            "--strategy",
+            "c",
+            "--epsilon",
+            "1.0",
+            "--cluster",
+        ];
+        for (value, expected) in [
+            ("fast", ClusterConfig::FAST),
+            ("serial", ClusterConfig::FAST.serial()),
+            ("faithful", ClusterConfig::PAPER),
+        ] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.push(value);
+            let Command::Release(a) = parse_args(&sv(&args)).unwrap() else {
+                panic!("expected release");
+            };
+            assert_eq!(a.cluster, expected, "--cluster {value}");
+        }
+        assert!(parse_args(&sv(&["release", "--cluster", "turbo"])).is_err());
+        assert!(parse_args(&sv(&["plan", "--cluster"])).is_err());
     }
 
     #[test]
@@ -519,6 +577,7 @@ mod tests {
             StrategyKind::Fourier,
             Budgeting::Optimal,
             privacy_level(0.5, None),
+            ClusterConfig::default(),
         )
         .unwrap();
         let doc = plan_to_json(&plan);

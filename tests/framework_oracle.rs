@@ -172,7 +172,7 @@ fn budgets_satisfy_proposition_31_on_explicit_matrices() {
             }
             StrategyKind::Cluster => {
                 let clustering = planner.clustering().unwrap();
-                let masks = clustering.centroids.clone();
+                let masks = clustering.centroids().to_vec();
                 let cluster_workload = Workload::new(d, masks.clone()).unwrap();
                 let s = cluster_workload.query_matrix();
                 let mut budgets = Vec::new();

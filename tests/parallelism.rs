@@ -49,6 +49,41 @@ fn d16_two_way_release_runs_on_multiple_threads() {
 }
 
 #[test]
+fn cluster_plan_is_invariant_to_parallel_search_and_thread_count() {
+    // The optimized cluster search fans its candidate evaluation out with
+    // rayon but combines via a deterministic (Δ, i, j) min-reduction, so a
+    // parallel compile must produce exactly the plan a serial compile does
+    // — same clustering, budgets and released bytes.
+    let (schema, table) = nltcs_16bit_table();
+    let w = Workload::all_k_way(&schema, 2).unwrap();
+    let compile = |config: ClusterConfig| {
+        PlanBuilder::marginals(w.clone(), StrategyKind::Cluster)
+            .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+            .cluster_config(config)
+            .compile()
+            .unwrap()
+    };
+    let parallel = compile(ClusterConfig::FAST);
+    let serial = compile(ClusterConfig::FAST.serial());
+    assert_eq!(parallel.clustering().unwrap(), serial.clustering().unwrap());
+    assert_eq!(parallel.solution(), serial.solution());
+    let a = Session::bind(&parallel, &table)
+        .unwrap()
+        .release(9)
+        .unwrap();
+    let b = Session::bind(&serial, &table).unwrap().release(9).unwrap();
+    for (x, y) in a
+        .answers
+        .marginals()
+        .unwrap()
+        .iter()
+        .zip(b.answers.marginals().unwrap())
+    {
+        assert_eq!(x.values(), y.values());
+    }
+}
+
+#[test]
 fn d16_fourier_release_is_accurate_at_loose_epsilon() {
     // End-to-end sanity on the big domain: a loose ε must give answers
     // close to the exact marginals (no dense-matrix path could even run

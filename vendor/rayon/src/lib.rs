@@ -2,12 +2,16 @@
 //!
 //! The build environment has no registry access, so this shim reimplements
 //! the subset of rayon's API the workspace uses — and it is **genuinely
-//! parallel**: work is split into contiguous index blocks and executed on
-//! scoped OS threads (`std::thread::scope`), one per available core, not a
-//! sequential fake. There is no work-stealing pool; for the coarse-grained
-//! data parallelism in this workspace (per-group noising, per-marginal
-//! reconstruction, blocked transforms) static block splitting is within
-//! noise of a real pool.
+//! parallel**: work is executed on scoped OS threads
+//! (`std::thread::scope`), one per available core, not a sequential fake.
+//! There is no work-stealing pool, but splitting is **dynamic**: the index
+//! space is cut into several contiguous chunks per worker and the workers
+//! claim chunks from a shared queue (an atomic cursor) as they finish —
+//! so a skewed workload (e.g. the cluster search's uneven candidate rows)
+//! keeps every core busy instead of stalling on the unluckiest static
+//! block. Per-chunk results are still combined in chunk-index order, so
+//! every reduction is deterministic regardless of which thread ran which
+//! chunk.
 //!
 //! Supported surface: `par_iter` / `par_iter_mut` / `into_par_iter` on
 //! slices, `Vec`s and ranges, `par_chunks_mut`, the `map` / `enumerate` /
@@ -15,18 +19,44 @@
 //! [`current_num_threads`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Work items below this count run sequentially — one item cannot be split,
 /// and spawning for a pair is rarely worth it. Callers with many fine-grained
 /// items should batch them into chunky units (as rayon users do with
-/// `with_min_len` / `par_chunks`); this shim keeps the split static.
+/// `with_min_len` / `par_chunks`).
 const MIN_PARALLEL_LEN: usize = 4;
 
+/// Target number of queue chunks handed to each worker thread. More chunks
+/// mean finer-grained load balancing at slightly more queue traffic; 8 is
+/// plenty for the coarse data parallelism in this workspace.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// The contiguous chunk ranges `0..len` is cut into for dynamic splitting:
+/// about [`CHUNKS_PER_THREAD`] per thread, never smaller than one item.
+fn chunk_ranges(len: usize, threads: usize) -> (usize, usize) {
+    let target = (threads * CHUNKS_PER_THREAD).min(len).max(1);
+    let chunk = len.div_ceil(target);
+    (chunk, len.div_ceil(chunk))
+}
+
 /// Number of worker threads used for parallel execution.
+///
+/// Cached after the first call: `available_parallelism` re-reads cgroup
+/// state on Linux, which is far too slow for the per-round queries hot
+/// loops issue (real rayon likewise fixes its pool size once).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    match CACHED.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            CACHED.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
@@ -56,9 +86,9 @@ pub fn workers_spawned() -> usize {
 
 static WORKERS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
 
-/// Splits `0..len` into at most `num_threads` contiguous blocks and runs
-/// `work(range)` for each block on its own scoped thread. The first block
-/// runs on the calling thread.
+/// Splits `0..len` into a queue of contiguous chunks and runs
+/// `work(range)` for each chunk, workers (the calling thread plus scoped
+/// spawns) claiming chunks dynamically from a shared atomic cursor.
 fn run_blocks<F>(len: usize, work: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,
@@ -68,19 +98,23 @@ where
         work(0..len);
         return;
     }
-    let block = len.div_ceil(threads);
+    let (chunk, n_chunks) = chunk_ranges(len, threads);
+    let cursor = AtomicUsize::new(0);
+    let worker = |work: &F| loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= n_chunks {
+            break;
+        }
+        work(c * chunk..((c + 1) * chunk).min(len));
+    };
     std::thread::scope(|s| {
-        for t in 1..threads {
-            let lo = t * block;
-            let hi = ((t + 1) * block).min(len);
-            if lo >= hi {
-                break;
-            }
+        let worker = &worker;
+        for _ in 1..threads {
             let work = &work;
             WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
-            s.spawn(move || work(lo..hi));
+            s.spawn(move || worker(work));
         }
-        work(0..block.min(len));
+        worker(&work);
     });
 }
 
@@ -162,8 +196,10 @@ pub trait ParallelIterator: Send + Sync + Sized {
     }
 }
 
-/// Runs `f` once per contiguous block and returns the per-block results in
-/// block order.
+/// Runs `f` once per contiguous chunk — workers claiming chunks
+/// dynamically — and returns the per-chunk results **in chunk order**, so
+/// downstream combination is deterministic no matter which thread ran
+/// which chunk.
 fn collect_blocks<I, R, F>(iter: &I, f: F) -> Vec<R>
 where
     I: ParallelIterator,
@@ -175,27 +211,42 @@ where
     if threads <= 1 || len < MIN_PARALLEL_LEN {
         return vec![f(0..len, iter)];
     }
-    let block = len.div_ceil(threads);
+    let (chunk, n_chunks) = chunk_ranges(len, threads);
+    let cursor = AtomicUsize::new(0);
+    // Each worker returns its (chunk index, result) pairs; the merge below
+    // restores chunk order.
+    let worker = |f: &F| {
+        let mut mine: Vec<(usize, R)> = Vec::new();
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            mine.push((c, f(c * chunk..((c + 1) * chunk).min(len), iter)));
+        }
+        mine
+    };
     let mut out: Vec<Option<R>> = Vec::new();
-    out.resize_with(len.div_ceil(block), || None);
+    out.resize_with(n_chunks, || None);
     std::thread::scope(|s| {
-        let mut slots = out.iter_mut();
-        let first_slot = slots.next().expect("at least one block");
+        let worker = &worker;
         let mut handles = Vec::new();
-        for (t, slot) in slots.enumerate() {
-            let lo = (t + 1) * block;
-            let hi = ((t + 2) * block).min(len);
+        for _ in 1..threads {
             let f = &f;
             WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
-            handles.push(s.spawn(move || *slot = Some(f(lo..hi, iter))));
+            handles.push(s.spawn(move || worker(f)));
         }
-        *first_slot = Some(f(0..block.min(len), iter));
+        for (c, r) in worker(&f) {
+            out[c] = Some(r);
+        }
         for h in handles {
-            h.join().expect("rayon shim: worker panicked");
+            for (c, r) in h.join().expect("rayon shim: worker panicked") {
+                out[c] = Some(r);
+            }
         }
     });
     out.into_iter()
-        .map(|r| r.expect("rayon shim: block result missing"))
+        .map(|r| r.expect("rayon shim: chunk result missing"))
         .collect()
 }
 
@@ -336,27 +387,25 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
             }
             return;
         }
-        // Deal chunks round-robin into per-thread work lists.
-        let mut per_thread: Vec<Vec<(usize, &mut [T])>> = Vec::new();
-        per_thread.resize_with(threads, Vec::new);
-        for (j, chunk) in chunks.into_iter().enumerate() {
-            per_thread[j % threads].push(chunk);
-        }
+        // Dynamic splitting: workers pop chunks off a shared queue as they
+        // finish, so skewed per-chunk costs cannot stall the whole batch
+        // behind one unlucky static assignment.
+        let queue = Mutex::new(chunks.into_iter());
+        let worker = |f: &F| loop {
+            let next = queue.lock().expect("rayon shim: queue poisoned").next();
+            let Some((i, c)) = next else {
+                break;
+            };
+            f(i, c);
+        };
         std::thread::scope(|s| {
-            let mut rest = per_thread.into_iter();
-            let mine = rest.next().expect("at least one thread");
-            for work in rest {
+            let worker = &worker;
+            for _ in 1..threads {
                 let f = &f;
                 WORKERS_SPAWNED.fetch_add(1, Ordering::Relaxed);
-                s.spawn(move || {
-                    for (i, c) in work {
-                        f(i, c);
-                    }
-                });
+                s.spawn(move || worker(f));
             }
-            for (i, c) in mine {
-                f(i, c);
-            }
+            worker(&f);
         });
     }
 
@@ -529,6 +578,36 @@ mod tests {
             ids.lock().unwrap().len() > 1,
             "expected work on more than one thread"
         );
+    }
+
+    #[test]
+    fn skewed_workload_covers_every_index_exactly_once() {
+        // Dynamic chunk claiming must neither drop nor repeat indices even
+        // when early items are far more expensive than late ones.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 10_000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            if i < n / 100 {
+                std::hint::black_box((0..1_000usize).sum::<usize>());
+            }
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_ranges_cover_the_index_space() {
+        for len in [1usize, 3, 4, 5, 63, 64, 65, 4096, 100_000] {
+            for threads in [1usize, 2, 7, 64] {
+                let (chunk, n_chunks) = super::chunk_ranges(len, threads);
+                assert!(chunk >= 1);
+                assert_eq!(len.div_ceil(chunk), n_chunks);
+                // The last chunk is non-empty and ends exactly at len.
+                assert!((n_chunks - 1) * chunk < len);
+                assert!(n_chunks * chunk >= len);
+            }
+        }
     }
 
     #[test]
