@@ -1,0 +1,344 @@
+//! Release hot-path throughput gauge: cells-noised/sec for the fused
+//! perturbation pass versus a per-value reference, WHT effective bandwidth
+//! for the lane/blocked kernel versus a scalar reference, and end-to-end
+//! releases/sec through `Session::release_batch`.
+//!
+//! Every optimized/reference pair is also checked for **byte identity** on
+//! the measured inputs before timing, so this binary doubles as a
+//! regression gate on the "not a single output byte changes" contract.
+//!
+//! Usage:
+//! `cargo run -p dp-bench --release --bin hot_path [-- --smoke] [-- --check]`
+//!
+//! * `--smoke`: small sizes and few repetitions — for CI.
+//! * `--check`: exit non-zero if a throughput ratio falls below its
+//!   (deliberately conservative, noise-tolerant) threshold.
+
+use dp_core::prelude::*;
+use dp_core::strategy::{perturb_observations_into, NOISE_CHUNK};
+use dp_mech::{GaussianMechanism, LaplaceMechanism, NoiseMechanism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured metric.
+#[derive(Debug, Clone, Serialize)]
+struct HotPathRow {
+    /// Benchmark section: `noising`, `wht`, or `release`.
+    section: String,
+    /// Metric name within the section.
+    metric: String,
+    /// Measured value.
+    value: f64,
+    /// Unit of `value`.
+    unit: String,
+}
+
+fn row(section: &str, metric: &str, value: f64, unit: &str) -> HotPathRow {
+    HotPathRow {
+        section: section.into(),
+        metric: metric.into(),
+        value,
+        unit: unit.into(),
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds for `f` (after one warm-up call).
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The pre-optimization perturbation, preserved as the reference: clone the
+/// observations, then per value gather the budget, match on the mechanism,
+/// re-derive its parameters, and draw one sample. Chunk seeding is
+/// identical to the engine's, so outputs must match the fused path
+/// byte-for-byte.
+fn perturb_reference(
+    observations: &[f64],
+    row_groups: &[u32],
+    group_budgets: &[f64],
+    privacy: PrivacyLevel,
+    rng: &mut StdRng,
+) -> Vec<f64> {
+    let mut noisy = observations.to_vec();
+    let chunks = noisy.len().div_ceil(NOISE_CHUNK).max(1);
+    let seeds: Vec<u64> = (0..chunks).map(|_| rng.gen::<u64>()).collect();
+    for (c, chunk) in noisy.chunks_mut(NOISE_CHUNK).enumerate() {
+        let mut sub = StdRng::seed_from_u64(seeds[c]);
+        let base = c * NOISE_CHUNK;
+        for (i, v) in chunk.iter_mut().enumerate() {
+            let eta = group_budgets[row_groups[base + i] as usize];
+            if eta > 0.0 {
+                *v += match privacy {
+                    PrivacyLevel::Pure { .. } => LaplaceMechanism.sample(&mut sub, eta),
+                    PrivacyLevel::Approx { delta, .. } => {
+                        GaussianMechanism { delta }.sample(&mut sub, eta)
+                    }
+                };
+            } else {
+                *v = 0.0;
+            }
+        }
+    }
+    noisy
+}
+
+/// The pre-lane scalar WHT butterfly, preserved as the reference.
+fn fwht_scalar_reference(data: &mut [f64]) {
+    let n = data.len();
+    let mut h = 1;
+    while h < n {
+        for chunk in data.chunks_exact_mut(h * 2) {
+            let (a, b) = chunk.split_at_mut(h);
+            for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                let u = *x;
+                let v = *y;
+                *x = u + v;
+                *y = u - v;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// Measures fused vs reference noising for one mechanism; returns the
+/// throughput ratio and appends rows.
+fn bench_noising(
+    label: &str,
+    privacy: PrivacyLevel,
+    cells: usize,
+    reps: usize,
+    rows: &mut Vec<HotPathRow>,
+) -> f64 {
+    // Long consecutive runs of equal group id, as marginal strategies
+    // produce; group 3 is withheld (zero budget).
+    let groups = 64usize;
+    let run = cells.div_ceil(groups);
+    let row_groups: Vec<u32> = (0..cells).map(|i| (i / run) as u32).collect();
+    let group_budgets: Vec<f64> = (0..groups)
+        .map(|g| if g == 3 { 0.0 } else { 0.2 + 0.03 * g as f64 })
+        .collect();
+    let observations: Vec<f64> = (0..cells).map(|i| (i % 97) as f64).collect();
+    let params = dp_core::prelude::NoiseParams::compute(privacy, &group_budgets);
+
+    // Byte-identity gate before any timing.
+    let mut fused = Vec::new();
+    let mut seeds = Vec::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    perturb_observations_into(
+        &observations,
+        &row_groups,
+        &params,
+        &mut rng,
+        &mut fused,
+        &mut seeds,
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let reference = perturb_reference(
+        &observations,
+        &row_groups,
+        &group_budgets,
+        privacy,
+        &mut rng,
+    );
+    assert_eq!(
+        fused, reference,
+        "{label}: fused noising diverged from the per-value reference"
+    );
+
+    let mut seed_counter = 0u64;
+    let t_ref = time_best(reps, || {
+        seed_counter += 1;
+        let mut rng = StdRng::seed_from_u64(seed_counter);
+        let out = perturb_reference(
+            &observations,
+            &row_groups,
+            &group_budgets,
+            privacy,
+            &mut rng,
+        );
+        std::hint::black_box(&out);
+    });
+    let t_fused = time_best(reps, || {
+        seed_counter += 1;
+        let mut rng = StdRng::seed_from_u64(seed_counter);
+        perturb_observations_into(
+            &observations,
+            &row_groups,
+            &params,
+            &mut rng,
+            &mut fused,
+            &mut seeds,
+        );
+        std::hint::black_box(&fused);
+    });
+
+    let cells_per_sec = cells as f64 / t_fused;
+    let ratio = t_ref / t_fused;
+    println!(
+        "{label:>22}: fused {:.2}M cells/s, reference {:.2}M cells/s, speedup {ratio:.2}×",
+        cells_per_sec / 1e6,
+        cells as f64 / t_ref / 1e6,
+    );
+    rows.push(row(
+        "noising",
+        &format!("{label}_fused"),
+        cells_per_sec,
+        "cells/s",
+    ));
+    rows.push(row(
+        "noising",
+        &format!("{label}_reference"),
+        cells as f64 / t_ref,
+        "cells/s",
+    ));
+    rows.push(row("noising", &format!("{label}_speedup"), ratio, "x"));
+    ratio
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+    let mut rows: Vec<HotPathRow> = Vec::new();
+
+    // ── 1. Cells-noised per second ─────────────────────────────────────
+    let cells = if smoke { 1 << 16 } else { 1 << 21 };
+    let reps = if smoke { 3 } else { 5 };
+    println!("== noising ({cells} cells, best of {reps}) ==");
+    let laplace_ratio = bench_noising(
+        "laplace",
+        PrivacyLevel::Pure { epsilon: 1.0 },
+        cells,
+        reps,
+        &mut rows,
+    );
+    let gaussian_ratio = bench_noising(
+        "gaussian",
+        PrivacyLevel::Approx {
+            epsilon: 1.0,
+            delta: 1e-6,
+        },
+        cells,
+        reps,
+        &mut rows,
+    );
+
+    // ── 2. WHT effective bandwidth ─────────────────────────────────────
+    let n: usize = if smoke { 1 << 16 } else { 1 << 22 };
+    let d = n.trailing_zeros() as f64;
+    println!("== wht (n = 2^{d}, best of {reps}) ==");
+    let x0: Vec<f64> = (0..n).map(|i| ((i * 31) % 257) as f64 - 128.0).collect();
+    let mut opt = x0.clone();
+    dp_linalg::fwht(&mut opt);
+    let mut reference = x0.clone();
+    fwht_scalar_reference(&mut reference);
+    assert_eq!(opt, reference, "fwht diverged from the scalar reference");
+
+    let mut buf = x0.clone();
+    let t_opt = time_best(reps, || {
+        buf.copy_from_slice(&x0);
+        dp_linalg::fwht(&mut buf);
+        std::hint::black_box(&buf);
+    });
+    let t_ref = time_best(reps, || {
+        buf.copy_from_slice(&x0);
+        fwht_scalar_reference(&mut buf);
+        std::hint::black_box(&buf);
+    });
+    // Effective traffic: 8 bytes × n elements × log2(n) butterfly stages.
+    let bytes = 8.0 * n as f64 * d;
+    let wht_ratio = t_ref / t_opt;
+    println!(
+        "{:>22}: optimized {:.2} GB/s, reference {:.2} GB/s, speedup {wht_ratio:.2}×",
+        "butterfly",
+        bytes / t_opt / 1e9,
+        bytes / t_ref / 1e9,
+    );
+    rows.push(row("wht", "optimized", bytes / t_opt / 1e9, "GB/s"));
+    rows.push(row("wht", "reference", bytes / t_ref / 1e9, "GB/s"));
+    rows.push(row("wht", "speedup", wht_ratio, "x"));
+
+    // ── 3. End-to-end releases per second ──────────────────────────────
+    let (schema_bits, batch) = if smoke { (10usize, 8usize) } else { (16, 64) };
+    let schema = Schema::binary(schema_bits).expect("binary schema builds");
+    let workload = Workload::all_k_way(&schema, 2).expect("Q2 builds");
+    let plan = PlanBuilder::marginals(workload, StrategyKind::Fourier)
+        .budgeting(Budgeting::Optimal)
+        .privacy(PrivacyLevel::Pure { epsilon: 1.0 })
+        .for_schema(&schema)
+        .compile()
+        .expect("plan compiles");
+    let counts: Vec<f64> = (0..1usize << schema_bits)
+        .map(|i| (i % 11) as f64)
+        .collect();
+    let table = ContingencyTable::from_counts(counts);
+    let session = Session::bind(&plan, &table).expect("table matches plan");
+    let seeds: Vec<u64> = (0..batch as u64).collect();
+    let t_batch = time_best(reps, || {
+        let out = session.release_batch(&seeds).expect("batch succeeds");
+        std::hint::black_box(&out);
+    });
+    let releases_per_sec = batch as f64 / t_batch;
+    println!("== release (d = {schema_bits}, Fourier Q2, batch of {batch}) ==");
+    println!("{:>22}: {releases_per_sec:.1} releases/s", "release_batch");
+    rows.push(row(
+        "release",
+        "fourier_q2_batch",
+        releases_per_sec,
+        "releases/s",
+    ));
+
+    match dp_bench::write_jsonl("hot_path.jsonl", &rows) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+
+    if check {
+        // Conservative thresholds — the point is catching real regressions
+        // (a path falling back to per-value dispatch, or the WHT losing its
+        // cache blocking), not flaking on noisy single-core CI runners.
+        //
+        // The noising gates are *parity* gates, not speedup gates: both
+        // mechanisms are math-bound (ln/sqrt/cos dominate each sample) and
+        // LLVM already hoists the loop-invariant parameter derivation out of
+        // the per-value reference, so the fused pass measures ~1.0× on one
+        // core. Its payoff is structural — zero per-release allocation and
+        // per-run batched sampling — and the byte-identity asserts above are
+        // the hard guarantee. A drop below 0.75× means someone reintroduced
+        // real per-value work (the observed contention jitter on a shared
+        // single-core runner is ±15%).
+        //
+        // The WHT gate is a genuine speedup floor: cache blocking plus the
+        // lane kernel measures ~1.15–1.25× at smoke size (2^16) and ~1.5×
+        // at full size (2^22) on the recording machine; 1.05× leaves
+        // headroom for run-to-run noise while still catching a lost
+        // optimization.
+        let wht_floor = 1.05;
+        let mut failed = false;
+        if gaussian_ratio < 0.75 {
+            eprintln!("CHECK FAILED: gaussian noising ratio {gaussian_ratio:.2}× < 0.75×");
+            failed = true;
+        }
+        if laplace_ratio < 0.75 {
+            eprintln!("CHECK FAILED: laplace noising ratio {laplace_ratio:.2}× < 0.75×");
+            failed = true;
+        }
+        if wht_ratio < wht_floor {
+            eprintln!("CHECK FAILED: WHT speedup {wht_ratio:.2}× < {wht_floor}×");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("all hot-path thresholds passed");
+    }
+}

@@ -838,6 +838,12 @@ impl<'p> Session<'p> {
     /// seeds its own RNG, so the output is a pure function of the seed
     /// list — independent of batch size, ordering of other seeds, and
     /// thread count — and element `i` equals `self.release(seeds[i])`.
+    ///
+    /// The engine checks its per-release working buffers (noisy
+    /// observations, substream seeds, budgets, weights, noise parameters)
+    /// out of a shared scratch pool, so a batch of K releases allocates
+    /// O(workers) scratch arenas rather than O(K) — only the returned
+    /// answers themselves are freshly allocated.
     pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
         seeds.par_iter().map(|&s| self.release(s)).collect()
     }

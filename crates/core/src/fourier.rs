@@ -107,15 +107,36 @@ impl CoefficientSpace {
         coeffs: &mut [f64],
         marginal: &MarginalTable,
     ) -> Result<(), CoreError> {
+        let mut scratch = Vec::new();
+        self.fill_from_marginal_with(coeffs, marginal, &mut scratch)
+    }
+
+    /// [`CoefficientSpace::fill_from_marginal`] over a caller-provided WHT
+    /// buffer, so observation assembly over many marginals reuses one
+    /// buffer instead of allocating (and discarding) a copy per marginal.
+    pub fn fill_from_marginal_with(
+        &self,
+        coeffs: &mut [f64],
+        marginal: &MarginalTable,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(), CoreError> {
         let alpha = marginal.mask();
-        let positions = self.block_positions(alpha)?;
+        // Validate the whole downset before touching `coeffs`, preserving
+        // the all-or-nothing behaviour of the position-list path without
+        // materializing the list.
+        for beta in alpha.subsets() {
+            if !self.index.contains_key(&beta) {
+                return Err(CoreError::CoefficientNotInSupport(beta));
+            }
+        }
         let w = alpha.weight() as i32;
-        let mut buf: Vec<f64> = marginal.values().to_vec();
-        dp_linalg::fwht(&mut buf);
+        scratch.clear();
+        scratch.extend_from_slice(marginal.values());
+        dp_linalg::fwht(scratch);
         // cells = 2^{d/2−w} H f̂  ⇒  f̂ = 2^{w−d/2} · (1/2^w) · H · cells.
         let scale = 2f64.powf(w as f64 - self.d as f64 / 2.0) / 2f64.powi(w);
-        for (rank, &pos) in positions.iter().enumerate() {
-            coeffs[pos as usize] = buf[rank] * scale;
+        for (rank, beta) in alpha.subsets().enumerate() {
+            coeffs[self.index[&beta] as usize] = scratch[rank] * scale;
         }
         Ok(())
     }
@@ -439,7 +460,7 @@ mod tests {
         let cells: Vec<f64> = w
             .true_answers(&t)
             .iter()
-            .flat_map(|m| m.values().to_vec())
+            .flat_map(|m| m.values().iter().copied())
             .collect();
         let f = op.gls_solve(&cells, &[1.0, 1.0]).unwrap();
         for (&beta, &c) in s.support().iter().zip(&f) {

@@ -84,7 +84,9 @@ pub mod prelude {
     pub use crate::release::ReleasePlanner;
     pub use crate::release::{Budgeting, Release, StrategyKind};
     pub use crate::schema::{Attribute, Schema};
-    pub use crate::strategy::{EngineRelease, ReleaseEngine, StrategyOperator};
+    pub use crate::strategy::{
+        EngineRelease, NoiseParams, ReleaseEngine, ReleaseScratch, StrategyOperator,
+    };
     pub use crate::table::ContingencyTable;
     pub use crate::workload::Workload;
     pub use dp_mech::{Neighboring, PrivacyLevel};

@@ -328,14 +328,16 @@ impl CompiledMarginalStrategy {
             ObserveKind::MarginalCells(observed) => Ok(table
                 .marginals(observed)
                 .iter()
-                .flat_map(|m| m.values().to_vec())
+                .flat_map(|m| m.values().iter().copied())
                 .collect()),
             ObserveKind::FourierCoefficients { space, fill_from } => {
                 // Exact coefficients from the workload marginals (one fold
-                // pass per marginal plus per-block WHTs).
+                // pass per marginal plus per-block WHTs), with one shared
+                // WHT buffer across all marginals.
                 let mut coeffs = vec![0.0; space.len()];
+                let mut scratch = Vec::new();
                 for m in table.marginals(fill_from) {
-                    space.fill_from_marginal(&mut coeffs, &m)?;
+                    space.fill_from_marginal_with(&mut coeffs, &m, &mut scratch)?;
                 }
                 Ok(coeffs)
             }

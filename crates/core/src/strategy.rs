@@ -22,7 +22,10 @@
 //! per-chunk substreams), and delegating recovery to the strategy.
 
 use crate::CoreError;
-use dp_mech::{GaussianMechanism, LaplaceMechanism, Neighboring, NoiseMechanism, PrivacyLevel};
+use dp_mech::{
+    add_gaussian_into, add_laplace_into, GaussianMechanism, LaplaceMechanism, Neighboring,
+    NoiseMechanism, PrivacyLevel,
+};
 use dp_opt::budget::{
     optimal_group_budgets, optimal_group_budgets_gaussian, uniform_group_budgets,
     uniform_group_budgets_gaussian, BudgetSolution, GroupSpec,
@@ -30,6 +33,7 @@ use dp_opt::budget::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 /// Noise-budget allocation mode (Step 2 of the framework).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,8 +110,11 @@ pub struct EngineRelease<A> {
 }
 
 /// Noise chunk size: one RNG substream (and one unit of parallel work) per
-/// this many observation rows.
-const NOISE_CHUNK: usize = 4096;
+/// this many observation rows. Public because it is part of the replay
+/// contract of [`perturb_observations`] (and because the `hot_path` bench
+/// replicates the chunking to prove byte identity against a reference
+/// implementation).
+pub const NOISE_CHUNK: usize = 4096;
 
 /// The shared Steps 2–3 driver over any [`StrategyOperator`].
 #[derive(Debug, Clone)]
@@ -209,6 +216,11 @@ impl<S: StrategyOperator + Sync> ReleaseEngine<S> {
     /// already computed (e.g. at plan time) — repeated releases from one
     /// plan skip the Step-2 solve and are guaranteed to draw noise at the
     /// exact budgets the plan published.
+    ///
+    /// Scratch buffers come from a process-wide pool, so K releases (e.g.
+    /// a `release_batch` fan-out) allocate O(workers) buffers rather than
+    /// O(K); callers that want explicit control use
+    /// [`ReleaseEngine::release_into`].
     pub fn release_with_solution<R: Rng + ?Sized>(
         &self,
         observations: &[f64],
@@ -216,6 +228,35 @@ impl<S: StrategyOperator + Sync> ReleaseEngine<S> {
         solution: &BudgetSolution,
         neighboring: Neighboring,
         rng: &mut R,
+    ) -> Result<EngineRelease<S::Answer>, CoreError> {
+        let mut scratch = acquire_scratch();
+        let out = self.release_into(
+            observations,
+            privacy,
+            solution,
+            neighboring,
+            rng,
+            &mut scratch,
+        );
+        recycle_scratch(scratch);
+        out
+    }
+
+    /// [`ReleaseEngine::release_with_solution`] over caller-provided
+    /// scratch: the noisy-observation buffer, substream seeds, budgets,
+    /// weights, and noise parameters are all written into `scratch`'s
+    /// reusable arenas, so a hot loop that holds one [`ReleaseScratch`] per
+    /// worker performs no per-release buffer allocations in the engine
+    /// (only the recovered answer itself is freshly allocated — it is the
+    /// output).
+    pub fn release_into<R: Rng + ?Sized>(
+        &self,
+        observations: &[f64],
+        privacy: PrivacyLevel,
+        solution: &BudgetSolution,
+        neighboring: Neighboring,
+        rng: &mut R,
+        scratch: &mut ReleaseScratch,
     ) -> Result<EngineRelease<S::Answer>, CoreError> {
         if observations.len() != self.strategy.num_rows() {
             return Err(CoreError::Shape {
@@ -232,11 +273,14 @@ impl<S: StrategyOperator + Sync> ReleaseEngine<S> {
             });
         }
         let factor = neighboring.sensitivity_factor();
-        let budgets: Vec<f64> = solution.group_budgets.iter().map(|&e| e / factor).collect();
+        scratch.budgets.clear();
+        scratch
+            .budgets
+            .extend(solution.group_budgets.iter().map(|&e| e / factor));
 
         // Defense in depth: re-derive the achieved ε and fail loudly if the
         // optimizer ever produced an infeasible allocation.
-        let achieved = self.achieved_epsilon(privacy, &budgets) * factor;
+        let achieved = self.achieved_epsilon(privacy, &scratch.budgets) * factor;
         if achieved > privacy.epsilon() * (1.0 + 1e-9) {
             return Err(CoreError::InfeasibleBudgets {
                 achieved,
@@ -245,29 +289,86 @@ impl<S: StrategyOperator + Sync> ReleaseEngine<S> {
         }
         let predicted_variance = mechanism_factor(privacy) * solution.objective * factor * factor;
 
-        // Step "2.5": per-row noise at the group budgets, in parallel.
-        let row_groups = self.strategy.row_groups();
-        let noisy = perturb_observations(observations, row_groups, &budgets, privacy, rng);
+        // Step "2.5": per-row noise at the group budgets — fused into one
+        // in-place pass over the scratch buffer, chunk-parallel.
+        scratch.params.compute_into(privacy, &scratch.budgets);
+        perturb_observations_into(
+            observations,
+            self.strategy.row_groups(),
+            &scratch.params,
+            rng,
+            &mut scratch.noisy,
+            &mut scratch.seeds,
+        );
 
         // Step 3: the strategy's recovery, weighted by inverse variances.
-        let group_weights: Vec<f64> = budgets
-            .iter()
-            .map(|&eta| {
-                if eta > 0.0 {
-                    1.0 / noise_variance(privacy, eta)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let answer = self.strategy.recover(&noisy, &group_weights)?;
+        scratch.weights.clear();
+        scratch.weights.extend(scratch.budgets.iter().map(|&eta| {
+            if eta > 0.0 {
+                1.0 / noise_variance(privacy, eta)
+            } else {
+                0.0
+            }
+        }));
+        let answer = self.strategy.recover(&scratch.noisy, &scratch.weights)?;
 
         Ok(EngineRelease {
             answer,
-            group_budgets: budgets,
+            group_budgets: scratch.budgets.clone(),
             predicted_variance,
             achieved_epsilon: achieved,
         })
+    }
+}
+
+/// Reusable buffers for one in-flight release: the noisy-observation vector
+/// (`m` rows), the per-chunk substream seeds, and the per-group budget,
+/// weight, and noise-parameter vectors. Acquire one per worker and pass it
+/// to [`ReleaseEngine::release_into`] to make repeated releases
+/// allocation-free inside the engine.
+#[derive(Debug, Default)]
+pub struct ReleaseScratch {
+    budgets: Vec<f64>,
+    weights: Vec<f64>,
+    params: NoiseParams,
+    noisy: Vec<f64>,
+    seeds: Vec<u64>,
+}
+
+impl ReleaseScratch {
+    /// An empty scratch arena; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Process-wide pool backing [`ReleaseEngine::release_with_solution`]. A
+/// plain mutexed free-list (one uncontended lock/unlock pair per release,
+/// trivial next to the release itself) rather than a thread-local: rayon
+/// workers blocked in a parallel section can steal and run another
+/// release's closure on the same OS thread, which would alias a
+/// thread-local arena mid-release.
+static SCRATCH_POOL: Mutex<Vec<ReleaseScratch>> = Mutex::new(Vec::new());
+
+/// Upper bound on pooled arenas, so a one-off wide fan-out cannot pin an
+/// unbounded amount of buffer memory for the life of the process.
+const SCRATCH_POOL_CAP: usize = 64;
+
+fn acquire_scratch() -> ReleaseScratch {
+    SCRATCH_POOL
+        .lock()
+        .map(|mut pool| pool.pop())
+        .ok()
+        .flatten()
+        .unwrap_or_default()
+}
+
+fn recycle_scratch(scratch: ReleaseScratch) {
+    if let Ok(mut pool) = SCRATCH_POOL.lock() {
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
     }
 }
 
@@ -288,11 +389,62 @@ pub fn noise_variance(privacy: PrivacyLevel, eps_i: f64) -> f64 {
     }
 }
 
-/// Samples one noise value for a row with budget `eps_i`.
-fn sample_noise<R: Rng + ?Sized>(privacy: PrivacyLevel, rng: &mut R, eps_i: f64) -> f64 {
-    match privacy {
-        PrivacyLevel::Pure { .. } => LaplaceMechanism.sample(rng, eps_i),
-        PrivacyLevel::Approx { delta, .. } => GaussianMechanism { delta }.sample(rng, eps_i),
+/// Which mechanism a [`NoiseParams`] was calibrated for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum MechKind {
+    #[default]
+    Laplace,
+    Gaussian,
+}
+
+/// Per-group noise parameters, precomputed once per release so the hot
+/// perturbation loop never re-derives them per value: the Laplace scale
+/// `1/η_r` (pure DP) or the Gaussian `σ_r` (approximate DP) of every group,
+/// with `0.0` marking a withheld (zero-budget) group.
+///
+/// The parameters are computed with the **exact same expressions** the
+/// per-value mechanism objects use, so samples drawn from them are bitwise
+/// identical to per-value sampling.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseParams {
+    mech: MechKind,
+    per_group: Vec<f64>,
+}
+
+impl NoiseParams {
+    /// Calibrates parameters for `group_budgets` under `privacy`.
+    pub fn compute(privacy: PrivacyLevel, group_budgets: &[f64]) -> NoiseParams {
+        let mut params = NoiseParams::default();
+        params.compute_into(privacy, group_budgets);
+        params
+    }
+
+    /// [`NoiseParams::compute`] into `self`, reusing its buffer.
+    pub fn compute_into(&mut self, privacy: PrivacyLevel, group_budgets: &[f64]) {
+        self.per_group.clear();
+        match privacy {
+            PrivacyLevel::Pure { .. } => {
+                self.mech = MechKind::Laplace;
+                self.per_group.extend(group_budgets.iter().map(|&eta| {
+                    if eta > 0.0 {
+                        1.0 / eta
+                    } else {
+                        0.0
+                    }
+                }));
+            }
+            PrivacyLevel::Approx { delta, .. } => {
+                self.mech = MechKind::Gaussian;
+                let mechanism = GaussianMechanism { delta };
+                self.per_group.extend(group_budgets.iter().map(|&eta| {
+                    if eta > 0.0 {
+                        mechanism.variance(eta).sqrt()
+                    } else {
+                        0.0
+                    }
+                }));
+            }
+        }
     }
 }
 
@@ -303,8 +455,12 @@ fn sample_noise<R: Rng + ?Sized>(privacy: PrivacyLevel, rng: &mut R, eps_i: f64)
 /// private values (the engine enforces this, not each plugin).
 ///
 /// Public so oracle tests can replay the exact noise a release drew: the
-/// chunk seeds are the first `⌈m/NOISE_CHUNK⌉` `u64`s of `rng`, and each
-/// chunk's noise comes from an [`StdRng`] seeded with its seed.
+/// chunk seeds are the first `⌈m/NOISE_CHUNK⌉` `u64`s of `rng` (at least
+/// one, even for empty observations), and each chunk's noise comes from an
+/// [`StdRng`] seeded with its seed.
+///
+/// This is a convenience wrapper over [`perturb_observations_into`] that
+/// allocates fresh buffers; the engine's hot path reuses scratch instead.
 pub fn perturb_observations<R: Rng + ?Sized>(
     observations: &[f64],
     row_groups: &[u32],
@@ -312,28 +468,116 @@ pub fn perturb_observations<R: Rng + ?Sized>(
     privacy: PrivacyLevel,
     rng: &mut R,
 ) -> Vec<f64> {
-    let mut noisy = observations.to_vec();
+    let params = NoiseParams::compute(privacy, group_budgets);
+    let mut noisy = Vec::new();
+    let mut seeds = Vec::new();
+    perturb_observations_into(
+        observations,
+        row_groups,
+        &params,
+        rng,
+        &mut noisy,
+        &mut seeds,
+    );
+    noisy
+}
+
+/// The fused, in-place form of [`perturb_observations`]: copies
+/// `observations` into the reusable `noisy` buffer and perturbs it in one
+/// pass, with per-chunk batched samplers. `seeds` is the reusable substream
+/// seed buffer. The RNG stream is consumed value-for-value identically to
+/// per-value sampling — same seed layout, same draws per row, no draws for
+/// withheld rows — so outputs are byte-identical per seed.
+pub fn perturb_observations_into<R: Rng + ?Sized>(
+    observations: &[f64],
+    row_groups: &[u32],
+    params: &NoiseParams,
+    rng: &mut R,
+    noisy: &mut Vec<f64>,
+    seeds: &mut Vec<u64>,
+) {
+    noisy.clear();
+    noisy.extend_from_slice(observations);
     let chunks = noisy.len().div_ceil(NOISE_CHUNK).max(1);
     // Substream seeds are drawn sequentially from the caller's RNG, so the
     // result depends only on its state — never on thread scheduling.
-    let seeds: Vec<u64> = (0..chunks).map(|_| rng.gen::<u64>()).collect();
-    noisy
-        .par_chunks_mut(NOISE_CHUNK)
-        .enumerate()
-        .for_each(|(c, chunk)| {
-            let mut sub = StdRng::seed_from_u64(seeds[c]);
-            let base = c * NOISE_CHUNK;
-            for (i, v) in chunk.iter_mut().enumerate() {
-                let eta = group_budgets[row_groups[base + i] as usize];
-                if eta > 0.0 {
-                    *v += sample_noise(privacy, &mut sub, eta);
-                } else {
-                    // Unreleased row: withhold the exact value.
-                    *v = 0.0;
-                }
+    seeds.clear();
+    seeds.extend((0..chunks).map(|_| rng.gen::<u64>()));
+    let seeds = &seeds[..];
+    // Chunks are independent substreams, so they can run in any order on any
+    // thread; skip the rayon dispatch entirely when there is nothing to fan
+    // out (one chunk, or a single-threaded pool) — the per-call overhead is
+    // measurable on short observation vectors.
+    let work = |(c, chunk): (usize, &mut [f64])| {
+        let mut sub = StdRng::seed_from_u64(seeds[c]);
+        let base = c * NOISE_CHUNK;
+        perturb_chunk(
+            chunk,
+            &row_groups[base..base + chunk.len()],
+            params,
+            &mut sub,
+        );
+    };
+    if chunks == 1 || rayon::current_num_threads() == 1 {
+        noisy.chunks_mut(NOISE_CHUNK).enumerate().for_each(work);
+    } else {
+        noisy.par_chunks_mut(NOISE_CHUNK).enumerate().for_each(work);
+    }
+    #[cfg(debug_assertions)]
+    assert_chunk_pass_covered_every_row(observations, row_groups, params, noisy);
+}
+
+/// Perturbs one chunk by walking its runs of equal group id (row groups are
+/// long consecutive runs by construction) and dispatching the mechanism
+/// once per run over the batched samplers — instead of a per-value
+/// mechanism match plus per-value parameter derivation.
+fn perturb_chunk(chunk: &mut [f64], groups: &[u32], params: &NoiseParams, sub: &mut StdRng) {
+    let mut i = 0;
+    while i < chunk.len() {
+        let g = groups[i];
+        let mut j = i + 1;
+        while j < chunk.len() && groups[j] == g {
+            j += 1;
+        }
+        let p = params.per_group[g as usize];
+        let run = &mut chunk[i..j];
+        if p > 0.0 {
+            match params.mech {
+                MechKind::Laplace => add_laplace_into(sub, p, run),
+                MechKind::Gaussian => add_gaussian_into(sub, p, run),
             }
-        });
-    noisy
+        } else {
+            // Unreleased rows: withhold the exact values (and draw nothing).
+            run.fill(0.0);
+        }
+        i = j;
+    }
+}
+
+/// Debug-build guard against scratch reuse leaking stale or exact data: a
+/// skipped row would either carry a previous release's value (caught for
+/// withheld rows, which must be exactly zero) or the unperturbed exact
+/// value plus nothing (caught by re-checking length and finiteness — noise
+/// is always finite, so a noised row is finite whenever its observation
+/// was).
+#[cfg(debug_assertions)]
+fn assert_chunk_pass_covered_every_row(
+    observations: &[f64],
+    row_groups: &[u32],
+    params: &NoiseParams,
+    noisy: &[f64],
+) {
+    assert_eq!(noisy.len(), observations.len());
+    for (i, (&v, &g)) in noisy.iter().zip(row_groups).enumerate() {
+        if params.per_group[g as usize] > 0.0 {
+            assert!(
+                v.is_finite() || !observations[i].is_finite(),
+                "noised row {i} is not finite"
+            );
+        } else {
+            assert!(v == 0.0, "withheld row {i} leaked value {v}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +705,97 @@ mod tests {
         assert_eq!(r.group_budgets[1], 0.0);
         assert_eq!(&r.answer[2..], &[0.0, 0.0]);
         assert_ne!(&r.answer[..2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh_buffers() {
+        // Interleave releases with different seeds, observations, and
+        // privacy levels through ONE reused scratch arena; each must match
+        // the pooled release_with_solution path bit-for-bit — proving no
+        // stale state survives between releases.
+        let engine = ReleaseEngine::new(echo()).unwrap();
+        let mut scratch = ReleaseScratch::new();
+        let cases: [(u64, [f64; 4], PrivacyLevel); 4] = [
+            (
+                1,
+                [10.0, 20.0, 30.0, 40.0],
+                PrivacyLevel::Pure { epsilon: 1.0 },
+            ),
+            (
+                2,
+                [-5.0, 0.0, 2.5, 9.0],
+                PrivacyLevel::Approx {
+                    epsilon: 0.8,
+                    delta: 1e-6,
+                },
+            ),
+            (
+                1,
+                [10.0, 20.0, 30.0, 40.0],
+                PrivacyLevel::Pure { epsilon: 1.0 },
+            ),
+            (7, [0.0, 0.0, 0.0, 0.0], PrivacyLevel::Pure { epsilon: 0.3 }),
+        ];
+        for (seed, obs, privacy) in cases {
+            let solution = engine.solve_budgets(privacy, Budgeting::Optimal).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let reused = engine
+                .release_into(
+                    &obs,
+                    privacy,
+                    &solution,
+                    Neighboring::AddRemove,
+                    &mut rng,
+                    &mut scratch,
+                )
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fresh = engine
+                .release_with_solution(&obs, privacy, &solution, Neighboring::AddRemove, &mut rng)
+                .unwrap();
+            assert_eq!(reused.answer, fresh.answer);
+            assert_eq!(reused.group_budgets, fresh.group_budgets);
+            assert_eq!(reused.achieved_epsilon, fresh.achieved_epsilon);
+            assert_eq!(reused.predicted_variance, fresh.predicted_variance);
+        }
+    }
+
+    #[test]
+    fn fused_perturbation_matches_wrapper_across_shrinking_buffers() {
+        // Reuse one (noisy, seeds) pair across perturbations of very
+        // different lengths — including shrinking from multi-chunk to tiny
+        // and an empty vector (which still draws one seed) — and compare
+        // each against the allocating wrapper.
+        let mut noisy = Vec::new();
+        let mut seeds = Vec::new();
+        for (seed, len) in [(11u64, 3 * NOISE_CHUNK + 17), (12, 5), (13, 0), (14, 100)] {
+            let observations: Vec<f64> = (0..len).map(|i| (i % 23) as f64).collect();
+            let row_groups: Vec<u32> = (0..len).map(|i| (i * 3 / len.max(1)) as u32).collect();
+            let group_budgets = [0.5, 0.0, 1.25];
+            let privacy = PrivacyLevel::Pure { epsilon: 1.0 };
+            let params = NoiseParams::compute(privacy, &group_budgets);
+            let mut rng = StdRng::seed_from_u64(seed);
+            perturb_observations_into(
+                &observations,
+                &row_groups,
+                &params,
+                &mut rng,
+                &mut noisy,
+                &mut seeds,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fresh = perturb_observations(
+                &observations,
+                &row_groups,
+                &group_budgets,
+                privacy,
+                &mut rng,
+            );
+            assert_eq!(noisy, fresh, "len {len}");
+            // Both paths must have consumed the identical number of RNG
+            // words from the caller (the seed draws).
+            assert_eq!(seeds.len(), len.div_ceil(NOISE_CHUNK).max(1));
+        }
     }
 
     #[test]

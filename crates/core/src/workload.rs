@@ -398,7 +398,10 @@ mod tests {
         // Matches the explicit query matrix applied to x.
         let q = w.query_matrix();
         let y = q.matvec(t.counts()).unwrap();
-        let flat: Vec<f64> = ans.iter().flat_map(|m| m.values().to_vec()).collect();
+        let flat: Vec<f64> = ans
+            .iter()
+            .flat_map(|m| m.values().iter().copied())
+            .collect();
         assert_eq!(y, flat);
     }
 }

@@ -6,7 +6,7 @@
 //! sparse, so we never materialize it — CG only needs the operator
 //! `v ↦ RᵀΣ⁻¹R v`.
 
-use crate::{axpy, dot, LinalgError};
+use crate::{axpy, dot, xpby, LinalgError};
 
 /// Options controlling a conjugate-gradient solve.
 #[derive(Debug, Clone, Copy)]
@@ -65,11 +65,17 @@ where
             .map(|&v| if v > 0.0 { 1.0 / v } else { 1.0 })
             .collect()
     });
-    let apply_precond = |r: &[f64]| -> Vec<f64> {
-        match &inv_diag {
-            Some(inv) => r.iter().zip(inv).map(|(ri, ii)| ri * ii).collect(),
-            None => r.to_vec(),
+    // Writes M⁻¹r into `z`, reusing the buffer across iterations so the
+    // solve allocates no per-iteration vectors of its own (the `apply`
+    // closure's return value is the one remaining allocation, fixed by its
+    // public signature).
+    let apply_precond = |r: &[f64], z: &mut [f64]| match &inv_diag {
+        Some(inv) => {
+            for ((zi, ri), ii) in z.iter_mut().zip(r).zip(inv) {
+                *zi = ri * ii;
+            }
         }
+        None => z.copy_from_slice(r),
     };
 
     let b_norm = crate::norm2(b);
@@ -84,7 +90,8 @@ where
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
-    let mut z = apply_precond(&r);
+    let mut z = vec![0.0; n];
+    apply_precond(&r, &mut z);
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
 
@@ -110,13 +117,11 @@ where
         let alpha = rz / pap;
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
-        z = apply_precond(&r);
+        apply_precond(&r, &mut z);
         let rz_new = dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, zi) in p.iter_mut().zip(&z) {
-            *pi = zi + beta * *pi;
-        }
+        xpby(&z, beta, &mut p);
     }
 
     let r_norm = crate::norm2(&r);

@@ -25,6 +25,7 @@
 pub mod cg;
 pub mod dense;
 pub mod operator;
+pub mod simd;
 pub mod solve;
 pub mod sparse;
 pub mod wavelet;
@@ -36,6 +37,7 @@ pub use operator::{
     gls_normal_solve, HaarOperator, HierarchicalOperator, IdentityOperator, LinearOperator,
     ScaledOperator, WhtOperator,
 };
+pub use simd::{F64x4, LANES};
 pub use solve::{cholesky, solve_spd, CholeskyError};
 pub use sparse::CsrMatrix;
 pub use wavelet::{haar_forward, haar_inverse, haar_level, haar_row_magnitude};
@@ -97,6 +99,12 @@ impl std::error::Error for LinalgError {}
 
 /// Dot product of two equal-length slices.
 ///
+/// The accumulation is deliberately a strictly sequential, in-order sum —
+/// **not** lane-parallelized: splitting the reduction across lanes would
+/// reassociate the additions and change the bytes of every CG iterate (and
+/// therefore of every range release) downstream. Only elementwise kernels
+/// ([`axpy`], [`xpby`], the WHT butterfly) are lane-width.
+///
 /// Panics in debug builds if the lengths differ; in release builds the
 /// shorter length wins (as with `zip`), so callers must uphold the contract.
 #[inline]
@@ -112,11 +120,38 @@ pub fn norm2(a: &[f64]) -> f64 {
 }
 
 /// `y ← y + alpha * x` over equal-length slices.
+///
+/// Runs four lanes wide; each element still computes exactly
+/// `yi + alpha * xi`, so the result is bitwise identical to the scalar loop.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let a = F64x4::splat(alpha);
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (cy, cx) in (&mut yc).zip(&mut xc) {
+        (F64x4::load(cy) + a * F64x4::load(cx)).store(cy);
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += alpha * xi;
+    }
+}
+
+/// `y ← x + beta * y` over equal-length slices (the CG direction update).
+///
+/// Lane-width like [`axpy`], with the identical per-element expression
+/// `xi + beta * yi` in the identical order.
+#[inline]
+pub fn xpby(x: &[f64], beta: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let b = F64x4::splat(beta);
+    let mut yc = y.chunks_exact_mut(4);
+    let mut xc = x.chunks_exact(4);
+    for (cy, cx) in (&mut yc).zip(&mut xc) {
+        (F64x4::load(cx) + b * F64x4::load(cy)).store(cy);
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi = xi + beta * *yi;
     }
 }
 
@@ -135,6 +170,32 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[3.0, 4.0], &mut y);
         assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn lane_axpy_and_xpby_match_scalar_loops_bitwise() {
+        // Lengths covering full lanes, tails, and sub-lane slices.
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 13, 64, 67] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 1e3).collect();
+            let y0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos() / 3.0).collect();
+            let alpha = -1.737;
+
+            let mut lane = y0.clone();
+            axpy(alpha, &x, &mut lane);
+            let mut scalar = y0.clone();
+            for (yi, xi) in scalar.iter_mut().zip(&x) {
+                *yi += alpha * xi;
+            }
+            assert_eq!(lane, scalar, "axpy n={n}");
+
+            let mut lane = y0.clone();
+            xpby(&x, alpha, &mut lane);
+            let mut scalar = y0;
+            for (yi, xi) in scalar.iter_mut().zip(&x) {
+                *yi = xi + alpha * *yi;
+            }
+            assert_eq!(lane, scalar, "xpby n={n}");
+        }
     }
 
     #[test]

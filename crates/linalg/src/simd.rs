@@ -1,0 +1,109 @@
+//! An explicit four-wide `f64` lane struct for the hot kernels.
+//!
+//! The workspace vendors every dependency and `std::simd` is unstable, so
+//! the lane type is a plain `[f64; 4]` wrapper with elementwise operators —
+//! a shape LLVM reliably lowers to vector instructions (SSE2/AVX on x86,
+//! NEON on aarch64) without any `unsafe` or feature detection.
+//!
+//! **Bit-exactness contract:** every lane operation performs exactly the
+//! per-element scalar operation, with no reassociation and no FMA
+//! contraction (Rust's default float semantics forbid both), so kernels
+//! rewritten over [`F64x4`] produce bitwise identical results to their
+//! scalar form as long as the per-element operation order is unchanged.
+//! Reductions (dot products) are deliberately *not* lane-parallelized in
+//! this crate: splitting a sum across lanes reorders the additions and
+//! changes the bytes of every CG-based recovery downstream.
+
+use std::ops::{Add, Mul, Sub};
+
+/// Number of `f64` elements per lane group.
+pub const LANES: usize = 4;
+
+/// Four `f64` values operated on elementwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    /// Loads the first four elements of `src`.
+    ///
+    /// # Panics
+    /// Panics if `src.len() < 4` (the callers iterate `chunks_exact(4)`,
+    /// where the bound check is elided).
+    #[inline(always)]
+    pub fn load(src: &[f64]) -> F64x4 {
+        F64x4([src[0], src[1], src[2], src[3]])
+    }
+
+    /// Stores the four lanes into the first four elements of `dst`.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() < 4`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f64]) {
+        dst[..4].copy_from_slice(&self.0);
+    }
+}
+
+impl Add for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        let (a, b) = (self.0, rhs.0);
+        F64x4([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]])
+    }
+}
+
+impl Sub for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn sub(self, rhs: F64x4) -> F64x4 {
+        let (a, b) = (self.0, rhs.0);
+        F64x4([a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]])
+    }
+}
+
+impl Mul for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn mul(self, rhs: F64x4) -> F64x4 {
+        let (a, b) = (self.0, rhs.0);
+        F64x4([a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops_match_scalars() {
+        let a = F64x4([1.0, -2.5, 0.0, 1e300]);
+        let b = F64x4([0.5, 3.0, -0.0, 1e-300]);
+        for i in 0..LANES {
+            assert_eq!((a + b).0[i].to_bits(), (a.0[i] + b.0[i]).to_bits());
+            assert_eq!((a - b).0[i].to_bits(), (a.0[i] - b.0[i]).to_bits());
+            assert_eq!((a * b).0[i].to_bits(), (a.0[i] * b.0[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = F64x4::load(&src);
+        assert_eq!(v, F64x4([1.0, 2.0, 3.0, 4.0]));
+        let mut dst = [0.0; 6];
+        v.store(&mut dst);
+        assert_eq!(dst, [1.0, 2.0, 3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(F64x4::splat(7.0).0, [7.0; 4]);
+    }
+}

@@ -5,12 +5,19 @@ use rand::Rng;
 
 /// Samples from the Laplace distribution with location 0 and the given
 /// `scale` (density `exp(−|x|/scale) / (2·scale)`), via inverse-CDF
-/// transform sampling. Variance is `2·scale²`.
+/// transform sampling. Variance is `2·scale²`. Every sample is finite.
 pub fn sample_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
-    // u uniform in (-0.5, 0.5]; the open lower bound avoids ln(0).
+    // u is uniform in [-0.5, 0.5): the *closed* lower bound makes
+    // 1 − 2|u| = 0 reachable (u = −0.5, probability 2⁻⁵³), so the log
+    // argument is clamped to the smallest positive normal. Every other
+    // reachable argument is at least 2⁻⁵² ≫ MIN_POSITIVE, so the clamp is
+    // the identity for them and changes no other sample.
     let u: f64 = rng.gen::<f64>() - 0.5;
-    let magnitude = (1.0 - 2.0 * u.abs()).ln();
-    -scale * magnitude.copysign(u) * if u == 0.0 { 0.0 } else { 1.0 }
+    if u == 0.0 {
+        return 0.0;
+    }
+    let magnitude = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+    -scale * magnitude.copysign(u)
 }
 
 /// The Laplace scale required for `eps`-DP at L1-sensitivity `delta1`.
@@ -88,6 +95,30 @@ mod tests {
             / n as f64;
         // E|X| = scale.
         assert!((spread - 3.0).abs() < 0.1, "E|X| {spread}");
+    }
+
+    #[test]
+    fn uniform_edge_draws_are_pinned_and_finite() {
+        use crate::testutil::ConstRng;
+        // next_u64 = 0 → gen::<f64>() = 0.0 → u = −0.5: the draw that made
+        // the old sampler return −∞·copysign — now clamped to the largest
+        // finite magnitude, |ln(MIN_POSITIVE)|·scale, with the sign of u.
+        let v = sample_laplace(&mut ConstRng(0), 2.0);
+        assert!(v.is_finite());
+        assert_eq!(v, -2.0 * f64::MIN_POSITIVE.ln());
+        // next_u64 = 1 << 63 → gen::<f64>() = 0.5 → u = 0.0: the symmetric
+        // midpoint maps to exactly zero noise.
+        assert_eq!(sample_laplace(&mut ConstRng(1 << 63), 2.0), 0.0);
+    }
+
+    #[test]
+    fn near_edge_draws_are_unchanged_by_the_clamp() {
+        use crate::testutil::ConstRng;
+        // The smallest uniform above zero (next_u64 = 1 << 11 → gen = 2⁻⁵³)
+        // gives the most extreme draw the old sampler handled; the clamp
+        // must be the identity there: ln(1 − 2(½ − 2⁻⁵³)) = ln(2⁻⁵²).
+        let v = sample_laplace(&mut ConstRng(1 << 11), 1.0);
+        assert_eq!(v, -(2f64.powi(-52).ln()));
     }
 
     proptest::proptest! {

@@ -26,15 +26,30 @@
 // rejects NaN, which is the point of these validation checks.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod batch;
 pub mod composition;
 pub mod gaussian;
 pub mod laplace;
 pub mod privacy;
 
+pub use batch::{add_gaussian_into, add_laplace_into, sample_gaussian_into, sample_laplace_into};
 pub use composition::{compose, BudgetLedger};
 pub use gaussian::{gaussian_sigma, sample_gaussian, GaussianMechanism};
 pub use laplace::{laplace_scale, sample_laplace, LaplaceMechanism};
 pub use privacy::{BudgetFeasibility, Neighboring, PrivacyLevel};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// An RNG emitting one constant word forever — used to pin the exact
+    /// uniform-draw edge cases (`u = 0.0`, `u = −0.5`) in sampler tests.
+    pub struct ConstRng(pub u64);
+
+    impl rand::RngCore for ConstRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+}
 
 use rand::Rng;
 
