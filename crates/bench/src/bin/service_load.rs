@@ -1,0 +1,164 @@
+//! Service load benchmark: releases/sec and request latency of the
+//! budget-metered TCP service under `N` concurrent tenants, each hammering
+//! its own connection with single-seed release requests against one shared
+//! cached plan (NLTCS Q2, F+).
+//!
+//! Usage: `cargo run -p dp-bench --release --bin service_load [-- --smoke]`
+//!
+//! * `--smoke`: few tenants and requests — for CI.
+
+use dp_core::api::WorkloadSpec;
+use dp_core::prelude::*;
+use dp_service::{Accountant, Client, DpService, Server, TcpTransport};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured service-load configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceLoadPoint {
+    /// Concurrent tenants (one connection + handler thread each).
+    pub tenants: usize,
+    /// Single-seed release requests issued per tenant.
+    pub requests_per_tenant: usize,
+    /// Total releases granted across all tenants.
+    pub total_releases: usize,
+    /// Wall-clock seconds for the whole storm.
+    pub seconds: f64,
+    /// Granted releases per wall-clock second.
+    pub releases_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Step-2 budget solves across registration + storm (the shared
+    /// cache should hold this at 1 no matter how many tenants).
+    pub budget_solves: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let tenants = if smoke { 2 } else { 8 };
+    let requests = if smoke { 10 } else { 200 };
+
+    let schema = dp_data::nltcs_schema();
+    let (records, _) =
+        dp_data::csv::nltcs_records_or_synthetic(std::path::Path::new("data/nltcs.csv"), 20130402)
+            .expect("dataset synthesis cannot fail");
+    let table = ContingencyTable::from_records(&schema, &records).expect("records fit schema");
+    let workload = Workload::all_k_way(&schema, 2).expect("Q2 builds over NLTCS");
+    let spec = WorkloadSpec::Marginals {
+        workload,
+        strategy: StrategyKind::Fourier,
+        cluster: ClusterConfig::default(),
+    };
+    let per_release = PrivacyLevel::Pure { epsilon: 0.01 };
+    // Budget sized so no request is ever refused — this measures
+    // throughput, not exhaustion.
+    let budget = PrivacyLevel::Pure {
+        epsilon: 0.01 * (requests as f64) * 2.0,
+    };
+
+    let service = DpService::new(Accountant::in_memory());
+    service.data().insert_table("nltcs", table);
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("loopback bind");
+    let server = Server::new(service, transport);
+    let addr = server.addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("server runs"));
+
+    // Register every tenant up front (K tenants, one shared solve).
+    let solves_before = dp_opt::budget::solve_count();
+    let mut setup = Client::connect(&addr).expect("connect");
+    let mut sessions = Vec::new();
+    for t in 0..tenants {
+        let tenant = format!("tenant{t}");
+        setup.open_tenant(&tenant, budget).expect("open");
+        let plan_id = setup
+            .register_compile(
+                &tenant,
+                spec.clone(),
+                Budgeting::Optimal,
+                per_release,
+                Neighboring::AddRemove,
+            )
+            .expect("register");
+        sessions.push(setup.bind(&tenant, &plan_id, "nltcs").expect("bind"));
+    }
+
+    let start = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let tenant = format!("tenant{t}");
+                let session = sessions[t].clone();
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut lat = Vec::with_capacity(requests);
+                    for seed in 0..requests as u64 {
+                        let t0 = Instant::now();
+                        let r = client
+                            .release(&tenant, &session, &[seed])
+                            .expect("budget never exhausts in this storm");
+                        assert_eq!(r.len(), 1);
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let budget_solves = dp_opt::budget::solve_count() - solves_before;
+
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = all.len();
+    let point = ServiceLoadPoint {
+        tenants,
+        requests_per_tenant: requests,
+        total_releases: total,
+        seconds,
+        releases_per_sec: total as f64 / seconds,
+        p50_ms: percentile(&all, 0.50),
+        p99_ms: percentile(&all, 0.99),
+        budget_solves,
+    };
+
+    println!("\n== service load: concurrent tenants over TCP (NLTCS Q2, F+) ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>14} {:>10} {:>10} {:>8}",
+        "tenants", "requests", "seconds", "releases/s", "p50 ms", "p99 ms", "solves"
+    );
+    println!(
+        "{:>8} {:>10} {:>10.3} {:>14.1} {:>10.3} {:>10.3} {:>8}",
+        point.tenants,
+        point.requests_per_tenant,
+        point.seconds,
+        point.releases_per_sec,
+        point.p50_ms,
+        point.p99_ms,
+        point.budget_solves
+    );
+    assert_eq!(
+        point.budget_solves, 1,
+        "all tenants share one cached plan solve"
+    );
+
+    // Shut down through the setup connection and drop it: the server
+    // drains every live connection before run() returns.
+    setup.shutdown().expect("clean shutdown");
+    drop(setup);
+    server_thread.join().expect("server thread exits");
+
+    match dp_bench::write_jsonl("service_load.jsonl", &[point]) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+}

@@ -790,48 +790,7 @@ impl<'p> Session<'p> {
     /// count or batch position. The budget solution solved at plan-compile
     /// time is reused — no Step-2 solve happens here.
     pub fn release(&self, seed: u64) -> Result<SessionRelease, CoreError> {
-        let plan = self.plan;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let (answers, out_budgets, predicted, achieved) = match plan.compiled() {
-            Compiled::Marginals(c) => {
-                let out = c.engine.release_with_solution(
-                    &self.observations,
-                    plan.privacy,
-                    &plan.solution,
-                    plan.neighboring,
-                    &mut rng,
-                )?;
-                (
-                    Answers::Marginals(out.answer),
-                    out.group_budgets,
-                    out.predicted_variance,
-                    out.achieved_epsilon,
-                )
-            }
-            Compiled::Ranges(c) => {
-                let out = c.engine.release_with_solution(
-                    &self.observations,
-                    plan.privacy,
-                    &plan.solution,
-                    plan.neighboring,
-                    &mut rng,
-                )?;
-                (
-                    Answers::Ranges(out.answer),
-                    out.group_budgets,
-                    out.predicted_variance,
-                    out.achieved_epsilon,
-                )
-            }
-        };
-        Ok(SessionRelease {
-            seed,
-            answers,
-            group_budgets: out_budgets,
-            predicted_variance: predicted,
-            achieved_epsilon: achieved,
-            label: plan.label(),
-        })
+        release_bound(self.plan, &self.observations, seed)
     }
 
     /// Draws one release per seed, fanned out with rayon. Each release
@@ -844,6 +803,114 @@ impl<'p> Session<'p> {
     /// out of a shared scratch pool, so a batch of K releases allocates
     /// O(workers) scratch arenas rather than O(K) — only the returned
     /// answers themselves are freshly allocated.
+    pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
+        seeds.par_iter().map(|&s| self.release(s)).collect()
+    }
+}
+
+/// The one release path shared by [`Session`] and [`OwnedSession`]: pure in
+/// (plan, observations, seed), so both session types are byte-identical per
+/// seed by construction.
+fn release_bound(
+    plan: &Plan,
+    observations: &[f64],
+    seed: u64,
+) -> Result<SessionRelease, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (answers, out_budgets, predicted, achieved) = match plan.compiled() {
+        Compiled::Marginals(c) => {
+            let out = c.engine.release_with_solution(
+                observations,
+                plan.privacy,
+                &plan.solution,
+                plan.neighboring,
+                &mut rng,
+            )?;
+            (
+                Answers::Marginals(out.answer),
+                out.group_budgets,
+                out.predicted_variance,
+                out.achieved_epsilon,
+            )
+        }
+        Compiled::Ranges(c) => {
+            let out = c.engine.release_with_solution(
+                observations,
+                plan.privacy,
+                &plan.solution,
+                plan.neighboring,
+                &mut rng,
+            )?;
+            (
+                Answers::Ranges(out.answer),
+                out.group_budgets,
+                out.predicted_variance,
+                out.achieved_epsilon,
+            )
+        }
+    };
+    Ok(SessionRelease {
+        seed,
+        answers,
+        group_budgets: out_budgets,
+        predicted_variance: predicted,
+        achieved_epsilon: achieved,
+        label: plan.label(),
+    })
+}
+
+/// A [`Session`] that **owns** its plan through an [`Arc`] — the shape a
+/// long-lived service needs: bound sessions can be stored in registries and
+/// shared across worker threads without borrowing from a plan kept alive
+/// elsewhere. Releases go through the exact same internal path as
+/// [`Session`], so the two are byte-identical per (plan, data, seed).
+pub struct OwnedSession {
+    plan: Arc<Plan>,
+    observations: Vec<f64>,
+}
+
+impl OwnedSession {
+    /// Binds a **marginal** plan to a contingency table (the owning
+    /// counterpart of [`Session::bind`]).
+    pub fn bind(plan: Arc<Plan>, table: &ContingencyTable) -> Result<OwnedSession, CoreError> {
+        match plan.compiled() {
+            Compiled::Marginals(c) => {
+                let observations = c.observe(table)?;
+                Ok(OwnedSession { plan, observations })
+            }
+            Compiled::Ranges(_) => Err(CoreError::InvalidPlan(
+                "range plans bind to histograms; use OwnedSession::bind_histogram",
+            )),
+        }
+    }
+
+    /// Binds a **range** plan to a histogram (the owning counterpart of
+    /// [`Session::bind_histogram`]).
+    pub fn bind_histogram(plan: Arc<Plan>, hist: &[f64]) -> Result<OwnedSession, CoreError> {
+        match plan.compiled() {
+            Compiled::Ranges(c) => {
+                let observations = c.observe(hist)?;
+                Ok(OwnedSession { plan, observations })
+            }
+            Compiled::Marginals(_) => Err(CoreError::InvalidPlan(
+                "marginal plans bind to contingency tables; use OwnedSession::bind",
+            )),
+        }
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
+    }
+
+    /// Draws one release; identical bytes to [`Session::release`] for the
+    /// same (plan, data, seed).
+    pub fn release(&self, seed: u64) -> Result<SessionRelease, CoreError> {
+        release_bound(&self.plan, &self.observations, seed)
+    }
+
+    /// Draws one release per seed, fanned out with rayon; element `i`
+    /// equals `self.release(seeds[i])`.
     pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
         seeds.par_iter().map(|&s| self.release(s)).collect()
     }
@@ -1202,6 +1269,56 @@ mod tests {
         }
         // The compiled operator really is shared, not rebuilt.
         assert!(Arc::ptr_eq(&base.compiled, &resolved.compiled));
+    }
+
+    #[test]
+    fn owned_sessions_match_borrowed_sessions_byte_for_byte() {
+        let plan = Arc::new(
+            PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+                .compile()
+                .unwrap(),
+        );
+        let table = small_table();
+        let borrowed = Session::bind(&plan, &table).unwrap();
+        let owned = OwnedSession::bind(Arc::clone(&plan), &table).unwrap();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = borrowed.release(seed).unwrap();
+            let b = owned.release(seed).unwrap();
+            for (ma, mb) in a
+                .answers
+                .marginals()
+                .unwrap()
+                .iter()
+                .zip(b.answers.marginals().unwrap())
+            {
+                assert_eq!(ma.values(), mb.values());
+            }
+            assert_eq!(a.group_budgets, b.group_budgets);
+        }
+        // Wrong-kind binds are rejected like the borrowed session's.
+        assert!(matches!(
+            OwnedSession::bind_histogram(plan, &[0.0; 16]),
+            Err(CoreError::InvalidPlan(_))
+        ));
+        let range_plan = Arc::new(
+            PlanBuilder::ranges(
+                RangeWorkload::all_prefixes(16).unwrap(),
+                RangeStrategy::Wavelet,
+            )
+            .compile()
+            .unwrap(),
+        );
+        assert!(matches!(
+            OwnedSession::bind(Arc::clone(&range_plan), &small_table()),
+            Err(CoreError::InvalidPlan(_))
+        ));
+        let hist: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let owned = OwnedSession::bind_histogram(range_plan, &hist).unwrap();
+        let batch = owned.release_batch(&[3, 4]).unwrap();
+        assert_eq!(
+            batch[0].answers.ranges().unwrap(),
+            owned.release(3).unwrap().answers.ranges().unwrap()
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod workload;
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::api::{
-        Answers, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
+        Answers, OwnedSession, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
     };
     pub use crate::cluster::{CentroidSearch, ClusterConfig};
     pub use crate::marginal::MarginalTable;
@@ -93,7 +93,7 @@ pub mod prelude {
 }
 
 pub use crate::api::{
-    Answers, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
+    Answers, OwnedSession, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
 };
 pub use crate::cluster::{CentroidSearch, ClusterConfig};
 pub use crate::mask::AttrMask;

@@ -48,8 +48,10 @@ fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
 }
 
 /// Serializes a `u64` exactly: as a JSON number below 2^53 (where f64 is
-/// exact) and as a decimal string above.
-fn u64_value(v: u64) -> Value {
+/// exact) and as a decimal string above. Public so protocol layers built on
+/// the same `serde` shim (e.g. `dp-service`) share one wire rule for seeds
+/// and fingerprints.
+pub fn u64_value(v: u64) -> Value {
     if v < (1u64 << 53) {
         Value::Number(v as f64)
     } else {
@@ -58,7 +60,7 @@ fn u64_value(v: u64) -> Value {
 }
 
 /// Inverse of [`u64_value`].
-fn u64_from(value: &Value, what: &str) -> Result<u64, DeError> {
+pub fn u64_from(value: &Value, what: &str) -> Result<u64, DeError> {
     if let Some(s) = value.as_str() {
         return s
             .parse::<u64>()

@@ -12,6 +12,18 @@
 use crate::privacy::PrivacyLevel;
 use crate::MechError;
 
+/// `n`-fold basic composition of one guarantee: ε and δ scale by `n` (the
+/// charge for a batch of `n` independent releases from the same plan).
+pub fn compose_n(level: PrivacyLevel, n: usize) -> PrivacyLevel {
+    let epsilon = level.epsilon() * n as f64;
+    let delta = level.delta() * n as f64;
+    if delta == 0.0 {
+        PrivacyLevel::Pure { epsilon }
+    } else {
+        PrivacyLevel::Approx { epsilon, delta }
+    }
+}
+
 /// Sum of guarantees under basic sequential composition: ε's and δ's add.
 pub fn compose(levels: &[PrivacyLevel]) -> PrivacyLevel {
     let epsilon: f64 = levels.iter().map(|l| l.epsilon()).sum();
@@ -25,6 +37,18 @@ pub fn compose(levels: &[PrivacyLevel]) -> PrivacyLevel {
 
 /// A privacy-budget ledger: start with a total allowance, draw per-release
 /// budgets from it, and refuse once exhausted.
+///
+/// # Concurrency contract
+///
+/// A `BudgetLedger` is **single-threaded state**: it is `Send` but
+/// deliberately offers no interior mutability, so concurrent metering must
+/// wrap it in a lock (`Mutex<BudgetLedger>`) and perform the whole
+/// check-and-debit under one critical section. [`BudgetLedger::try_spend`]
+/// exists for exactly that shape — it checks *and* debits in a single call,
+/// so a caller holding the lock has no TOCTOU window between reading
+/// [`BudgetLedger::remaining_epsilon`] and committing the charge. Never
+/// decide on `remaining_*()` in one critical section and `try_spend` in a
+/// later one.
 #[derive(Debug, Clone)]
 pub struct BudgetLedger {
     total: PrivacyLevel,
@@ -45,31 +69,47 @@ impl BudgetLedger {
         })
     }
 
-    /// Attempts to charge one release's guarantee against the ledger.
-    /// Fails (leaving the ledger unchanged) if the charge would exceed the
-    /// allowance in either ε or δ.
-    pub fn charge(&mut self, level: PrivacyLevel) -> Result<(), MechError> {
+    /// The total allowance the ledger was opened with.
+    pub fn total(&self) -> PrivacyLevel {
+        self.total
+    }
+
+    /// Checks **and** debits one charge in a single call — the atomic
+    /// check-then-spend primitive. The charge is validated first (NaN,
+    /// non-positive ε, or δ outside (0,1) are a typed
+    /// [`MechError::InvalidPrivacyParameter`], never silently composed);
+    /// if the composed spend would exceed the allowance in either ε or δ
+    /// the ledger is left unchanged and a typed
+    /// [`MechError::BudgetExhausted`] reports both the request and what
+    /// remains.
+    pub fn try_spend(&mut self, level: PrivacyLevel) -> Result<(), MechError> {
         level.validate()?;
         let new_eps = self.spent_epsilon + level.epsilon();
         let new_delta = self.spent_delta + level.delta();
-        if new_eps > self.total.epsilon() * (1.0 + 1e-12) {
-            return Err(MechError::InvalidPrivacyParameter(format!(
-                "epsilon budget exhausted: spending {new_eps} of {}",
-                self.total.epsilon()
-            )));
-        }
-        if new_delta > self.total.delta() * (1.0 + 1e-12) + f64::EPSILON * 0.0
-            && new_delta > self.total.delta()
-        {
-            return Err(MechError::InvalidPrivacyParameter(format!(
-                "delta budget exhausted: spending {new_delta} of {}",
-                self.total.delta()
-            )));
+        // A hair of multiplicative slack absorbs summation rounding so a
+        // budget can be spent down to exactly 0 in equal slices.
+        let eps_fits = new_eps <= self.total.epsilon() * (1.0 + 1e-12);
+        let delta_fits = new_delta <= self.total.delta() * (1.0 + 1e-12);
+        if !eps_fits || !delta_fits {
+            return Err(MechError::BudgetExhausted {
+                requested_epsilon: level.epsilon(),
+                requested_delta: level.delta(),
+                remaining_epsilon: self.remaining_epsilon(),
+                remaining_delta: self.remaining_delta(),
+            });
         }
         self.spent_epsilon = new_eps;
         self.spent_delta = new_delta;
         self.charges.push(level);
         Ok(())
+    }
+
+    /// Attempts to charge one release's guarantee against the ledger.
+    /// Fails (leaving the ledger unchanged) if the charge would exceed the
+    /// allowance in either ε or δ. Alias of [`BudgetLedger::try_spend`],
+    /// kept for callers that predate it.
+    pub fn charge(&mut self, level: PrivacyLevel) -> Result<(), MechError> {
+        self.try_spend(level)
     }
 
     /// Remaining ε allowance.
@@ -176,5 +216,114 @@ mod tests {
     #[test]
     fn invalid_total_rejected() {
         assert!(BudgetLedger::new(PrivacyLevel::Pure { epsilon: 0.0 }).is_err());
+    }
+
+    #[test]
+    fn try_spend_rejects_nan_and_negative_inputs_with_a_typed_error() {
+        let mut ledger = BudgetLedger::new(PrivacyLevel::Pure { epsilon: 1.0 }).unwrap();
+        for bad in [
+            PrivacyLevel::Pure { epsilon: f64::NAN },
+            PrivacyLevel::Pure { epsilon: -0.5 },
+            PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: f64::NAN,
+            },
+            PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: -1e-6,
+            },
+        ] {
+            assert!(
+                matches!(
+                    ledger.try_spend(bad),
+                    Err(MechError::InvalidPrivacyParameter(_))
+                ),
+                "{bad:?} must be rejected before composing"
+            );
+        }
+        // Nothing was silently composed.
+        assert_eq!(ledger.num_charges(), 0);
+        assert!((ledger.remaining_epsilon() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn try_spend_exhaustion_reports_request_and_remaining() {
+        let mut ledger = BudgetLedger::new(PrivacyLevel::Approx {
+            epsilon: 1.0,
+            delta: 1e-6,
+        })
+        .unwrap();
+        ledger
+            .try_spend(PrivacyLevel::Approx {
+                epsilon: 0.75,
+                delta: 4e-7,
+            })
+            .unwrap();
+        let err = ledger
+            .try_spend(PrivacyLevel::Approx {
+                epsilon: 0.5,
+                delta: 1e-7,
+            })
+            .unwrap_err();
+        let MechError::BudgetExhausted {
+            requested_epsilon,
+            requested_delta,
+            remaining_epsilon,
+            remaining_delta,
+        } = err
+        else {
+            panic!("expected BudgetExhausted, got {err:?}");
+        };
+        assert_eq!(requested_epsilon, 0.5);
+        assert_eq!(requested_delta, 1e-7);
+        assert!((remaining_epsilon - 0.25).abs() < 1e-12);
+        assert!((remaining_delta - 6e-7).abs() < 1e-18);
+        // The failed attempt left the ledger untouched; exhaustion is
+        // permanent once remaining hits zero.
+        assert_eq!(ledger.num_charges(), 1);
+        ledger
+            .try_spend(PrivacyLevel::Pure { epsilon: 0.25 })
+            .unwrap();
+        assert!(ledger.remaining_epsilon() <= 1e-12);
+        assert!(matches!(
+            ledger.try_spend(PrivacyLevel::Pure { epsilon: 1e-9 }),
+            Err(MechError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn a_budget_spends_down_to_exactly_zero_in_equal_slices() {
+        let mut ledger = BudgetLedger::new(PrivacyLevel::Pure { epsilon: 1.0 }).unwrap();
+        for _ in 0..10 {
+            ledger
+                .try_spend(PrivacyLevel::Pure { epsilon: 0.1 })
+                .unwrap();
+        }
+        assert!(ledger.remaining_epsilon() <= 1e-12);
+        assert!(matches!(
+            ledger.try_spend(PrivacyLevel::Pure { epsilon: 0.1 }),
+            Err(MechError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn compose_n_scales_both_parameters() {
+        assert_eq!(
+            compose_n(PrivacyLevel::Pure { epsilon: 0.25 }, 4),
+            PrivacyLevel::Pure { epsilon: 1.0 }
+        );
+        assert_eq!(
+            compose_n(
+                PrivacyLevel::Approx {
+                    epsilon: 0.1,
+                    delta: 1e-7
+                },
+                3
+            ),
+            PrivacyLevel::Approx {
+                epsilon: 0.1 * 3.0,
+                delta: 3e-7
+            }
+        );
     }
 }

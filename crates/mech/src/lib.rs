@@ -33,7 +33,7 @@ pub mod laplace;
 pub mod privacy;
 
 pub use batch::{add_gaussian_into, add_laplace_into, sample_gaussian_into, sample_laplace_into};
-pub use composition::{compose, BudgetLedger};
+pub use composition::{compose, compose_n, BudgetLedger};
 pub use gaussian::{gaussian_sigma, sample_gaussian, GaussianMechanism};
 pub use laplace::{laplace_scale, sample_laplace, LaplaceMechanism};
 pub use privacy::{BudgetFeasibility, Neighboring, PrivacyLevel};
@@ -110,6 +110,19 @@ pub enum MechError {
     NonPositiveBudget(f64),
     /// A privacy parameter was invalid (e.g. ε ≤ 0 or δ ∉ (0,1)).
     InvalidPrivacyParameter(String),
+    /// A [`composition::BudgetLedger`] charge would exceed the remaining
+    /// allowance. Carries what was asked for and what is still available so
+    /// callers (e.g. a release service) can report the shortfall precisely.
+    BudgetExhausted {
+        /// ε the rejected charge asked for.
+        requested_epsilon: f64,
+        /// δ the rejected charge asked for.
+        requested_delta: f64,
+        /// ε still available in the ledger.
+        remaining_epsilon: f64,
+        /// δ still available in the ledger.
+        remaining_delta: f64,
+    },
 }
 
 impl std::fmt::Display for MechError {
@@ -123,6 +136,17 @@ impl std::fmt::Display for MechError {
             MechError::InvalidPrivacyParameter(msg) => {
                 write!(f, "invalid privacy parameter: {msg}")
             }
+            MechError::BudgetExhausted {
+                requested_epsilon,
+                requested_delta,
+                remaining_epsilon,
+                remaining_delta,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested (ε = {requested_epsilon}, δ = \
+                 {requested_delta}) but only (ε = {remaining_epsilon}, δ = \
+                 {remaining_delta}) remains"
+            ),
         }
     }
 }

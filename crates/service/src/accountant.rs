@@ -1,0 +1,332 @@
+//! Per-tenant privacy accounting with an optional write-ahead ledger.
+//!
+//! The accountant is the service's single source of truth for cumulative
+//! (ε, δ) spend. Every release batch is charged here **before** any noise
+//! is drawn — a rejected charge means no randomness was consumed and no
+//! output left the server, so rejections are privacy-free.
+//!
+//! ## Durability
+//!
+//! With a write-ahead ledger file ([`Accountant::with_wal`]), every `open`
+//! and `spend` record is appended and synced *before* the operation is
+//! acknowledged, so a restarted service reloads exactly the budget it had
+//! granted and refuses to replay spent budget. Two crash cases matter:
+//!
+//! - **Torn tail** (final line has no trailing newline): the process died
+//!   mid-append, which is *before* the corresponding release was returned
+//!   to any client. Dropping the torn record is therefore privacy-safe,
+//!   and the file is truncated back to the last complete line on reload.
+//! - **Corrupt interior record**: a non-tail line that fails to parse or
+//!   re-apply means the history itself is damaged. The accountant refuses
+//!   to guess at spent budget and fails loading with
+//!   [`ServiceError::WalCorrupt`].
+//!
+//! If a WAL append fails *after* the in-memory debit, the debit is kept
+//! and the release is refused: budget is burned without output, which
+//! wastes utility but can never overspend ε.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::error::ServiceError;
+use crate::protocol::{parse_line, privacy_from_value, privacy_to_value, render_line};
+use dp_mech::{BudgetLedger, PrivacyLevel};
+use serde::Value;
+
+/// A point-in-time snapshot of one tenant's budget position.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetStatus {
+    /// The tenant's total allowance.
+    pub total: PrivacyLevel,
+    /// Cumulative ε granted so far.
+    pub spent_epsilon: f64,
+    /// Cumulative δ granted so far.
+    pub spent_delta: f64,
+    /// ε still available.
+    pub remaining_epsilon: f64,
+    /// δ still available.
+    pub remaining_delta: f64,
+    /// Number of granted charges (a batch of k seeds is one charge).
+    pub charges: usize,
+}
+
+struct AccountantState {
+    tenants: HashMap<String, BudgetLedger>,
+    wal: Option<File>,
+}
+
+/// Thread-safe per-tenant budget accountant (see the module docs).
+///
+/// All public methods take `&self`; a single internal mutex makes every
+/// check-and-debit one critical section, which is exactly the concurrency
+/// contract [`BudgetLedger`] requires.
+pub struct Accountant {
+    state: Mutex<AccountantState>,
+}
+
+fn open_record(tenant: &str, budget: PrivacyLevel) -> Value {
+    Value::Object(vec![
+        ("op".into(), Value::String("open".into())),
+        ("tenant".into(), Value::String(tenant.into())),
+        ("budget".into(), privacy_to_value(budget)),
+    ])
+}
+
+fn spend_record(tenant: &str, charge: PrivacyLevel) -> Value {
+    Value::Object(vec![
+        ("op".into(), Value::String("spend".into())),
+        ("tenant".into(), Value::String(tenant.into())),
+        ("charge".into(), privacy_to_value(charge)),
+    ])
+}
+
+fn apply_record(tenants: &mut HashMap<String, BudgetLedger>, record: &Value) -> Result<(), String> {
+    let tenant = record
+        .get_field("tenant")
+        .and_then(Value::as_str)
+        .ok_or("missing tenant")?
+        .to_string();
+    match record.get_field("op").and_then(Value::as_str) {
+        Some("open") => {
+            let budget = privacy_from_value(record.get_field("budget").ok_or("missing budget")?)
+                .map_err(|e| e.to_string())?;
+            match tenants.get(&tenant) {
+                None => {
+                    let ledger = BudgetLedger::new(budget).map_err(|e| e.to_string())?;
+                    tenants.insert(tenant, ledger);
+                    Ok(())
+                }
+                Some(existing) if existing.total() == budget => Ok(()),
+                Some(_) => Err(format!(
+                    "tenant {tenant:?} reopened with a different budget"
+                )),
+            }
+        }
+        Some("spend") => {
+            let charge = privacy_from_value(record.get_field("charge").ok_or("missing charge")?)
+                .map_err(|e| e.to_string())?;
+            tenants
+                .get_mut(&tenant)
+                .ok_or_else(|| format!("spend for unopened tenant {tenant:?}"))?
+                .try_spend(charge)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown ledger op {other:?}")),
+    }
+}
+
+impl Accountant {
+    /// An accountant with no persistence (budgets reset with the process).
+    pub fn in_memory() -> Accountant {
+        Accountant {
+            state: Mutex::new(AccountantState {
+                tenants: HashMap::new(),
+                wal: None,
+            }),
+        }
+    }
+
+    /// Loads (or creates) the write-ahead ledger at `path`, replaying any
+    /// persisted history so spent budget survives restarts. See the module
+    /// docs for the torn-tail / corrupt-record semantics.
+    pub fn with_wal(path: &Path) -> Result<Accountant, ServiceError> {
+        let mut text = String::new();
+        if path.exists() {
+            File::open(path)?.read_to_string(&mut text)?;
+        }
+        // Everything up to the last newline is committed history; a
+        // trailing fragment is a torn append from a crash that happened
+        // before the release was acknowledged.
+        let committed = match text.rfind('\n') {
+            Some(pos) => &text[..=pos],
+            None => "",
+        };
+        let mut tenants = HashMap::new();
+        for (idx, line) in committed.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = parse_line(line)
+                .map_err(|e| ServiceError::WalCorrupt(format!("record {}: {e}", idx + 1)))?;
+            apply_record(&mut tenants, &record)
+                .map_err(|e| ServiceError::WalCorrupt(format!("record {}: {e}", idx + 1)))?;
+        }
+        let wal = OpenOptions::new().create(true).append(true).open(path)?;
+        if text.len() > committed.len() {
+            wal.set_len(committed.len() as u64)?;
+        }
+        Ok(Accountant {
+            state: Mutex::new(AccountantState {
+                tenants,
+                wal: Some(wal),
+            }),
+        })
+    }
+
+    fn append(wal: &mut Option<File>, record: &Value) -> Result<(), ServiceError> {
+        if let Some(file) = wal {
+            let line = render_line(record);
+            writeln!(file, "{line}")?;
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Opens a tenant with the given total budget. Idempotent for an
+    /// identical budget; a different budget is
+    /// [`ServiceError::TenantBudgetMismatch`] — never a reset.
+    pub fn open_tenant(&self, tenant: &str, budget: PrivacyLevel) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().expect("accountant mutex poisoned");
+        match state.tenants.get(tenant) {
+            Some(existing) if existing.total() == budget => return Ok(()),
+            Some(_) => return Err(ServiceError::TenantBudgetMismatch(tenant.into())),
+            None => {}
+        }
+        let ledger = BudgetLedger::new(budget)?;
+        // Persist before the tenant becomes visible: if the append fails
+        // the open is refused and nothing changed.
+        Self::append(&mut state.wal, &open_record(tenant, budget))?;
+        state.tenants.insert(tenant.into(), ledger);
+        Ok(())
+    }
+
+    /// Atomically checks and debits `charge` from the tenant's ledger,
+    /// persisting the spend record before returning. Callers draw noise
+    /// only after this returns `Ok`.
+    pub fn try_debit(&self, tenant: &str, charge: PrivacyLevel) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().expect("accountant mutex poisoned");
+        let ledger = state
+            .tenants
+            .get_mut(tenant)
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.into()))?;
+        ledger.try_spend(charge)?;
+        // On append failure the in-memory debit is deliberately kept: the
+        // caller refuses the release, so burned-but-unreleased budget is
+        // the safe direction (see the module docs).
+        Self::append(&mut state.wal, &spend_record(tenant, charge))
+    }
+
+    /// The tenant's current budget position.
+    pub fn status(&self, tenant: &str) -> Result<BudgetStatus, ServiceError> {
+        let state = self.state.lock().expect("accountant mutex poisoned");
+        let ledger = state
+            .tenants
+            .get(tenant)
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.into()))?;
+        let spent = ledger.spent();
+        Ok(BudgetStatus {
+            total: ledger.total(),
+            spent_epsilon: spent.epsilon(),
+            spent_delta: spent.delta(),
+            remaining_epsilon: ledger.remaining_epsilon(),
+            remaining_delta: ledger.remaining_delta(),
+            charges: ledger.num_charges(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dp-service-acct-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ledger.jsonl")
+    }
+
+    const EPS1: PrivacyLevel = PrivacyLevel::Pure { epsilon: 1.0 };
+    const HALF: PrivacyLevel = PrivacyLevel::Pure { epsilon: 0.5 };
+
+    #[test]
+    fn open_is_idempotent_but_never_a_reset() {
+        let acct = Accountant::in_memory();
+        acct.open_tenant("t", EPS1).unwrap();
+        acct.try_debit("t", HALF).unwrap();
+        acct.open_tenant("t", EPS1).unwrap();
+        // Re-opening must not have reset the spend.
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+        assert!(matches!(
+            acct.open_tenant("t", HALF),
+            Err(ServiceError::TenantBudgetMismatch(_))
+        ));
+        assert!(matches!(
+            acct.try_debit("ghost", HALF),
+            Err(ServiceError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn exhaustion_is_typed_and_permanent() {
+        let acct = Accountant::in_memory();
+        acct.open_tenant("t", EPS1).unwrap();
+        acct.try_debit("t", HALF).unwrap();
+        acct.try_debit("t", HALF).unwrap();
+        for _ in 0..2 {
+            let err = acct.try_debit("t", HALF).unwrap_err();
+            let ServiceError::BudgetExhausted {
+                remaining_epsilon, ..
+            } = err
+            else {
+                panic!("expected typed exhaustion, got {err:?}");
+            };
+            assert_eq!(remaining_epsilon, 0.0);
+        }
+    }
+
+    #[test]
+    fn wal_survives_restart_and_refuses_replay() {
+        let path = tmp("restart");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = Accountant::with_wal(&path).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+            acct.try_debit("t", HALF).unwrap();
+            acct.try_debit("t", HALF).unwrap();
+        }
+        let acct = Accountant::with_wal(&path).unwrap();
+        let status = acct.status("t").unwrap();
+        assert_eq!(status.spent_epsilon, 1.0);
+        assert_eq!(status.charges, 2);
+        assert!(matches!(
+            acct.try_debit("t", HALF),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_is_fatal() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = Accountant::with_wal(&path).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+            acct.try_debit("t", HALF).unwrap();
+        }
+        // Simulate a crash mid-append: a spend record with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"op\": \"spend\", \"tenant\": \"t\"").unwrap();
+        }
+        let acct = Accountant::with_wal(&path).unwrap();
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+        // The torn tail was truncated away on disk, and new appends land
+        // on a clean line.
+        acct.try_debit("t", HALF).unwrap();
+        drop(acct);
+        let reloaded = Accountant::with_wal(&path).unwrap();
+        assert_eq!(reloaded.status("t").unwrap().spent_epsilon, 1.0);
+
+        // A corrupt *interior* record (complete line) must refuse to load.
+        let bad = tmp("corrupt");
+        std::fs::write(&bad, "{\"op\": \"open\", \"tenant\": \"t\"}\n").unwrap();
+        assert!(matches!(
+            Accountant::with_wal(&bad),
+            Err(ServiceError::WalCorrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! A small blocking client for the JSON-lines protocol.
+//!
+//! One [`Client`] holds one connection; every call sends one request line
+//! and blocks for its one response line. Error responses come back as the
+//! typed [`ServiceError`] they encode — `budget_exhausted` reconstructs
+//! the full [`ServiceError::BudgetExhausted`] variant, other codes arrive
+//! as [`ServiceError::Remote`].
+
+use std::net::TcpStream;
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    f64_field, field, parse_line, render_line, response_to_result, string_field, Request,
+};
+use crate::transport::{Connection, TcpConnection};
+use dp_core::api::WorkloadSpec;
+use dp_core::{Budgeting, Plan};
+use dp_mech::{Neighboring, PrivacyLevel};
+use serde::{Serialize as _, Value};
+
+/// A tenant's remote budget position, as reported by `budget_status`.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteBudgetStatus {
+    /// Total ε allowance.
+    pub total_epsilon: f64,
+    /// Total δ allowance.
+    pub total_delta: f64,
+    /// Cumulative ε granted.
+    pub spent_epsilon: f64,
+    /// Cumulative δ granted.
+    pub spent_delta: f64,
+    /// ε still available.
+    pub remaining_epsilon: f64,
+    /// δ still available.
+    pub remaining_delta: f64,
+    /// Number of granted charges.
+    pub charges: usize,
+}
+
+/// A blocking connection to a running service.
+pub struct Client {
+    conn: TcpConnection,
+}
+
+impl Client {
+    /// Dials `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            conn: TcpConnection::from_stream(stream)?,
+        })
+    }
+
+    /// Sends one raw request value and returns the raw success response.
+    pub fn call_value(&mut self, request: &Value) -> Result<Value, ServiceError> {
+        self.conn.send(&render_line(request))?;
+        let line = self.conn.receive()?.ok_or_else(|| {
+            ServiceError::Protocol("server closed the connection mid-call".into())
+        })?;
+        response_to_result(parse_line(&line)?)
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Value, ServiceError> {
+        self.call_value(&request.to_value())
+    }
+
+    /// Liveness check; returns the server's loaded dataset names.
+    pub fn ping(&mut self) -> Result<Vec<String>, ServiceError> {
+        let response = self.call(&Request::Ping)?;
+        Ok(response
+            .get_field("tables")
+            .and_then(Value::as_array)
+            .map(|tables| {
+                tables
+                    .iter()
+                    .filter_map(|t| t.as_str().map(str::to_owned))
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Opens a tenant with the given total budget.
+    pub fn open_tenant(&mut self, tenant: &str, budget: PrivacyLevel) -> Result<(), ServiceError> {
+        self.call(&Request::OpenTenant {
+            tenant: tenant.into(),
+            budget,
+        })
+        .map(|_| ())
+    }
+
+    /// Registers a locally compiled plan, returning its plan id.
+    pub fn register_plan(&mut self, tenant: &str, plan: &Plan) -> Result<String, ServiceError> {
+        let request = Value::Object(vec![
+            ("op".into(), Value::String("register_plan".into())),
+            ("tenant".into(), Value::String(tenant.into())),
+            ("plan".into(), plan.serialize_value()),
+        ]);
+        let response = self.call_value(&request)?;
+        string_field(&response, "plan_id")
+    }
+
+    /// Asks the server to compile (through its shared cache) and register
+    /// a plan, returning its plan id.
+    pub fn register_compile(
+        &mut self,
+        tenant: &str,
+        spec: WorkloadSpec,
+        budgeting: Budgeting,
+        privacy: PrivacyLevel,
+        neighboring: Neighboring,
+    ) -> Result<String, ServiceError> {
+        let response = self.call(&Request::RegisterCompile {
+            tenant: tenant.into(),
+            spec,
+            budgeting,
+            privacy,
+            neighboring,
+        })?;
+        string_field(&response, "plan_id")
+    }
+
+    /// Binds a registered plan to a loaded table, returning the session id.
+    pub fn bind(
+        &mut self,
+        tenant: &str,
+        plan_id: &str,
+        table: &str,
+    ) -> Result<String, ServiceError> {
+        let response = self.call(&Request::Bind {
+            tenant: tenant.into(),
+            plan_id: plan_id.into(),
+            table: table.into(),
+        })?;
+        string_field(&response, "session")
+    }
+
+    /// Draws one release per seed, returning the raw release objects
+    /// (render with [`crate::protocol::render_line`] for byte-stable
+    /// comparison or storage).
+    pub fn release(
+        &mut self,
+        tenant: &str,
+        session: &str,
+        seeds: &[u64],
+    ) -> Result<Vec<Value>, ServiceError> {
+        let response = self.call(&Request::Release {
+            tenant: tenant.into(),
+            session: session.into(),
+            seeds: seeds.to_vec(),
+        })?;
+        Ok(field(&response, "releases")?
+            .as_array()
+            .ok_or_else(|| ServiceError::Protocol("`releases` must be an array".into()))?
+            .to_vec())
+    }
+
+    /// The tenant's current budget position.
+    pub fn budget_status(&mut self, tenant: &str) -> Result<RemoteBudgetStatus, ServiceError> {
+        let response = self.call(&Request::BudgetStatus {
+            tenant: tenant.into(),
+        })?;
+        let total = field(&response, "total")?;
+        Ok(RemoteBudgetStatus {
+            total_epsilon: f64_field(total, "epsilon")?,
+            total_delta: total
+                .get_field("delta")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            spent_epsilon: f64_field(&response, "spent_epsilon")?,
+            spent_delta: f64_field(&response, "spent_delta")?,
+            remaining_epsilon: f64_field(&response, "remaining_epsilon")?,
+            remaining_delta: f64_field(&response, "remaining_delta")?,
+            charges: f64_field(&response, "charges")? as usize,
+        })
+    }
+
+    /// Asks the server to stop accepting connections and exit.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+}

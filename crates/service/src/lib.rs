@@ -1,0 +1,79 @@
+//! # dp-service: a privacy-budget-metered release service
+//!
+//! A multi-tenant front-end for the datacube-dp release pipeline. The
+//! service keeps the paper's two-phase split intact across a process
+//! boundary:
+//!
+//! 1. **Plan registry** ([`registry::Registry`]) — tenants register
+//!    data-independent plans, either as pre-compiled documents or as
+//!    inputs the server compiles through one shared
+//!    [`dp_core::api::PlanCache`]. Plans are interned by fingerprint, so
+//!    K tenants asking for the same workload shape cost exactly one
+//!    strategy compile and one Step-2 budget solve.
+//! 2. **Session pool** ([`pool::SessionPool`]) — a registered plan bound
+//!    to a loaded table/histogram, observations `z = S·x` computed once,
+//!    serving seed-deterministic releases.
+//! 3. **Budget accountant** ([`accountant::Accountant`]) — per-tenant
+//!    cumulative (ε, δ) metering via sequential composition
+//!    ([`dp_mech::compose_n`]). Charges are debited atomically **before**
+//!    noise is drawn; exhaustion is the typed
+//!    [`error::ServiceError::BudgetExhausted`] carrying the remaining
+//!    allowance; an optional JSON write-ahead ledger makes spent budget
+//!    survive restarts.
+//! 4. **Transport + server** ([`transport`], [`server`]) — a blocking
+//!    JSON-lines TCP protocol on OS threads, behind a small
+//!    [`transport::Transport`] trait. This workspace links no async
+//!    runtime (everything is vendored and dependency-free), so threads
+//!    are the concurrency model; the trait is the seam where an async or
+//!    TLS front-end would slot in later.
+//!
+//! ## Example (in-process, no sockets)
+//!
+//! ```
+//! use dp_core::{PlanBuilder, Schema, StrategyKind, Workload, ContingencyTable};
+//! use dp_mech::PrivacyLevel;
+//! use dp_service::{Accountant, DpService};
+//!
+//! let service = DpService::new(Accountant::in_memory());
+//! service.data().insert_table("toy", ContingencyTable::from_indices(3, &[0, 1, 7]));
+//!
+//! service.open_tenant("alice", PrivacyLevel::Pure { epsilon: 1.0 }).unwrap();
+//! let schema = Schema::binary(3).unwrap();
+//! let workload = Workload::all_k_way(&schema, 1).unwrap();
+//! let plan_id = service
+//!     .register_compiled(
+//!         "alice",
+//!         PlanBuilder::marginals(workload, StrategyKind::Fourier)
+//!             .privacy(PrivacyLevel::Pure { epsilon: 0.5 }),
+//!     )
+//!     .unwrap();
+//! let session = service.bind("alice", &plan_id, "toy").unwrap();
+//! let releases = service.release("alice", &session, &[42]).unwrap();
+//! assert_eq!(releases.len(), 1);
+//! assert_eq!(service.budget_status("alice").unwrap().spent_epsilon, 0.5);
+//! ```
+//!
+//! Over TCP, the same flow runs through [`server::Server`] +
+//! [`client::Client`]; releases are **byte-identical** per seed to the
+//! in-process path, because the wire format round-trips `f64` exactly.
+
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod client;
+pub mod error;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+pub mod transport;
+
+pub use accountant::{Accountant, BudgetStatus};
+pub use client::{Client, RemoteBudgetStatus};
+pub use error::ServiceError;
+pub use pool::{DataStore, Dataset, SessionPool};
+pub use registry::Registry;
+pub use server::Server;
+pub use service::DpService;
+pub use transport::{Connection, TcpTransport, Transport};

@@ -1,0 +1,202 @@
+//! Loaded datasets and the session pool.
+//!
+//! A [`DataStore`] holds the named tables/histograms the operator loaded
+//! into the server; a [`SessionPool`] holds [`OwnedSession`]s — a
+//! registered plan bound to one dataset, with the observations `z = S·x`
+//! computed exactly once at bind time. Session ids are deterministic
+//! (`"<plan_id>/<table>"`), so binding is idempotent and the pool never
+//! grows with repeated binds. Sessions carry no tenant state (the
+//! observations depend only on plan and data; all per-tenant state lives
+//! in the accountant/registry), so tenants sharing a plan and table also
+//! share the bound session.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::error::ServiceError;
+use dp_core::api::OwnedSession;
+use dp_core::{ContingencyTable, Plan};
+
+/// One loadable dataset: a full contingency table or a raw histogram.
+pub enum Dataset {
+    /// A contingency table over binary attributes.
+    Table(ContingencyTable),
+    /// A raw histogram (cell counts in index order).
+    Histogram(Vec<f64>),
+}
+
+/// Named datasets available for binding.
+pub struct DataStore {
+    data: Mutex<HashMap<String, Arc<Dataset>>>,
+}
+
+impl DataStore {
+    /// An empty store.
+    pub fn new() -> DataStore {
+        DataStore {
+            data: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Loads (or replaces) a contingency table under `name`.
+    pub fn insert_table(&self, name: &str, table: ContingencyTable) {
+        self.data
+            .lock()
+            .expect("data store mutex poisoned")
+            .insert(name.into(), Arc::new(Dataset::Table(table)));
+    }
+
+    /// Loads (or replaces) a histogram under `name`.
+    pub fn insert_histogram(&self, name: &str, histogram: Vec<f64>) {
+        self.data
+            .lock()
+            .expect("data store mutex poisoned")
+            .insert(name.into(), Arc::new(Dataset::Histogram(histogram)));
+    }
+
+    /// Fetches a dataset by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, ServiceError> {
+        self.data
+            .lock()
+            .expect("data store mutex poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownTable(name.into()))
+    }
+
+    /// The sorted names of all loaded datasets.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .data
+            .lock()
+            .expect("data store mutex poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for DataStore {
+    fn default() -> DataStore {
+        DataStore::new()
+    }
+}
+
+/// Bound sessions, keyed by deterministic session id.
+pub struct SessionPool {
+    sessions: Mutex<HashMap<String, Arc<OwnedSession>>>,
+}
+
+/// The deterministic id of a plan bound to a named dataset.
+pub fn session_id(plan_id: &str, table: &str) -> String {
+    format!("{plan_id}/{table}")
+}
+
+impl SessionPool {
+    /// An empty pool.
+    pub fn new() -> SessionPool {
+        SessionPool {
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Binds `plan` to `dataset`, returning the session id. Idempotent:
+    /// re-binding the same (plan, table) pair reuses the stored session
+    /// and recomputes nothing.
+    pub fn bind(
+        &self,
+        plan_id: &str,
+        table: &str,
+        plan: Arc<Plan>,
+        dataset: &Dataset,
+    ) -> Result<String, ServiceError> {
+        let id = session_id(plan_id, table);
+        let mut sessions = self.sessions.lock().expect("session pool mutex poisoned");
+        if !sessions.contains_key(&id) {
+            let session = match dataset {
+                Dataset::Table(t) => OwnedSession::bind(plan, t)?,
+                Dataset::Histogram(h) => OwnedSession::bind_histogram(plan, h)?,
+            };
+            sessions.insert(id.clone(), Arc::new(session));
+        }
+        Ok(id)
+    }
+
+    /// Fetches a bound session.
+    pub fn get(&self, id: &str) -> Result<Arc<OwnedSession>, ServiceError> {
+        self.sessions
+            .lock()
+            .expect("session pool mutex poisoned")
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownSession(id.into()))
+    }
+
+    /// Number of bound sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session pool mutex poisoned")
+            .len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SessionPool {
+    fn default() -> SessionPool {
+        SessionPool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::{PlanBuilder, Schema, StrategyKind, Workload};
+
+    #[test]
+    fn binding_is_idempotent_and_typed_on_misses() {
+        let schema = Schema::binary(3).unwrap();
+        let workload = Workload::all_k_way(&schema, 1).unwrap();
+        let plan = Arc::new(
+            PlanBuilder::marginals(workload, StrategyKind::Fourier)
+                .compile()
+                .unwrap(),
+        );
+
+        let store = DataStore::new();
+        store.insert_table("toy", ContingencyTable::from_indices(3, &[0, 1, 7, 7]));
+        assert!(matches!(
+            store.get("missing"),
+            Err(ServiceError::UnknownTable(_))
+        ));
+
+        let pool = SessionPool::new();
+        let dataset = store.get("toy").unwrap();
+        let id = pool
+            .bind("abc", "toy", Arc::clone(&plan), &dataset)
+            .unwrap();
+        assert_eq!(id, "abc/toy");
+        let again = pool.bind("abc", "toy", plan, &dataset).unwrap();
+        assert_eq!(id, again);
+        assert_eq!(pool.len(), 1);
+
+        let session = pool.get(&id).unwrap();
+        let a = session.release(7).unwrap();
+        let b = session.release(7).unwrap();
+        assert_eq!(
+            crate::protocol::render_line(&crate::protocol::session_release_to_value(&a)),
+            crate::protocol::render_line(&crate::protocol::session_release_to_value(&b)),
+            "releases are seed-deterministic"
+        );
+        assert!(matches!(
+            pool.get("nope"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+}

@@ -1,0 +1,539 @@
+//! The JSON-lines wire protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op": "open_tenant",   "tenant": "t1", "budget": {"epsilon": 1.0}}
+//! {"op": "register_plan", "tenant": "t1", "plan": { …plan document… }}
+//! {"op": "register_plan", "tenant": "t1", "compile": {"spec": {…}, "privacy": {…}}}
+//! {"op": "bind",          "tenant": "t1", "plan_id": "…", "table": "nltcs"}
+//! {"op": "release",       "tenant": "t1", "session": "…", "seeds": [1, 2, 3]}
+//! {"op": "budget_status", "tenant": "t1"}
+//! {"op": "ping"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `register_plan` accepts either a full serialized [`Plan`] document (the
+//! output of `datacube-dp plan`; budgets already solved, no server-side
+//! solve) or a `compile` object — the data-independent plan *inputs* (spec,
+//! budgeting, privacy, neighbouring) — which the server compiles through
+//! its shared [`dp_core::api::PlanCache`], so K tenants registering the
+//! same shape cost exactly one strategy compile and one budget solve.
+//!
+//! ## Responses
+//!
+//! Success: `{"ok": true, …op-specific fields…}`. Failure:
+//! `{"ok": false, "code": "<stable code>", "error": "<message>"}`, with
+//! `requested_epsilon` / `requested_delta` / `remaining_epsilon` /
+//! `remaining_delta` attached when the code is `budget_exhausted`.
+//!
+//! Seeds and fingerprints follow the workspace `u64` wire rule
+//! ([`dp_core::serde_impls::u64_value`]): exact JSON numbers below 2^53,
+//! decimal strings above — releases are deterministic in their seed, so the
+//! seed must never be rounded through an `f64`.
+
+use crate::error::ServiceError;
+use dp_core::api::{Answers, SessionRelease, WorkloadSpec};
+use dp_core::serde_impls::{u64_from, u64_value};
+use dp_core::Budgeting;
+use dp_core::Plan;
+use dp_mech::{Neighboring, PrivacyLevel};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A thin owned wrapper so arbitrary JSON values can pass through the
+/// vendored `serde_json`'s typed entry points.
+pub struct RawValue(pub Value);
+
+impl Serialize for RawValue {
+    fn serialize_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+impl Deserialize for RawValue {
+    fn deserialize_value(value: &Value) -> Result<Self, DeError> {
+        Ok(RawValue(value.clone()))
+    }
+}
+
+/// Parses one wire line into a JSON value.
+pub fn parse_line(line: &str) -> Result<Value, ServiceError> {
+    serde_json::from_str::<RawValue>(line)
+        .map(|r| r.0)
+        .map_err(|e| ServiceError::Protocol(e.to_string()))
+}
+
+/// Renders a JSON value as one compact wire line (no interior newlines).
+pub fn render_line(value: &Value) -> String {
+    serde_json::to_string(&RawValue(value.clone())).expect("value rendering is infallible")
+}
+
+pub(crate) fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, ServiceError> {
+    value
+        .get_field(name)
+        .ok_or_else(|| ServiceError::Protocol(format!("missing field `{name}`")))
+}
+
+pub(crate) fn string_field(value: &Value, name: &str) -> Result<String, ServiceError> {
+    field(value, name)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| ServiceError::Protocol(format!("field `{name}` must be a string")))
+}
+
+pub(crate) fn f64_field(value: &Value, name: &str) -> Result<f64, ServiceError> {
+    field(value, name)?
+        .as_f64()
+        .ok_or_else(|| ServiceError::Protocol(format!("field `{name}` must be a number")))
+}
+
+/// Wire encoding of a privacy level: `{"epsilon": ε}` or
+/// `{"epsilon": ε, "delta": δ}` — the same shape plan documents use.
+pub fn privacy_to_value(level: PrivacyLevel) -> Value {
+    match level {
+        PrivacyLevel::Pure { epsilon } => {
+            Value::Object(vec![("epsilon".into(), Value::Number(epsilon))])
+        }
+        PrivacyLevel::Approx { epsilon, delta } => Value::Object(vec![
+            ("epsilon".into(), Value::Number(epsilon)),
+            ("delta".into(), Value::Number(delta)),
+        ]),
+    }
+}
+
+/// Inverse of [`privacy_to_value`].
+pub fn privacy_from_value(value: &Value) -> Result<PrivacyLevel, ServiceError> {
+    let epsilon = f64_field(value, "epsilon")?;
+    Ok(match value.get_field("delta") {
+        Some(d) => PrivacyLevel::Approx {
+            epsilon,
+            delta: d
+                .as_f64()
+                .ok_or_else(|| ServiceError::Protocol("field `delta` must be a number".into()))?,
+        },
+        None => PrivacyLevel::Pure { epsilon },
+    })
+}
+
+/// One parsed request.
+pub enum Request {
+    /// Creates the tenant's budget ledger (idempotent for an identical
+    /// budget; a different budget is an error, never a reset).
+    OpenTenant {
+        /// Tenant name.
+        tenant: String,
+        /// Total (ε, δ) allowance for the tenant's whole query history.
+        budget: PrivacyLevel,
+    },
+    /// Registers a client-compiled plan document for the tenant.
+    RegisterPlan {
+        /// Tenant name.
+        tenant: String,
+        /// The deserialized (and therefore revalidated) plan.
+        plan: Box<Plan>,
+    },
+    /// Registers a plan compiled server-side through the shared cache.
+    RegisterCompile {
+        /// Tenant name.
+        tenant: String,
+        /// The workload spec to compile.
+        spec: WorkloadSpec,
+        /// Budget-allocation mode.
+        budgeting: Budgeting,
+        /// Privacy guarantee to solve for.
+        privacy: PrivacyLevel,
+        /// Neighbouring-database convention.
+        neighboring: Neighboring,
+    },
+    /// Binds a registered plan to a loaded table/histogram.
+    Bind {
+        /// Tenant name.
+        tenant: String,
+        /// Plan id returned by `register_plan`.
+        plan_id: String,
+        /// Name of a table or histogram loaded into the server.
+        table: String,
+    },
+    /// Draws one deterministic release per seed, debiting the tenant's
+    /// ledger for the whole batch *before* any noise is drawn.
+    Release {
+        /// Tenant name.
+        tenant: String,
+        /// Session id returned by `bind`.
+        session: String,
+        /// Release seeds.
+        seeds: Vec<u64>,
+    },
+    /// Reports the tenant's total/spent/remaining budget.
+    BudgetStatus {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// Liveness check.
+    Ping,
+    /// Asks the server to stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+fn budgeting_from(value: Option<&Value>) -> Result<Budgeting, ServiceError> {
+    match value.and_then(Value::as_str) {
+        None => Ok(Budgeting::Optimal),
+        Some("optimal") => Ok(Budgeting::Optimal),
+        Some("uniform") => Ok(Budgeting::Uniform),
+        Some(other) => Err(ServiceError::Protocol(format!(
+            "unknown budgeting {other:?}"
+        ))),
+    }
+}
+
+fn neighboring_from(value: Option<&Value>) -> Result<Neighboring, ServiceError> {
+    match value.and_then(Value::as_str) {
+        None => Ok(Neighboring::AddRemove),
+        Some("add_remove") => Ok(Neighboring::AddRemove),
+        Some("replace") => Ok(Neighboring::Replace),
+        Some(other) => Err(ServiceError::Protocol(format!(
+            "unknown neighboring {other:?}"
+        ))),
+    }
+}
+
+impl Request {
+    /// Parses a request from its wire value.
+    pub fn from_value(value: &Value) -> Result<Request, ServiceError> {
+        let op = string_field(value, "op")?;
+        match op.as_str() {
+            "open_tenant" => Ok(Request::OpenTenant {
+                tenant: string_field(value, "tenant")?,
+                budget: privacy_from_value(field(value, "budget")?)?,
+            }),
+            "register_plan" => {
+                let tenant = string_field(value, "tenant")?;
+                if let Some(doc) = value.get_field("plan") {
+                    let plan = Plan::deserialize_value(doc)
+                        .map_err(|e| ServiceError::Protocol(format!("invalid plan: {e}")))?;
+                    Ok(Request::RegisterPlan {
+                        tenant,
+                        plan: Box::new(plan),
+                    })
+                } else if let Some(compile) = value.get_field("compile") {
+                    let spec = WorkloadSpec::deserialize_value(field(compile, "spec")?)
+                        .map_err(|e| ServiceError::Protocol(format!("invalid spec: {e}")))?;
+                    Ok(Request::RegisterCompile {
+                        tenant,
+                        spec,
+                        budgeting: budgeting_from(compile.get_field("budgeting"))?,
+                        privacy: privacy_from_value(field(compile, "privacy")?)?,
+                        neighboring: neighboring_from(compile.get_field("neighboring"))?,
+                    })
+                } else {
+                    Err(ServiceError::Protocol(
+                        "register_plan needs a `plan` document or a `compile` object".into(),
+                    ))
+                }
+            }
+            "bind" => Ok(Request::Bind {
+                tenant: string_field(value, "tenant")?,
+                plan_id: string_field(value, "plan_id")?,
+                table: string_field(value, "table")?,
+            }),
+            "release" => {
+                let seeds = field(value, "seeds")?
+                    .as_array()
+                    .ok_or_else(|| ServiceError::Protocol("`seeds` must be an array".into()))?
+                    .iter()
+                    .map(|s| u64_from(s, "seed"))
+                    .collect::<Result<Vec<u64>, _>>()
+                    .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+                Ok(Request::Release {
+                    tenant: string_field(value, "tenant")?,
+                    session: string_field(value, "session")?,
+                    seeds,
+                })
+            }
+            "budget_status" => Ok(Request::BudgetStatus {
+                tenant: string_field(value, "tenant")?,
+            }),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServiceError::Protocol(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Renders the request as its wire value (the client side).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::OpenTenant { tenant, budget } => Value::Object(vec![
+                ("op".into(), Value::String("open_tenant".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+                ("budget".into(), privacy_to_value(*budget)),
+            ]),
+            Request::RegisterPlan { tenant, plan } => Value::Object(vec![
+                ("op".into(), Value::String("register_plan".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+                ("plan".into(), plan.serialize_value()),
+            ]),
+            Request::RegisterCompile {
+                tenant,
+                spec,
+                budgeting,
+                privacy,
+                neighboring,
+            } => Value::Object(vec![
+                ("op".into(), Value::String("register_plan".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+                (
+                    "compile".into(),
+                    Value::Object(vec![
+                        ("spec".into(), spec.serialize_value()),
+                        (
+                            "budgeting".into(),
+                            Value::String(
+                                match budgeting {
+                                    Budgeting::Uniform => "uniform",
+                                    Budgeting::Optimal => "optimal",
+                                }
+                                .into(),
+                            ),
+                        ),
+                        ("privacy".into(), privacy_to_value(*privacy)),
+                        (
+                            "neighboring".into(),
+                            Value::String(
+                                match neighboring {
+                                    Neighboring::AddRemove => "add_remove",
+                                    Neighboring::Replace => "replace",
+                                }
+                                .into(),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]),
+            Request::Bind {
+                tenant,
+                plan_id,
+                table,
+            } => Value::Object(vec![
+                ("op".into(), Value::String("bind".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+                ("plan_id".into(), Value::String(plan_id.clone())),
+                ("table".into(), Value::String(table.clone())),
+            ]),
+            Request::Release {
+                tenant,
+                session,
+                seeds,
+            } => Value::Object(vec![
+                ("op".into(), Value::String("release".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+                ("session".into(), Value::String(session.clone())),
+                (
+                    "seeds".into(),
+                    Value::Array(seeds.iter().map(|&s| u64_value(s)).collect()),
+                ),
+            ]),
+            Request::BudgetStatus { tenant } => Value::Object(vec![
+                ("op".into(), Value::String("budget_status".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+            ]),
+            Request::Ping => Value::Object(vec![("op".into(), Value::String("ping".into()))]),
+            Request::Shutdown => {
+                Value::Object(vec![("op".into(), Value::String("shutdown".into()))])
+            }
+        }
+    }
+}
+
+/// Builds a success response with op-specific fields appended after
+/// `"ok": true`.
+pub fn ok_response(fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("ok".into(), Value::Bool(true))];
+    all.extend(fields);
+    Value::Object(all)
+}
+
+/// Builds the failure response for a service error: stable code, message,
+/// and the budget-shortfall details for `budget_exhausted`.
+pub fn error_response(error: &ServiceError) -> Value {
+    let mut fields = vec![
+        ("ok".into(), Value::Bool(false)),
+        ("code".into(), Value::String(error.code().to_string())),
+        ("error".into(), Value::String(error.to_string())),
+    ];
+    if let ServiceError::BudgetExhausted {
+        requested_epsilon,
+        requested_delta,
+        remaining_epsilon,
+        remaining_delta,
+    } = error
+    {
+        fields.extend([
+            (
+                "requested_epsilon".into(),
+                Value::Number(*requested_epsilon),
+            ),
+            ("requested_delta".into(), Value::Number(*requested_delta)),
+            (
+                "remaining_epsilon".into(),
+                Value::Number(*remaining_epsilon),
+            ),
+            ("remaining_delta".into(), Value::Number(*remaining_delta)),
+        ]);
+    }
+    Value::Object(fields)
+}
+
+/// Splits a response value into `Ok(value)` / the typed error it encodes.
+pub fn response_to_result(value: Value) -> Result<Value, ServiceError> {
+    match value.get_field("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(value),
+        Some(false) => {
+            let code = value
+                .get_field("code")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let message = value
+                .get_field("error")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            if code == "budget_exhausted" {
+                let get = |name: &str| value.get_field(name).and_then(Value::as_f64);
+                if let (Some(re), Some(rd), Some(me), Some(md)) = (
+                    get("requested_epsilon"),
+                    get("requested_delta"),
+                    get("remaining_epsilon"),
+                    get("remaining_delta"),
+                ) {
+                    return Err(ServiceError::BudgetExhausted {
+                        requested_epsilon: re,
+                        requested_delta: rd,
+                        remaining_epsilon: me,
+                        remaining_delta: md,
+                    });
+                }
+            }
+            Err(ServiceError::Remote { code, message })
+        }
+        None => Err(ServiceError::Protocol(
+            "response is missing the `ok` field".into(),
+        )),
+    }
+}
+
+/// Wire encoding of one release: seed, accounting, and the answers
+/// (marginal tables or range counts). The numeric rendering is exact —
+/// `f64` values round-trip bit-for-bit through the workspace JSON shim —
+/// so served releases are byte-comparable to in-process ones.
+pub fn session_release_to_value(release: &SessionRelease) -> Value {
+    let mut fields = vec![
+        ("seed".into(), u64_value(release.seed)),
+        ("label".into(), Value::String(release.label.clone())),
+        (
+            "achieved_epsilon".into(),
+            Value::Number(release.achieved_epsilon),
+        ),
+        (
+            "predicted_variance".into(),
+            Value::Number(release.predicted_variance),
+        ),
+        (
+            "group_budgets".into(),
+            release.group_budgets.serialize_value(),
+        ),
+    ];
+    match &release.answers {
+        Answers::Marginals(tables) => fields.push(("answers".into(), tables.serialize_value())),
+        Answers::Ranges(counts) => fields.push(("ranges".into(), counts.serialize_value())),
+    }
+    Value::Object(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let reqs = [
+            Request::OpenTenant {
+                tenant: "t1".into(),
+                budget: PrivacyLevel::Approx {
+                    epsilon: 1.0,
+                    delta: 1e-6,
+                },
+            },
+            Request::Bind {
+                tenant: "t1".into(),
+                plan_id: "abc".into(),
+                table: "nltcs".into(),
+            },
+            Request::Release {
+                tenant: "t1".into(),
+                session: "abc/nltcs".into(),
+                seeds: vec![1, 2, (1 << 60) + 5],
+            },
+            Request::BudgetStatus {
+                tenant: "t1".into(),
+            },
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in &reqs {
+            let line = render_line(&req.to_value());
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let back = Request::from_value(&parse_line(&line).unwrap()).unwrap();
+            // Spot-check the lossiest field: large seeds survive exactly.
+            if let (Request::Release { seeds, .. }, Request::Release { seeds: b, .. }) =
+                (req, &back)
+            {
+                assert_eq!(seeds, b);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "{",
+            "{\"op\": \"nope\"}",
+            "{\"op\": \"release\", \"tenant\": \"t\", \"session\": \"s\", \"seeds\": 3}",
+            "{\"op\": \"register_plan\", \"tenant\": \"t\"}",
+            "{\"op\": \"open_tenant\", \"tenant\": \"t\", \"budget\": {}}",
+        ] {
+            let res = parse_line(bad).and_then(|v| Request::from_value(&v).map(|_| Value::Null));
+            assert!(
+                matches!(res, Err(ServiceError::Protocol(_))),
+                "{bad} must be a protocol error"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_encode_and_decode_errors() {
+        let ok = ok_response(vec![("plan_id".into(), Value::String("x".into()))]);
+        let v = response_to_result(ok).unwrap();
+        assert_eq!(v.get_field("plan_id").and_then(Value::as_str), Some("x"));
+
+        let err = ServiceError::BudgetExhausted {
+            requested_epsilon: 0.5,
+            requested_delta: 0.0,
+            remaining_epsilon: 0.125,
+            remaining_delta: 0.0,
+        };
+        let back = response_to_result(error_response(&err)).unwrap_err();
+        let ServiceError::BudgetExhausted {
+            remaining_epsilon, ..
+        } = back
+        else {
+            panic!("typed exhaustion must survive the wire, got {back:?}");
+        };
+        assert_eq!(remaining_epsilon, 0.125);
+
+        let other = response_to_result(error_response(&ServiceError::UnknownTenant("t".into())))
+            .unwrap_err();
+        assert!(matches!(other, ServiceError::Remote { ref code, .. } if code == "unknown_tenant"));
+    }
+}

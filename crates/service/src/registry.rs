@@ -1,0 +1,166 @@
+//! The plan registry: interns compiled plans and tracks which tenants may
+//! use them.
+//!
+//! Plans are keyed by their schema/workload fingerprint, so K tenants
+//! registering the same data-independent plan shape share **one** compiled
+//! operator and one Step-2 budget solve — client-shipped plan documents
+//! are interned by fingerprint, and server-side compiles go through a
+//! shared [`PlanCache`]. Registration also records a per-tenant
+//! authorization set; a tenant can only bind plans it registered itself.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use crate::error::ServiceError;
+use dp_core::{Plan, PlanBuilder, PlanCache};
+
+struct RegistryState {
+    plans: HashMap<String, Arc<Plan>>,
+    authorized: HashMap<String, HashSet<String>>,
+}
+
+/// Thread-safe plan registry (see the module docs).
+pub struct Registry {
+    cache: PlanCache,
+    state: Mutex<RegistryState>,
+}
+
+/// The stable id of a plan: its fingerprint in fixed-width hex.
+pub fn plan_id(plan: &Plan) -> String {
+    format!("{:016x}", plan.fingerprint())
+}
+
+impl Registry {
+    /// An empty registry with a fresh plan cache.
+    pub fn new() -> Registry {
+        Registry {
+            cache: PlanCache::new(),
+            state: Mutex::new(RegistryState {
+                plans: HashMap::new(),
+                authorized: HashMap::new(),
+            }),
+        }
+    }
+
+    fn intern(&self, tenant: &str, plan: Arc<Plan>) -> String {
+        let id = plan_id(&plan);
+        let mut state = self.state.lock().expect("registry mutex poisoned");
+        // First registration wins; later copies of the same fingerprint
+        // share the interned operator.
+        state.plans.entry(id.clone()).or_insert(plan);
+        state
+            .authorized
+            .entry(tenant.into())
+            .or_default()
+            .insert(id.clone());
+        id
+    }
+
+    /// Registers a client-compiled plan document for `tenant`, returning
+    /// its plan id. Identical plans (same fingerprint) are interned.
+    pub fn register_plan(&self, tenant: &str, plan: Plan) -> String {
+        self.intern(tenant, Arc::new(plan))
+    }
+
+    /// Compiles (or fetches from the shared cache) the plan described by
+    /// `builder` and registers it for `tenant`. K tenants registering the
+    /// same shape cost exactly one compile + budget solve.
+    pub fn register_compiled(
+        &self,
+        tenant: &str,
+        builder: PlanBuilder,
+    ) -> Result<String, ServiceError> {
+        let plan = self.cache.get_or_compile(builder)?;
+        Ok(self.intern(tenant, plan))
+    }
+
+    /// Looks up a plan the tenant is authorized to use.
+    pub fn lookup(&self, tenant: &str, plan_id: &str) -> Result<Arc<Plan>, ServiceError> {
+        let state = self.state.lock().expect("registry mutex poisoned");
+        let authorized = state
+            .authorized
+            .get(tenant)
+            .is_some_and(|ids| ids.contains(plan_id));
+        if !authorized {
+            return Err(ServiceError::UnknownPlan {
+                tenant: tenant.into(),
+                plan_id: plan_id.into(),
+            });
+        }
+        Ok(Arc::clone(
+            state
+                .plans
+                .get(plan_id)
+                .expect("authorized plan is interned"),
+        ))
+    }
+
+    /// The shared plan cache (exposed for solve-count assertions).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Number of distinct interned plans.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("registry mutex poisoned")
+            .plans
+            .len()
+    }
+
+    /// Whether no plan has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::{PlanBuilder, Schema, StrategyKind, Workload};
+
+    fn builder() -> PlanBuilder {
+        let schema = Schema::binary(3).unwrap();
+        let workload = Workload::all_k_way(&schema, 1).unwrap();
+        PlanBuilder::marginals(workload, StrategyKind::Fourier)
+    }
+
+    #[test]
+    fn tenants_share_one_interned_plan_but_not_authorization() {
+        let registry = Registry::new();
+        let a = registry.register_compiled("alice", builder()).unwrap();
+        let b = registry.register_compiled("bob", builder()).unwrap();
+        assert_eq!(a, b, "same shape must intern to one plan id");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.cache().misses(), 1);
+        assert_eq!(registry.cache().hits(), 1);
+
+        registry.lookup("alice", &a).unwrap();
+        registry.lookup("bob", &a).unwrap();
+        assert!(matches!(
+            registry.lookup("carol", &a),
+            Err(ServiceError::UnknownPlan { .. })
+        ));
+        assert!(matches!(
+            registry.lookup("alice", "deadbeefdeadbeef"),
+            Err(ServiceError::UnknownPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn shipped_documents_intern_by_fingerprint() {
+        let registry = Registry::new();
+        let plan = builder().compile().unwrap();
+        let id = registry.register_plan("alice", plan);
+        let again = registry.register_compiled("alice", builder()).unwrap();
+        assert_eq!(id, again);
+        assert_eq!(registry.len(), 1);
+    }
+}

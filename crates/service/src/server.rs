@@ -1,0 +1,82 @@
+//! The threaded server loop: one OS thread per connection over any
+//! [`Transport`].
+//!
+//! Every request line is answered with exactly one response line; request
+//! failures (malformed lines included) are answered in-band with the
+//! typed error encoding, never by dropping the connection. A `shutdown`
+//! request is acknowledged to its sender, after which the transport stops
+//! accepting; in-flight connections drain before [`Server::run`] returns.
+
+use crate::error::ServiceError;
+use crate::protocol::{error_response, parse_line, render_line, Request};
+use crate::service::DpService;
+use crate::transport::{Connection, Transport};
+
+/// A service bound to a transport (see the module docs).
+pub struct Server<T: Transport> {
+    service: DpService,
+    transport: T,
+}
+
+impl<T: Transport> Server<T> {
+    /// Couples `service` to `transport`.
+    pub fn new(service: DpService, transport: T) -> Server<T> {
+        Server { service, transport }
+    }
+
+    /// The dialable address of the underlying transport.
+    pub fn addr(&self) -> String {
+        self.transport.local_addr()
+    }
+
+    /// The service core (exposed for pre-loading data and for tests).
+    pub fn service(&self) -> &DpService {
+        &self.service
+    }
+
+    /// Asks the accept loop to stop (callable from any thread while
+    /// [`Server::run`] blocks another).
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
+    }
+
+    /// Serves until a `shutdown` request arrives (or [`Server::shutdown`]
+    /// is called), then drains in-flight connections and returns.
+    pub fn run(&self) -> Result<(), ServiceError> {
+        std::thread::scope(|scope| loop {
+            match self.transport.accept() {
+                Ok(Some(conn)) => {
+                    scope.spawn(|| self.handle_connection(conn));
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        })
+    }
+
+    fn handle_connection(&self, mut conn: T::Conn) {
+        while let Ok(Some(line)) = conn.receive() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = parse_line(&line).and_then(|v| Request::from_value(&v));
+            let stop = matches!(request, Ok(Request::Shutdown));
+            let response = match request {
+                Ok(req) => self
+                    .service
+                    .handle(req)
+                    .unwrap_or_else(|e| error_response(&e)),
+                Err(e) => error_response(&e),
+            };
+            if conn.send(&render_line(&response)).is_err() {
+                return;
+            }
+            if stop {
+                // Acknowledge first, then stop accepting: the sender gets
+                // its response before the listener goes away.
+                self.transport.shutdown();
+                return;
+            }
+        }
+    }
+}

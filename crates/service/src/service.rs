@@ -1,0 +1,283 @@
+//! The release service core: one object tying the accountant, registry,
+//! data store, and session pool together, independent of any transport.
+//!
+//! The privacy-critical ordering lives in [`DpService::release`]: the
+//! whole batch is composed into one charge ([`dp_mech::compose_n`]) and
+//! debited from the tenant's ledger **before** any noise is drawn. A
+//! rejected debit therefore consumes no randomness and leaks nothing; a
+//! release failure *after* a granted debit burns budget without output,
+//! which is the safe direction (never overspend).
+
+use crate::accountant::{Accountant, BudgetStatus};
+use crate::error::ServiceError;
+use crate::pool::{DataStore, SessionPool};
+use crate::protocol::{ok_response, privacy_to_value, session_release_to_value, Request};
+use crate::registry::{plan_id, Registry};
+use dp_core::api::SessionRelease;
+use dp_core::{Plan, PlanBuilder};
+use dp_mech::{compose_n, PrivacyLevel};
+use serde::Value;
+
+/// A privacy-budget-metered release service (see the module docs).
+pub struct DpService {
+    accountant: Accountant,
+    registry: Registry,
+    pool: SessionPool,
+    data: DataStore,
+}
+
+impl DpService {
+    /// A service backed by the given accountant (in-memory or WAL-backed).
+    pub fn new(accountant: Accountant) -> DpService {
+        DpService {
+            accountant,
+            registry: Registry::new(),
+            pool: SessionPool::new(),
+            data: DataStore::new(),
+        }
+    }
+
+    /// The named datasets available for binding.
+    pub fn data(&self) -> &DataStore {
+        &self.data
+    }
+
+    /// The plan registry (exposed for solve-count assertions).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The budget accountant.
+    pub fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    /// Opens a tenant (idempotent for an identical budget).
+    pub fn open_tenant(&self, tenant: &str, budget: PrivacyLevel) -> Result<(), ServiceError> {
+        self.accountant.open_tenant(tenant, budget)
+    }
+
+    fn require_tenant(&self, tenant: &str) -> Result<(), ServiceError> {
+        self.accountant.status(tenant).map(|_| ())
+    }
+
+    /// Registers a client-compiled plan document for `tenant`.
+    pub fn register_plan(&self, tenant: &str, plan: Plan) -> Result<String, ServiceError> {
+        self.require_tenant(tenant)?;
+        Ok(self.registry.register_plan(tenant, plan))
+    }
+
+    /// Compiles (through the shared cache) and registers a plan.
+    pub fn register_compiled(
+        &self,
+        tenant: &str,
+        builder: PlanBuilder,
+    ) -> Result<String, ServiceError> {
+        self.require_tenant(tenant)?;
+        self.registry.register_compiled(tenant, builder)
+    }
+
+    /// Binds a registered plan to a loaded dataset, returning the
+    /// deterministic session id.
+    pub fn bind(&self, tenant: &str, plan_id: &str, table: &str) -> Result<String, ServiceError> {
+        self.require_tenant(tenant)?;
+        let plan = self.registry.lookup(tenant, plan_id)?;
+        let dataset = self.data.get(table)?;
+        self.pool.bind(plan_id, table, plan, &dataset)
+    }
+
+    /// Draws one deterministic release per seed. The whole batch is one
+    /// sequential-composition charge, debited before any noise is drawn.
+    pub fn release(
+        &self,
+        tenant: &str,
+        session: &str,
+        seeds: &[u64],
+    ) -> Result<Vec<SessionRelease>, ServiceError> {
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let session = self.pool.get(session)?;
+        // A session is shared across tenants; authorization is against the
+        // tenant's own registration of the underlying plan.
+        let pid = plan_id(session.plan());
+        self.registry.lookup(tenant, &pid)?;
+        let charge = compose_n(session.plan().privacy(), seeds.len());
+        self.accountant.try_debit(tenant, charge)?;
+        session.release_batch(seeds).map_err(Into::into)
+    }
+
+    /// The tenant's current budget position.
+    pub fn budget_status(&self, tenant: &str) -> Result<BudgetStatus, ServiceError> {
+        self.accountant.status(tenant)
+    }
+
+    /// Handles one parsed request, producing the success-response value.
+    /// `Shutdown` is acknowledged here; actually stopping the transport is
+    /// the server loop's job.
+    pub fn handle(&self, request: Request) -> Result<Value, ServiceError> {
+        match request {
+            Request::OpenTenant { tenant, budget } => {
+                self.open_tenant(&tenant, budget)?;
+                Ok(ok_response(vec![("tenant".into(), Value::String(tenant))]))
+            }
+            Request::RegisterPlan { tenant, plan } => {
+                let id = self.register_plan(&tenant, *plan)?;
+                Ok(ok_response(vec![("plan_id".into(), Value::String(id))]))
+            }
+            Request::RegisterCompile {
+                tenant,
+                spec,
+                budgeting,
+                privacy,
+                neighboring,
+            } => {
+                let builder = PlanBuilder::new(spec)
+                    .budgeting(budgeting)
+                    .privacy(privacy)
+                    .neighboring(neighboring);
+                let id = self.register_compiled(&tenant, builder)?;
+                Ok(ok_response(vec![("plan_id".into(), Value::String(id))]))
+            }
+            Request::Bind {
+                tenant,
+                plan_id,
+                table,
+            } => {
+                let id = self.bind(&tenant, &plan_id, &table)?;
+                Ok(ok_response(vec![("session".into(), Value::String(id))]))
+            }
+            Request::Release {
+                tenant,
+                session,
+                seeds,
+            } => {
+                let releases = self.release(&tenant, &session, &seeds)?;
+                Ok(ok_response(vec![(
+                    "releases".into(),
+                    Value::Array(releases.iter().map(session_release_to_value).collect()),
+                )]))
+            }
+            Request::BudgetStatus { tenant } => {
+                let s = self.budget_status(&tenant)?;
+                Ok(ok_response(vec![
+                    ("tenant".into(), Value::String(tenant)),
+                    ("total".into(), privacy_to_value(s.total)),
+                    ("spent_epsilon".into(), Value::Number(s.spent_epsilon)),
+                    ("spent_delta".into(), Value::Number(s.spent_delta)),
+                    (
+                        "remaining_epsilon".into(),
+                        Value::Number(s.remaining_epsilon),
+                    ),
+                    ("remaining_delta".into(), Value::Number(s.remaining_delta)),
+                    ("charges".into(), Value::Number(s.charges as f64)),
+                ]))
+            }
+            Request::Ping => Ok(ok_response(vec![
+                ("pong".into(), Value::Bool(true)),
+                (
+                    "tables".into(),
+                    Value::Array(self.data.names().into_iter().map(Value::String).collect()),
+                ),
+            ])),
+            Request::Shutdown => Ok(ok_response(vec![("shutdown".into(), Value::Bool(true))])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::{ContingencyTable, Schema, StrategyKind, Workload};
+
+    fn service_with_toy_table() -> DpService {
+        let service = DpService::new(Accountant::in_memory());
+        service
+            .data()
+            .insert_table("toy", ContingencyTable::from_indices(3, &[0, 1, 2, 7, 7]));
+        service
+    }
+
+    fn builder(epsilon: f64) -> PlanBuilder {
+        let schema = Schema::binary(3).unwrap();
+        let workload = Workload::all_k_way(&schema, 1).unwrap();
+        PlanBuilder::marginals(workload, StrategyKind::Fourier)
+            .privacy(PrivacyLevel::Pure { epsilon })
+    }
+
+    #[test]
+    fn end_to_end_release_meters_the_budget() {
+        let service = service_with_toy_table();
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        let plan_id = service.register_compiled("t", builder(0.25)).unwrap();
+        let session = service.bind("t", &plan_id, "toy").unwrap();
+
+        let releases = service.release("t", &session, &[1, 2, 3]).unwrap();
+        assert_eq!(releases.len(), 3);
+        let status = service.budget_status("t").unwrap();
+        assert_eq!(status.spent_epsilon, 0.75);
+        assert_eq!(status.charges, 1, "a batch is one composed charge");
+
+        // 0.25 remains: a 2-seed batch (0.5) must be rejected whole...
+        assert!(matches!(
+            service.release("t", &session, &[4, 5]),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+        // ...without burning the remainder, which a 1-seed release can use.
+        service.release("t", &session, &[4]).unwrap();
+        assert_eq!(service.budget_status("t").unwrap().remaining_epsilon, 0.0);
+    }
+
+    #[test]
+    fn unknown_names_are_typed() {
+        let service = service_with_toy_table();
+        assert!(matches!(
+            service.register_compiled("ghost", builder(0.1)),
+            Err(ServiceError::UnknownTenant(_))
+        ));
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        assert!(matches!(
+            service.bind("t", "feedfacefeedface", "toy"),
+            Err(ServiceError::UnknownPlan { .. })
+        ));
+        let plan_id = service.register_compiled("t", builder(0.1)).unwrap();
+        assert!(matches!(
+            service.bind("t", &plan_id, "missing"),
+            Err(ServiceError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            service.release("t", "nope", &[1]),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn sessions_are_shared_but_authorization_is_not() {
+        let service = service_with_toy_table();
+        for tenant in ["alice", "bob"] {
+            service
+                .open_tenant(tenant, PrivacyLevel::Pure { epsilon: 1.0 })
+                .unwrap();
+        }
+        let a = service.register_compiled("alice", builder(0.5)).unwrap();
+        let b = service.register_compiled("bob", builder(0.5)).unwrap();
+        assert_eq!(a, b);
+        let sa = service.bind("alice", &a, "toy").unwrap();
+        let sb = service.bind("bob", &b, "toy").unwrap();
+        assert_eq!(sa, sb, "same plan + table share one session");
+
+        // Carol never registered the plan: the shared session id alone
+        // must not grant access.
+        service
+            .open_tenant("carol", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        assert!(matches!(
+            service.release("carol", &sa, &[1]),
+            Err(ServiceError::UnknownPlan { .. })
+        ));
+    }
+}

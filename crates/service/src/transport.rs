@@ -1,0 +1,185 @@
+//! The transport abstraction and its blocking TCP implementation.
+//!
+//! ## Why a trait, and why no async
+//!
+//! This workspace is built entirely against vendored, dependency-free
+//! shims — there is no tokio (or any async runtime) to link. The service
+//! therefore speaks blocking I/O on OS threads: [`Transport`] hands out
+//! connections, and the server (see [`crate::server`]) runs one handler
+//! thread per connection via `std::thread::scope`. The trait keeps the
+//! service core and server loop independent of the socket layer, so tests
+//! can drive the server over an in-process transport, and an async or TLS
+//! front-end later only has to implement these two small traits — nothing
+//! in the protocol or accounting layers would change.
+//!
+//! ## Shutdown
+//!
+//! `TcpListener::accept` has no portable timeout, so [`TcpTransport`]
+//! stops by flipping an `AtomicBool` and then connecting to *itself* once:
+//! the self-connection wakes the blocked `accept`, which observes the flag
+//! and reports the transport closed.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::error::ServiceError;
+
+/// One bidirectional line-oriented peer connection.
+pub trait Connection: Send {
+    /// Receives the next request line, `None` when the peer hung up.
+    fn receive(&mut self) -> Result<Option<String>, ServiceError>;
+    /// Sends one response line.
+    fn send(&mut self, line: &str) -> Result<(), ServiceError>;
+    /// A short peer label for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// A listener producing [`Connection`]s until shut down.
+pub trait Transport: Sync {
+    /// The connection type this transport produces.
+    type Conn: Connection;
+    /// Blocks for the next connection; `None` once the transport is shut
+    /// down. Transient accept failures are reported as errors, not `None`.
+    fn accept(&self) -> Result<Option<Self::Conn>, ServiceError>;
+    /// The address clients should dial, as a display string.
+    fn local_addr(&self) -> String;
+    /// Asks `accept` to stop; idempotent, callable from any thread.
+    fn shutdown(&self);
+}
+
+/// A line-delimited connection over one TCP stream.
+pub struct TcpConnection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    peer: String,
+}
+
+impl TcpConnection {
+    /// Wraps an already-connected stream (the client side dials and then
+    /// hands the stream here).
+    pub fn from_stream(stream: TcpStream) -> Result<TcpConnection, ServiceError> {
+        // One request line, one response line: Nagle buys nothing here and
+        // its interaction with delayed ACKs costs tens of ms per call.
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        let writer = stream.try_clone()?;
+        Ok(TcpConnection {
+            reader: BufReader::new(stream),
+            writer,
+            peer,
+        })
+    }
+}
+
+impl Connection for TcpConnection {
+    fn receive(&mut self) -> Result<Option<String>, ServiceError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ServiceError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Blocking TCP transport (see the module docs for shutdown mechanics).
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+    stopping: AtomicBool,
+}
+
+impl TcpTransport {
+    /// Binds the listener. Use port 0 to let the OS pick a free port;
+    /// [`Transport::local_addr`] reports the resolved address.
+    pub fn bind(addr: &str) -> Result<TcpTransport, ServiceError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport {
+            listener,
+            addr,
+            stopping: AtomicBool::new(false),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    type Conn = TcpConnection;
+
+    fn accept(&self) -> Result<Option<TcpConnection>, ServiceError> {
+        if self.stopping.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let (stream, _) = self.listener.accept()?;
+        if self.stopping.load(Ordering::SeqCst) {
+            // This is (or raced with) the self-connect wake-up.
+            return Ok(None);
+        }
+        TcpConnection::from_stream(stream).map(Some)
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    fn shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop; failure just means nothing was blocked
+        // (or the listener is already gone), which is fine.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_lines_roundtrip_and_shutdown_wakes_accept() {
+        let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr();
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut conn = transport.accept().unwrap().expect("one connection");
+                let line = conn.receive().unwrap().unwrap();
+                conn.send(&format!("echo:{line}")).unwrap();
+                assert!(conn.receive().unwrap().is_none(), "peer hangs up");
+            });
+
+            let stream = TcpStream::connect(&addr).unwrap();
+            let mut conn = TcpConnection::from_stream(stream).unwrap();
+            conn.send("hello").unwrap();
+            assert_eq!(conn.receive().unwrap().unwrap(), "echo:hello");
+            drop(conn);
+        });
+
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| transport.accept().unwrap());
+            transport.shutdown();
+            assert!(waiter.join().unwrap().is_none());
+            transport.shutdown(); // idempotent
+        });
+        assert!(transport.accept().unwrap().is_none(), "stays shut down");
+    }
+}

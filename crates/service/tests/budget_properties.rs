@@ -1,0 +1,80 @@
+//! Property tests for the accountant: no charge sequence — random or
+//! concurrent — can push a tenant's granted ε past its budget, and
+//! rejected charges never perturb the ledger.
+
+use dp_mech::PrivacyLevel;
+use dp_service::{Accountant, ServiceError};
+
+proptest::proptest! {
+    /// For arbitrary budgets and charge sequences, the sum of *granted*
+    /// ε never exceeds the budget, and every rejection leaves the spend
+    /// exactly where it was.
+    #[test]
+    fn granted_epsilon_never_exceeds_the_budget(
+        budget in 0.5f64..2.0,
+        charges in proptest::collection::vec(0.01f64..0.6, 1..40),
+    ) {
+        let acct = Accountant::in_memory();
+        acct.open_tenant("t", PrivacyLevel::Pure { epsilon: budget }).unwrap();
+        let mut granted = 0.0f64;
+        for eps in charges {
+            let before = acct.status("t").unwrap().spent_epsilon;
+            match acct.try_debit("t", PrivacyLevel::Pure { epsilon: eps }) {
+                Ok(()) => granted += eps,
+                Err(ServiceError::BudgetExhausted { remaining_epsilon, .. }) => {
+                    // The refusal must be honest: the charge really did
+                    // not fit the reported remainder.
+                    proptest::prop_assert!(eps > remaining_epsilon - 1e-9);
+                    // ...and must not have moved the ledger.
+                    let after = acct.status("t").unwrap().spent_epsilon;
+                    proptest::prop_assert_eq!(before, after);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let slack = budget * 1e-9;
+        proptest::prop_assert!(granted <= budget + slack);
+        let status = acct.status("t").unwrap();
+        proptest::prop_assert!(status.spent_epsilon <= budget + slack);
+        proptest::prop_assert!((status.spent_epsilon - granted).abs() < 1e-9);
+    }
+}
+
+/// Many threads racing one tenant's ledger: the total number of granted
+/// charges is capped by budget / charge, exactly.
+#[test]
+fn racing_threads_cannot_overspend_one_tenant() {
+    const THREADS: usize = 8;
+    const ATTEMPTS: usize = 50;
+    let acct = Accountant::in_memory();
+    acct.open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+        .unwrap();
+
+    let granted: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut wins = 0usize;
+                    for _ in 0..ATTEMPTS {
+                        match acct.try_debit("t", PrivacyLevel::Pure { epsilon: 0.05 }) {
+                            Ok(()) => wins += 1,
+                            Err(ServiceError::BudgetExhausted { .. }) => {}
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    assert_eq!(granted, 20, "exactly 1.0 / 0.05 grants, no more, no fewer");
+    let status = acct.status("t").unwrap();
+    assert!(status.spent_epsilon <= 1.0 + 1e-9);
+    assert_eq!(status.charges, 20);
+    assert!(matches!(
+        acct.try_debit("t", PrivacyLevel::Pure { epsilon: 0.05 }),
+        Err(ServiceError::BudgetExhausted { .. })
+    ));
+}

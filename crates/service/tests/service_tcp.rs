@@ -1,0 +1,220 @@
+//! End-to-end tests over real TCP: served releases are byte-identical to
+//! the in-process session path, exhaustion arrives typed over the wire,
+//! and concurrent tenants hammering the threaded front-end can never
+//! over-spend their budgets.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dp_core::api::{OwnedSession, WorkloadSpec};
+use dp_core::{ContingencyTable, PlanBuilder, Schema, StrategyKind, Workload};
+use dp_mech::{Neighboring, PrivacyLevel};
+use dp_service::protocol::{render_line, session_release_to_value};
+use dp_service::{Accountant, Client, DpService, Server, ServiceError, TcpTransport};
+
+fn toy_table() -> ContingencyTable {
+    ContingencyTable::from_indices(4, &[0, 1, 2, 3, 9, 15, 15])
+}
+
+fn toy_spec() -> WorkloadSpec {
+    let schema = Schema::binary(4).unwrap();
+    let workload = Workload::all_k_way(&schema, 1).unwrap();
+    WorkloadSpec::Marginals {
+        workload,
+        strategy: StrategyKind::Fourier,
+        cluster: Default::default(),
+    }
+}
+
+fn start_server() -> (JoinHandle<()>, String) {
+    let service = DpService::new(Accountant::in_memory());
+    service.data().insert_table("toy", toy_table());
+    let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+    let server = Server::new(service, transport);
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (handle, addr)
+}
+
+#[test]
+fn served_releases_are_byte_identical_to_in_process_sessions() {
+    let (handle, addr) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .open_tenant("t", PrivacyLevel::Pure { epsilon: 2.0 })
+        .unwrap();
+    let privacy = PrivacyLevel::Pure { epsilon: 0.25 };
+    let plan_id = client
+        .register_compile(
+            "t",
+            toy_spec(),
+            dp_core::Budgeting::Optimal,
+            privacy,
+            Neighboring::AddRemove,
+        )
+        .unwrap();
+    let session = client.bind("t", &plan_id, "toy").unwrap();
+    let seeds = [3u64, 12345, (1 << 60) + 17];
+    let served = client.release("t", &session, &seeds).unwrap();
+    assert_eq!(served.len(), seeds.len());
+
+    // The same plan compiled locally, bound to the same table.
+    let plan = Arc::new(
+        PlanBuilder::new(toy_spec())
+            .privacy(privacy)
+            .compile()
+            .unwrap(),
+    );
+    let local = OwnedSession::bind(plan, &toy_table()).unwrap();
+    for (wire, &seed) in served.iter().zip(&seeds) {
+        let expected = render_line(&session_release_to_value(&local.release(seed).unwrap()));
+        assert_eq!(
+            render_line(wire),
+            expected,
+            "seed {seed} must serve byte-identically over TCP"
+        );
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn exhaustion_arrives_typed_over_the_wire_and_is_permanent() {
+    let (handle, addr) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+        .unwrap();
+    let plan_id = client
+        .register_compile(
+            "t",
+            toy_spec(),
+            dp_core::Budgeting::Optimal,
+            PrivacyLevel::Pure { epsilon: 0.4 },
+            Neighboring::AddRemove,
+        )
+        .unwrap();
+    let session = client.bind("t", &plan_id, "toy").unwrap();
+    client.release("t", &session, &[1, 2]).unwrap(); // spends 0.8
+
+    for attempt in 0..2 {
+        let err = client.release("t", &session, &[3]).unwrap_err();
+        let ServiceError::BudgetExhausted {
+            requested_epsilon,
+            remaining_epsilon,
+            ..
+        } = err
+        else {
+            panic!("attempt {attempt}: expected typed exhaustion, got {err:?}");
+        };
+        assert_eq!(requested_epsilon, 0.4);
+        assert!((remaining_epsilon - 0.2).abs() < 1e-12);
+    }
+    // A rejected batch burned nothing; the status must still say 0.8.
+    let status = client.budget_status("t").unwrap();
+    assert!((status.spent_epsilon - 0.8).abs() < 1e-12);
+    assert_eq!(status.charges, 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_tenants_never_overspend_through_the_threaded_front_end() {
+    const TENANTS: usize = 3;
+    const THREADS_PER_TENANT: usize = 4;
+    const ATTEMPTS_PER_THREAD: usize = 8;
+    const BUDGET: f64 = 1.0;
+    const PER_RELEASE: f64 = 0.1;
+    // 4 threads × 8 attempts = 32 requested releases per tenant, but the
+    // budget only covers 10.
+    const MAX_GRANTS: usize = (BUDGET / PER_RELEASE) as usize;
+
+    let (handle, addr) = start_server();
+    let mut setup = Client::connect(&addr).unwrap();
+    let mut sessions = Vec::new();
+    for t in 0..TENANTS {
+        let tenant = format!("tenant{t}");
+        setup
+            .open_tenant(&tenant, PrivacyLevel::Pure { epsilon: BUDGET })
+            .unwrap();
+        let plan_id = setup
+            .register_compile(
+                &tenant,
+                toy_spec(),
+                dp_core::Budgeting::Optimal,
+                PrivacyLevel::Pure {
+                    epsilon: PER_RELEASE,
+                },
+                Neighboring::AddRemove,
+            )
+            .unwrap();
+        sessions.push(setup.bind(&tenant, &plan_id, "toy").unwrap());
+    }
+
+    let grants: Vec<usize> = std::thread::scope(|scope| {
+        let mut per_tenant_threads = Vec::new();
+        for (t, session) in sessions.iter().enumerate() {
+            let tenant = format!("tenant{t}");
+            let session = session.clone();
+            let addr = addr.clone();
+            let threads: Vec<_> = (0..THREADS_PER_TENANT)
+                .map(|i| {
+                    let tenant = tenant.clone();
+                    let session = session.clone();
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        // Every thread holds its own connection, so the
+                        // server really serves these in parallel handlers.
+                        let mut client = Client::connect(&addr).unwrap();
+                        let mut granted = 0usize;
+                        for n in 0..ATTEMPTS_PER_THREAD {
+                            let seed = (i * ATTEMPTS_PER_THREAD + n) as u64;
+                            match client.release(&tenant, &session, &[seed]) {
+                                Ok(r) => {
+                                    assert_eq!(r.len(), 1);
+                                    granted += 1;
+                                }
+                                Err(ServiceError::BudgetExhausted { .. }) => {}
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        granted
+                    })
+                })
+                .collect();
+            per_tenant_threads.push(threads);
+        }
+        per_tenant_threads
+            .into_iter()
+            .map(|threads| threads.into_iter().map(|t| t.join().unwrap()).sum())
+            .collect()
+    });
+
+    for (t, &granted) in grants.iter().enumerate() {
+        let tenant = format!("tenant{t}");
+        assert!(
+            granted <= MAX_GRANTS,
+            "{tenant} got {granted} releases from a budget of {MAX_GRANTS}"
+        );
+        let status = setup.budget_status(&tenant).unwrap();
+        assert!(
+            status.spent_epsilon <= BUDGET + 1e-9,
+            "{tenant} spent ε = {} > {BUDGET}",
+            status.spent_epsilon
+        );
+        assert_eq!(status.charges, granted);
+        // Exhaustion is permanent: whatever remains cannot cover another
+        // release once the grant count hit the cap.
+        if granted == MAX_GRANTS {
+            assert!(matches!(
+                setup.release(&tenant, &sessions[t], &[999]),
+                Err(ServiceError::BudgetExhausted { .. })
+            ));
+        }
+    }
+
+    setup.shutdown().unwrap();
+    handle.join().unwrap();
+}

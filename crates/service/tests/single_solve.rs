@@ -1,0 +1,61 @@
+//! The service-level cache acceptance criterion, in its own test binary
+//! (= its own process) so the process-wide budget solve counter is not
+//! perturbed by concurrent tests: K tenants registering the same plan
+//! shape over TCP cost exactly **one** Step-2 budget solve.
+
+use dp_core::api::WorkloadSpec;
+use dp_core::{ContingencyTable, Schema, StrategyKind, Workload};
+use dp_mech::{Neighboring, PrivacyLevel};
+use dp_service::{Accountant, Client, DpService, Server, TcpTransport};
+
+#[test]
+fn k_tenants_registering_the_same_shape_cost_one_budget_solve() {
+    let service = DpService::new(Accountant::in_memory());
+    service
+        .data()
+        .insert_table("toy", ContingencyTable::from_indices(5, &[0, 1, 2, 30, 31]));
+    let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+    let server = Server::new(service, transport);
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+
+    let spec = || {
+        let schema = Schema::binary(5).unwrap();
+        WorkloadSpec::Marginals {
+            workload: Workload::all_k_way(&schema, 2).unwrap(),
+            strategy: StrategyKind::Fourier,
+            cluster: Default::default(),
+        }
+    };
+
+    let before = dp_opt::budget::solve_count();
+    let mut client = Client::connect(&addr).unwrap();
+    let mut ids = Vec::new();
+    for t in 0..8 {
+        let tenant = format!("tenant{t}");
+        client
+            .open_tenant(&tenant, PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        let id = client
+            .register_compile(
+                &tenant,
+                spec(),
+                dp_core::Budgeting::Optimal,
+                PrivacyLevel::Pure { epsilon: 0.5 },
+                Neighboring::AddRemove,
+            )
+            .unwrap();
+        let session = client.bind(&tenant, &id, "toy").unwrap();
+        client.release(&tenant, &session, &[t as u64]).unwrap();
+        ids.push(id);
+    }
+    assert!(ids.windows(2).all(|w| w[0] == w[1]), "one interned plan id");
+    assert_eq!(
+        dp_opt::budget::solve_count() - before,
+        1,
+        "8 tenants × (register + bind + release) must solve budgets once"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

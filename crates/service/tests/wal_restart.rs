@@ -1,0 +1,94 @@
+//! Budget persistence across service restarts: spent budget reloads from
+//! the write-ahead ledger, so a restarted server refuses to replay it.
+
+use dp_core::api::WorkloadSpec;
+use dp_core::{ContingencyTable, Schema, StrategyKind, Workload};
+use dp_mech::{Neighboring, PrivacyLevel};
+use dp_service::{Accountant, Client, DpService, Server, ServiceError, TcpTransport};
+use std::path::Path;
+use std::thread::JoinHandle;
+
+fn spec() -> WorkloadSpec {
+    let schema = Schema::binary(4).unwrap();
+    WorkloadSpec::Marginals {
+        workload: Workload::all_k_way(&schema, 1).unwrap(),
+        strategy: StrategyKind::Fourier,
+        cluster: Default::default(),
+    }
+}
+
+fn start(ledger: &Path) -> (JoinHandle<()>, String) {
+    let service = DpService::new(Accountant::with_wal(ledger).unwrap());
+    service
+        .data()
+        .insert_table("toy", ContingencyTable::from_indices(4, &[0, 3, 7, 15]));
+    let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+    let server = Server::new(service, transport);
+    let addr = server.addr();
+    (std::thread::spawn(move || server.run().unwrap()), addr)
+}
+
+/// Registers + binds for `tenant` (plans are not persisted — only budgets
+/// are), returning the session id.
+fn setup_session(client: &mut Client, tenant: &str) -> String {
+    client
+        .open_tenant(tenant, PrivacyLevel::Pure { epsilon: 0.5 })
+        .unwrap();
+    let plan_id = client
+        .register_compile(
+            tenant,
+            spec(),
+            dp_core::Budgeting::Optimal,
+            PrivacyLevel::Pure { epsilon: 0.2 },
+            Neighboring::AddRemove,
+        )
+        .unwrap();
+    client.bind(tenant, &plan_id, "toy").unwrap()
+}
+
+#[test]
+fn a_restarted_service_refuses_to_replay_spent_budget() {
+    let dir = std::env::temp_dir().join(format!("dp-service-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ledger = dir.join("budget.jsonl");
+    let _ = std::fs::remove_file(&ledger);
+
+    // First life: spend 0.4 of the 0.5 budget, then shut down cleanly.
+    let (handle, addr) = start(&ledger);
+    let mut client = Client::connect(&addr).unwrap();
+    let session = setup_session(&mut client, "t");
+    client.release("t", &session, &[1, 2]).unwrap();
+    assert!((client.budget_status("t").unwrap().spent_epsilon - 0.4).abs() < 1e-12);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Second life, same ledger file: the spend must have survived.
+    let (handle, addr) = start(&ledger);
+    let mut client = Client::connect(&addr).unwrap();
+    // Re-opening with the same budget is idempotent against the persisted
+    // ledger — and must NOT reset the spend.
+    let session = setup_session(&mut client, "t");
+    let status = client.budget_status("t").unwrap();
+    assert!(
+        (status.spent_epsilon - 0.4).abs() < 1e-12,
+        "restart must reload spent ε = 0.4, got {}",
+        status.spent_epsilon
+    );
+    // Replaying the original 2-release batch must now be refused: only
+    // 0.1 remains.
+    let err = client.release("t", &session, &[1, 2]).unwrap_err();
+    assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+    let err = client.release("t", &session, &[3]).unwrap_err();
+    assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+
+    // A different budget for the persisted tenant is a mismatch, not a
+    // reset.
+    assert!(matches!(
+        client.open_tenant("t", PrivacyLevel::Pure { epsilon: 9.0 }),
+        Err(ServiceError::Remote { ref code, .. }) if code == "tenant_budget_mismatch"
+    ));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

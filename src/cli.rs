@@ -37,6 +37,10 @@ pub enum Command {
         /// Dataset selector.
         dataset: DatasetArg,
     },
+    /// Run the budget-metered release service.
+    Serve(ServeArgs),
+    /// One-shot client call against a running service.
+    Client(ClientArgs),
     /// Print usage.
     Help,
 }
@@ -104,6 +108,88 @@ pub struct PlanArgs {
     pub output: Option<String>,
 }
 
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free port;
+    /// the resolved address is printed on stdout).
+    pub addr: String,
+    /// Datasets to load at startup (default: both).
+    pub datasets: Vec<DatasetArg>,
+    /// Optional path of the persistent budget ledger (write-ahead JSON
+    /// lines); without it budgets reset with the process.
+    pub ledger: Option<String>,
+}
+
+/// One-shot client operations (the `client` subcommand).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// `open`: create the tenant's budget ledger.
+    Open {
+        /// Tenant name.
+        tenant: String,
+        /// Total ε allowance.
+        epsilon: f64,
+        /// Optional total δ allowance.
+        delta: Option<f64>,
+    },
+    /// `register`: have the server compile + register a plan.
+    Register {
+        /// Tenant name.
+        tenant: String,
+        /// Which dataset's schema to plan against.
+        dataset: DatasetArg,
+        /// Workload family label.
+        workload: String,
+        /// Strategy to use.
+        strategy: StrategyKind,
+        /// Budget allocation mode.
+        budgets: Budgeting,
+        /// Per-release privacy ε.
+        epsilon: f64,
+        /// Optional per-release δ.
+        delta: Option<f64>,
+    },
+    /// `bind`: bind a registered plan to a loaded table.
+    Bind {
+        /// Tenant name.
+        tenant: String,
+        /// Plan id returned by `register`.
+        plan: String,
+        /// Loaded table name (`adult` or `nltcs`).
+        table: String,
+    },
+    /// `release`: draw a batch of deterministic releases.
+    Release {
+        /// Tenant name.
+        tenant: String,
+        /// Session id returned by `bind`.
+        session: String,
+        /// Seed of the first release; release `i` uses `seed + i`.
+        seed: u64,
+        /// Number of releases (seeds `seed..seed+batch`).
+        batch: usize,
+    },
+    /// `status`: print the tenant's budget position.
+    Status {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// `ping`: liveness check; prints the server's loaded tables.
+    Ping,
+    /// `shutdown`: stop the server cleanly.
+    Shutdown,
+}
+
+/// Arguments of the `client` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Address of the running service.
+    pub addr: String,
+    /// The operation to perform.
+    pub op: ClientOp,
+}
+
 /// CLI parse errors, rendered to the user verbatim.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliError(pub String);
@@ -130,12 +216,26 @@ USAGE:
                       --budgets <uniform|optimal> --epsilon <f64> [--delta <f64>]
                       [--cluster <fast|serial|faithful>] [--output <path.json>]
   datacube-dp inspect --dataset <adult|nltcs>
+  datacube-dp serve   --addr <host:port> [--dataset <adult|nltcs>]...
+                      [--ledger <path.jsonl>]
+  datacube-dp client  --addr <host:port> <op> [op flags]
+      open     --tenant <t> --epsilon <f64> [--delta <f64>]
+      register --tenant <t> --dataset <adult|nltcs> --workload <label>
+               --strategy <f|q|c|i> [--budgets <uniform|optimal>]
+               --epsilon <f64> [--delta <f64>]
+      bind     --tenant <t> --plan <id> --table <adult|nltcs>
+      release  --tenant <t> --session <id> [--seed <u64>] [--batch <n>]
+      status   --tenant <t>
+      ping | shutdown
   datacube-dp help
 
 `release` compiles one data-independent plan, binds the dataset, and draws
 --batch deterministic releases (seeds seed..seed+batch) from it; --batch > 1
 emits one JSON array (marginal lists, or full documents with --json).
 `plan` stops after compilation and emits the serialized plan document.
+`serve` runs the budget-metered multi-tenant release service (JSON lines
+over TCP; with --ledger, spent budget survives restarts); `client` performs
+one service call and prints the response.
 `--cluster` picks the cluster-strategy (`--strategy c`) search: `fast` (the
 optimized incremental search, default), `serial` (same, without the rayon
 fan-out), or `faithful` (the paper-faithful exponential candidate walk of
@@ -206,6 +306,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 dataset: dataset.ok_or(CliError("inspect requires --dataset".into()))?,
             })
         }
+        "serve" => {
+            let mut addr = None;
+            let mut datasets = Vec::new();
+            let mut ledger = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| -> Result<&String, CliError> {
+                    it.next().ok_or(CliError(format!("{name} needs a value")))
+                };
+                match flag.as_str() {
+                    "--addr" => addr = Some(value("--addr")?.clone()),
+                    "--dataset" => {
+                        let d = parse_dataset(value("--dataset")?)?;
+                        if !datasets.contains(&d) {
+                            datasets.push(d);
+                        }
+                    }
+                    "--ledger" => ledger = Some(value("--ledger")?.clone()),
+                    other => return Err(CliError(format!("unknown flag {other:?} for serve"))),
+                }
+            }
+            if datasets.is_empty() {
+                datasets = vec![DatasetArg::Adult, DatasetArg::Nltcs];
+            }
+            Ok(Command::Serve(ServeArgs {
+                addr: addr.ok_or(CliError("serve requires --addr".into()))?,
+                datasets,
+                ledger,
+            }))
+        }
+        "client" => parse_client(&args[1..]),
         "release" | "plan" => {
             let is_plan = sub == "plan";
             let mut dataset = None;
@@ -299,6 +430,111 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Parses the `client` subcommand: `--addr <a>` plus one op keyword and
+/// its flags, in any order.
+fn parse_client(args: &[String]) -> Result<Command, CliError> {
+    let mut addr = None;
+    let mut op_name: Option<&str> = None;
+    let mut tenant = None;
+    let mut dataset = None;
+    let mut workload = None;
+    let mut strategy = None;
+    let mut budgets = Budgeting::Optimal;
+    let mut epsilon = None;
+    let mut delta = None;
+    let mut plan = None;
+    let mut table = None;
+    let mut session = None;
+    let mut seed = 42u64;
+    let mut batch = 1usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next().ok_or(CliError(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?.clone()),
+            "--tenant" => tenant = Some(value("--tenant")?.clone()),
+            "--dataset" => dataset = Some(parse_dataset(value("--dataset")?)?),
+            "--workload" => workload = Some(value("--workload")?.clone()),
+            "--strategy" => strategy = Some(parse_strategy(value("--strategy")?)?),
+            "--budgets" => budgets = parse_budgets(value("--budgets")?)?,
+            "--epsilon" => {
+                epsilon = Some(
+                    value("--epsilon")?
+                        .parse::<f64>()
+                        .map_err(|e| CliError(format!("bad --epsilon: {e}")))?,
+                )
+            }
+            "--delta" => {
+                delta = Some(
+                    value("--delta")?
+                        .parse::<f64>()
+                        .map_err(|e| CliError(format!("bad --delta: {e}")))?,
+                )
+            }
+            "--plan" => plan = Some(value("--plan")?.clone()),
+            "--table" => table = Some(value("--table")?.clone()),
+            "--session" => session = Some(value("--session")?.clone()),
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse::<u64>()
+                    .map_err(|e| CliError(format!("bad --seed: {e}")))?
+            }
+            "--batch" => {
+                batch = value("--batch")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(CliError("bad --batch: need an integer ≥ 1".into()))?
+            }
+            other if !other.starts_with("--") && op_name.is_none() => op_name = Some(other),
+            other => return Err(CliError(format!("unknown flag {other:?} for client"))),
+        }
+    }
+
+    let addr = addr.ok_or(CliError("client requires --addr".into()))?;
+    let need_tenant =
+        |t: Option<String>, op: &str| t.ok_or(CliError(format!("client {op} requires --tenant")));
+    let op = match op_name.ok_or(CliError(
+        "client requires an operation (open|register|bind|release|status|ping|shutdown)".into(),
+    ))? {
+        "open" => ClientOp::Open {
+            tenant: need_tenant(tenant, "open")?,
+            epsilon: epsilon.ok_or(CliError("client open requires --epsilon".into()))?,
+            delta,
+        },
+        "register" => ClientOp::Register {
+            tenant: need_tenant(tenant, "register")?,
+            dataset: dataset.ok_or(CliError("client register requires --dataset".into()))?,
+            workload: workload.ok_or(CliError("client register requires --workload".into()))?,
+            strategy: strategy.ok_or(CliError("client register requires --strategy".into()))?,
+            budgets,
+            epsilon: epsilon.ok_or(CliError("client register requires --epsilon".into()))?,
+            delta,
+        },
+        "bind" => ClientOp::Bind {
+            tenant: need_tenant(tenant, "bind")?,
+            plan: plan.ok_or(CliError("client bind requires --plan".into()))?,
+            table: table.ok_or(CliError("client bind requires --table".into()))?,
+        },
+        "release" => ClientOp::Release {
+            tenant: need_tenant(tenant, "release")?,
+            session: session.ok_or(CliError("client release requires --session".into()))?,
+            seed,
+            batch,
+        },
+        "status" => ClientOp::Status {
+            tenant: need_tenant(tenant, "status")?,
+        },
+        "ping" => ClientOp::Ping,
+        "shutdown" => ClientOp::Shutdown,
+        other => return Err(CliError(format!("unknown client operation {other:?}"))),
+    };
+    Ok(Command::Client(ClientArgs { addr, op }))
+}
+
 /// Builds the workload for a label over a schema.
 pub fn build_workload(schema: &Schema, label: &str) -> Result<Workload, CliError> {
     let parse = |s: &str| -> Result<usize, CliError> {
@@ -317,6 +553,15 @@ pub fn build_workload(schema: &Schema, label: &str) -> Result<Workload, CliError
         )));
     };
     res.map_err(|e| CliError(format!("workload construction failed: {e}")))
+}
+
+/// The canonical table name of a dataset (used as the service's data
+/// store key and in `client bind --table`).
+pub fn dataset_name(dataset: DatasetArg) -> &'static str {
+    match dataset {
+        DatasetArg::Adult => "adult",
+        DatasetArg::Nltcs => "nltcs",
+    }
 }
 
 /// The dataset's schema alone — all `plan` needs, since plans are
@@ -584,6 +829,132 @@ mod tests {
         let back: Plan = serde_json::from_str(&doc).unwrap();
         assert_eq!(back, plan);
         assert_eq!(back.fingerprint(), plan.fingerprint());
+    }
+
+    #[test]
+    fn serve_command_parses() {
+        let cmd = parse_args(&sv(&["serve", "--addr", "127.0.0.1:0"])).unwrap();
+        let Command::Serve(a) = cmd else {
+            panic!("expected serve");
+        };
+        assert_eq!(a.addr, "127.0.0.1:0");
+        assert_eq!(a.datasets, vec![DatasetArg::Adult, DatasetArg::Nltcs]);
+        assert_eq!(a.ledger, None);
+
+        let cmd = parse_args(&sv(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:7878",
+            "--dataset",
+            "nltcs",
+            "--dataset",
+            "nltcs",
+            "--ledger",
+            "budget.jsonl",
+        ]))
+        .unwrap();
+        let Command::Serve(a) = cmd else {
+            panic!("expected serve");
+        };
+        assert_eq!(a.datasets, vec![DatasetArg::Nltcs], "duplicates collapse");
+        assert_eq!(a.ledger.as_deref(), Some("budget.jsonl"));
+
+        assert!(parse_args(&sv(&["serve"])).is_err());
+        assert!(parse_args(&sv(&["serve", "--addr", "x", "--json"])).is_err());
+    }
+
+    #[test]
+    fn client_command_parses_every_op() {
+        let base = ["client", "--addr", "127.0.0.1:7878"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            parse_args(&sv(&v))
+        };
+
+        let Command::Client(a) = with(&["open", "--tenant", "t", "--epsilon", "1.5"]).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(a.addr, "127.0.0.1:7878");
+        assert_eq!(
+            a.op,
+            ClientOp::Open {
+                tenant: "t".into(),
+                epsilon: 1.5,
+                delta: None
+            }
+        );
+
+        let Command::Client(a) = with(&[
+            "register",
+            "--tenant",
+            "t",
+            "--dataset",
+            "nltcs",
+            "--workload",
+            "q1",
+            "--strategy",
+            "f",
+            "--epsilon",
+            "0.5",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert!(matches!(
+            a.op,
+            ClientOp::Register {
+                budgets: Budgeting::Optimal,
+                ..
+            }
+        ));
+
+        let Command::Client(a) = with(&[
+            "release",
+            "--tenant",
+            "t",
+            "--session",
+            "s",
+            "--seed",
+            "7",
+            "--batch",
+            "3",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(
+            a.op,
+            ClientOp::Release {
+                tenant: "t".into(),
+                session: "s".into(),
+                seed: 7,
+                batch: 3
+            }
+        );
+
+        assert!(matches!(
+            with(&["ping"]).unwrap(),
+            Command::Client(ClientArgs {
+                op: ClientOp::Ping,
+                ..
+            })
+        ));
+        assert!(matches!(
+            with(&["shutdown"]).unwrap(),
+            Command::Client(ClientArgs {
+                op: ClientOp::Shutdown,
+                ..
+            })
+        ));
+
+        // Missing pieces are reported.
+        assert!(with(&["open", "--tenant", "t"]).is_err());
+        assert!(with(&["bind", "--tenant", "t"]).is_err());
+        assert!(with(&["status"]).is_err());
+        assert!(with(&["frobnicate"]).is_err());
+        assert!(parse_args(&sv(&["client", "ping"])).is_err(), "no --addr");
     }
 
     #[test]

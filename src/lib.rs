@@ -3,13 +3,15 @@
 //! single package.
 //!
 //! See [`dp_core`] for the release framework, [`dp_data`] for datasets,
-//! [`dp_opt`] for the optimizers and [`dp_mech`] for the DP mechanisms.
+//! [`dp_opt`] for the optimizers, [`dp_mech`] for the DP mechanisms and
+//! [`dp_service`] for the budget-metered release service.
 
 pub use dp_core as core;
 pub use dp_data as data;
 pub use dp_linalg as linalg;
 pub use dp_mech as mech;
 pub use dp_opt as opt;
+pub use dp_service as service;
 
 pub mod cli;
 

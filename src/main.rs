@@ -3,11 +3,12 @@
 //! plan/session API. See [`datacube_dp::cli`] for the argument grammar.
 
 use datacube_dp::cli::{
-    build_workload, compile_plan, dataset_schema, load_dataset, marginals_to_json, parse_args,
-    plan_to_json, privacy_level, release_batch_to_json, release_to_json, Command, PlanArgs,
-    ReleaseArgs, USAGE,
+    build_workload, compile_plan, dataset_name, dataset_schema, load_dataset, marginals_to_json,
+    parse_args, plan_to_json, privacy_level, release_batch_to_json, release_to_json, ClientArgs,
+    ClientOp, Command, PlanArgs, ReleaseArgs, ServeArgs, USAGE,
 };
 use datacube_dp::prelude::*;
+use datacube_dp::service::{protocol, Accountant, Client, DpService, Server, TcpTransport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -26,6 +27,14 @@ fn main() -> ExitCode {
             Err(e) => fail(&e),
         },
         Ok(Command::Release(args)) => match run_release(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Ok(Command::Serve(args)) => match run_serve(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Ok(Command::Client(args)) => match run_client(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },
@@ -92,6 +101,130 @@ fn run_plan(args: &PlanArgs) -> Result<(), String> {
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),
+    }
+    Ok(())
+}
+
+/// Runs the budget-metered release service until a `shutdown` request
+/// arrives. Prints the resolved listen address as the first stdout line so
+/// scripts can capture an OS-picked port (`--addr 127.0.0.1:0`).
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let accountant = match &args.ledger {
+        Some(path) => {
+            Accountant::with_wal(std::path::Path::new(path)).map_err(|e| e.to_string())?
+        }
+        None => Accountant::in_memory(),
+    };
+    let service = DpService::new(accountant);
+    for &dataset in &args.datasets {
+        let (_, table) = load_dataset(dataset, 20130401).map_err(|e| e.to_string())?;
+        service.data().insert_table(dataset_name(dataset), table);
+    }
+    let transport = TcpTransport::bind(&args.addr).map_err(|e| e.to_string())?;
+    let server = Server::new(service, transport);
+    println!("{}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving on {} with tables {:?}{}",
+        server.addr(),
+        server.service().data().names(),
+        match &args.ledger {
+            Some(p) => format!(", persistent ledger at {p}"),
+            None => ", in-memory budgets".into(),
+        }
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Performs one client call against a running service and prints the
+/// result (ids and releases go to stdout for scripting).
+fn run_client(args: &ClientArgs) -> Result<(), String> {
+    let mut client = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    match &args.op {
+        ClientOp::Open {
+            tenant,
+            epsilon,
+            delta,
+        } => {
+            client
+                .open_tenant(tenant, privacy_level(*epsilon, *delta))
+                .map_err(|e| e.to_string())?;
+            println!("opened {tenant}");
+        }
+        ClientOp::Register {
+            tenant,
+            dataset,
+            workload,
+            strategy,
+            budgets,
+            epsilon,
+            delta,
+        } => {
+            let schema = dataset_schema(*dataset);
+            let w = build_workload(&schema, workload).map_err(|e| e.to_string())?;
+            let spec = WorkloadSpec::Marginals {
+                workload: w,
+                strategy: *strategy,
+                cluster: ClusterConfig::default(),
+            };
+            let id = client
+                .register_compile(
+                    tenant,
+                    spec,
+                    *budgets,
+                    privacy_level(*epsilon, *delta),
+                    Neighboring::AddRemove,
+                )
+                .map_err(|e| e.to_string())?;
+            println!("{id}");
+        }
+        ClientOp::Bind {
+            tenant,
+            plan,
+            table,
+        } => {
+            let id = client
+                .bind(tenant, plan, table)
+                .map_err(|e| e.to_string())?;
+            println!("{id}");
+        }
+        ClientOp::Release {
+            tenant,
+            session,
+            seed,
+            batch,
+        } => {
+            let seeds: Vec<u64> = (0..*batch as u64).map(|i| seed.wrapping_add(i)).collect();
+            let releases = client
+                .release(tenant, session, &seeds)
+                .map_err(|e| e.to_string())?;
+            for release in &releases {
+                println!("{}", protocol::render_line(release));
+            }
+        }
+        ClientOp::Status { tenant } => {
+            let s = client.budget_status(tenant).map_err(|e| e.to_string())?;
+            println!(
+                "tenant {tenant}: total (ε = {}, δ = {}), spent (ε = {}, δ = {}), \
+                 remaining (ε = {}, δ = {}), {} charges",
+                s.total_epsilon,
+                s.total_delta,
+                s.spent_epsilon,
+                s.spent_delta,
+                s.remaining_epsilon,
+                s.remaining_delta,
+                s.charges
+            );
+        }
+        ClientOp::Ping => {
+            let tables = client.ping().map_err(|e| e.to_string())?;
+            println!("ok: tables {tables:?}");
+        }
+        ClientOp::Shutdown => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("shutdown acknowledged");
+        }
     }
     Ok(())
 }
