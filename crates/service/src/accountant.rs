@@ -24,6 +24,17 @@
 //! If a WAL append fails *after* the in-memory debit, the debit is kept
 //! and the release is refused: budget is burned without output, which
 //! wastes utility but can never overspend ε.
+//!
+//! ## The global ledger
+//!
+//! Per-tenant ledgers bound per-tenant spend; they say nothing about the
+//! *dataset's* cumulative privacy loss, which under sequential composition
+//! is the sum across every tenant ever opened. An optional global ledger
+//! ([`Accountant::with_global_budget`]) caps that sum: every debit must
+//! fit the tenant ledger **and** the global ledger, atomically — on a
+//! global refusal the tenant ledger is left untouched. On a WAL reload the
+//! persisted per-tenant spends are replayed into the global ledger first,
+//! so a restart cannot launder dataset-level spend either.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -55,6 +66,7 @@ pub struct BudgetStatus {
 
 struct AccountantState {
     tenants: HashMap<String, BudgetLedger>,
+    global: Option<BudgetLedger>,
     wal: Option<File>,
 }
 
@@ -124,9 +136,28 @@ impl Accountant {
         Accountant {
             state: Mutex::new(AccountantState {
                 tenants: HashMap::new(),
+                global: None,
                 wal: None,
             }),
         }
+    }
+
+    /// Adds a dataset-wide spending cap on top of the per-tenant ledgers
+    /// (see the module docs). Any spend already loaded (e.g. from a WAL)
+    /// is replayed into the global ledger first; if that history alone
+    /// exceeds `budget`, construction fails rather than under-counting.
+    pub fn with_global_budget(self, budget: PrivacyLevel) -> Result<Accountant, ServiceError> {
+        let mut state = self.state.into_inner().expect("accountant mutex poisoned");
+        let mut global = BudgetLedger::new(budget)?;
+        for ledger in state.tenants.values() {
+            if ledger.num_charges() > 0 {
+                global.try_spend(ledger.spent())?;
+            }
+        }
+        state.global = Some(global);
+        Ok(Accountant {
+            state: Mutex::new(state),
+        })
     }
 
     /// Loads (or creates) the write-ahead ledger at `path`, replaying any
@@ -161,6 +192,7 @@ impl Accountant {
         Ok(Accountant {
             state: Mutex::new(AccountantState {
                 tenants,
+                global: None,
                 wal: Some(wal),
             }),
         })
@@ -193,20 +225,47 @@ impl Accountant {
         Ok(())
     }
 
-    /// Atomically checks and debits `charge` from the tenant's ledger,
-    /// persisting the spend record before returning. Callers draw noise
-    /// only after this returns `Ok`.
+    /// Atomically checks and debits `charge` from the tenant's ledger —
+    /// and, when configured, the global ledger — persisting the spend
+    /// record before returning. Callers draw noise only after this
+    /// returns `Ok`.
     pub fn try_debit(&self, tenant: &str, charge: PrivacyLevel) -> Result<(), ServiceError> {
         let mut state = self.state.lock().expect("accountant mutex poisoned");
+        let state = &mut *state;
         let ledger = state
             .tenants
             .get_mut(tenant)
             .ok_or_else(|| ServiceError::UnknownTenant(tenant.into()))?;
-        ledger.try_spend(charge)?;
+        match state.global.as_mut() {
+            None => ledger.try_spend(charge)?,
+            Some(global) => {
+                // Stage the tenant debit on a copy so a *global* refusal
+                // commits neither ledger; the global debit runs only after
+                // the tenant check passed, so the commit is all-or-nothing.
+                let mut staged = ledger.clone();
+                staged.try_spend(charge)?;
+                global.try_spend(charge)?;
+                *ledger = staged;
+            }
+        }
         // On append failure the in-memory debit is deliberately kept: the
         // caller refuses the release, so burned-but-unreleased budget is
         // the safe direction (see the module docs).
         Self::append(&mut state.wal, &spend_record(tenant, charge))
+    }
+
+    /// The global (dataset-wide) budget position, if a global cap was
+    /// configured with [`Accountant::with_global_budget`].
+    pub fn global_status(&self) -> Option<BudgetStatus> {
+        let state = self.state.lock().expect("accountant mutex poisoned");
+        state.global.as_ref().map(|ledger| BudgetStatus {
+            total: ledger.total(),
+            spent_epsilon: ledger.total().epsilon() - ledger.remaining_epsilon(),
+            spent_delta: ledger.total().delta() - ledger.remaining_delta(),
+            remaining_epsilon: ledger.remaining_epsilon(),
+            remaining_delta: ledger.remaining_delta(),
+            charges: ledger.num_charges(),
+        })
     }
 
     /// The tenant's current budget position.
@@ -296,6 +355,64 @@ mod tests {
             acct.try_debit("t", HALF),
             Err(ServiceError::BudgetExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn global_ledger_caps_cumulative_spend_across_tenants() {
+        let acct = Accountant::in_memory()
+            .with_global_budget(PrivacyLevel::Pure { epsilon: 0.8 })
+            .unwrap();
+        acct.open_tenant("a", EPS1).unwrap();
+        acct.open_tenant("b", EPS1).unwrap();
+        acct.try_debit("a", HALF).unwrap();
+        // b's own ledger has 1.0 left, but the dataset pool has only 0.3.
+        assert!(matches!(
+            acct.try_debit("b", HALF),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+        // The global refusal left b's tenant ledger untouched.
+        assert_eq!(acct.status("b").unwrap().spent_epsilon, 0.0);
+        // A smaller charge that fits the pool is still granted, after
+        // which the pool (not any tenant ledger) is the binding cap.
+        acct.try_debit("b", PrivacyLevel::Pure { epsilon: 0.3 })
+            .unwrap();
+        let global = acct.global_status().unwrap();
+        assert!(global.remaining_epsilon <= 1e-12);
+        assert!(matches!(
+            acct.try_debit("a", PrivacyLevel::Pure { epsilon: 0.1 }),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+        assert!(Accountant::in_memory().global_status().is_none());
+    }
+
+    #[test]
+    fn global_ledger_replays_persisted_spend_on_reload() {
+        let path = tmp("global");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = Accountant::with_wal(&path).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+            acct.try_debit("t", HALF).unwrap();
+        }
+        let acct = Accountant::with_wal(&path)
+            .unwrap()
+            .with_global_budget(PrivacyLevel::Pure { epsilon: 0.75 })
+            .unwrap();
+        let global = acct.global_status().unwrap();
+        assert!((global.spent_epsilon - 0.5).abs() < 1e-12);
+        // Only 0.25 of the pool remains even though the tenant has 0.5.
+        assert!(matches!(
+            acct.try_debit("t", HALF),
+            Err(ServiceError::BudgetExhausted { .. })
+        ));
+        acct.try_debit("t", PrivacyLevel::Pure { epsilon: 0.25 })
+            .unwrap();
+        // A persisted history exceeding the cap refuses to construct
+        // rather than under-counting the dataset's loss.
+        assert!(Accountant::with_wal(&path)
+            .unwrap()
+            .with_global_budget(HALF)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Request authentication and the service threat model.
+//!
+//! ## Threat model
+//!
+//! Tenant names on the wire are plain strings, so without credentials any
+//! TCP peer could (a) impersonate an existing tenant and drain its budget
+//! or read its status, (b) invent fresh tenant names — each with a fresh
+//! budget — on the same dataset, unbounding the dataset's *cumulative*
+//! privacy loss, and (c) stop the server with a `shutdown` request. The
+//! service therefore runs under one of two explicit policies:
+//!
+//! - [`AuthPolicy::Trusted`] — every peer is the operator. This is the
+//!   mode for in-process use ([`crate::DpService::new`]), tests, and
+//!   single-user deployments bound to a loopback address. **Do not expose
+//!   a trusted-mode listener to untrusted peers**: it provides no tenant
+//!   isolation and no shutdown protection.
+//! - [`AuthPolicy::Operator`] — the operator holds an admin token. The
+//!   tenant lifecycle (`open_tenant`) and `shutdown` require it, so only
+//!   the operator can mint budgets or stop the service; each `open_tenant`
+//!   installs a per-tenant credential which every tenant-scoped request
+//!   (`register_plan`, `bind`, `release`, `budget_status`) must present.
+//!   The admin token is also accepted for tenant-scoped requests, so the
+//!   operator can inspect any tenant. Credentials ride in the `"auth"`
+//!   field of each request line; the transport provides no secrecy, so an
+//!   untrusted *network* additionally needs a TLS front-end (the
+//!   [`crate::transport::Transport`] seam).
+//!
+//! Even with per-tenant credentials, per-tenant ledgers bound per-tenant
+//! spend only; the dataset's cumulative loss across all tenants is bounded
+//! by the accountant's optional global ledger
+//! ([`crate::Accountant::with_global_budget`]).
+//!
+//! Token comparison is constant-time so a peer cannot binary-search a
+//! credential through response timing.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::error::ServiceError;
+
+/// Who may do what (see the module docs).
+pub enum AuthPolicy {
+    /// Every peer is the operator: no credentials are required or checked.
+    Trusted,
+    /// Admin operations require the operator token; tenant operations
+    /// require the per-tenant credential installed at `open_tenant` time.
+    Operator {
+        /// The operator's secret.
+        admin_token: String,
+    },
+}
+
+/// The service's authenticator: a policy plus the per-tenant credentials
+/// installed by `open_tenant`.
+pub struct Auth {
+    policy: AuthPolicy,
+    tenant_tokens: Mutex<HashMap<String, String>>,
+}
+
+/// Constant-time string equality: the duration depends only on the
+/// lengths, never on where the first mismatch sits.
+fn constant_time_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+impl Auth {
+    /// The trusted-client policy (see the module docs before exposing this
+    /// over a network).
+    pub fn trusted() -> Auth {
+        Auth {
+            policy: AuthPolicy::Trusted,
+            tenant_tokens: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The operator-token policy: admin operations require `admin_token`,
+    /// tenant operations require their installed credential.
+    pub fn operator(admin_token: &str) -> Auth {
+        Auth {
+            policy: AuthPolicy::Operator {
+                admin_token: admin_token.into(),
+            },
+            tenant_tokens: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether tenants need credentials (i.e. the policy is
+    /// [`AuthPolicy::Operator`]).
+    pub fn requires_tokens(&self) -> bool {
+        matches!(self.policy, AuthPolicy::Operator { .. })
+    }
+
+    fn is_admin(&self, credential: Option<&str>) -> bool {
+        match &self.policy {
+            AuthPolicy::Trusted => true,
+            AuthPolicy::Operator { admin_token } => {
+                credential.is_some_and(|c| constant_time_eq(c, admin_token))
+            }
+        }
+    }
+
+    /// Authorizes an admin operation (`open_tenant`, `shutdown`).
+    pub fn check_admin(&self, credential: Option<&str>) -> Result<(), ServiceError> {
+        if self.is_admin(credential) {
+            Ok(())
+        } else {
+            Err(ServiceError::Unauthorized(
+                "operator credential required".into(),
+            ))
+        }
+    }
+
+    /// Installs (or rotates) the credential for `tenant`. Admin-gated by
+    /// the caller.
+    pub fn install_tenant_token(&self, tenant: &str, token: &str) {
+        self.tenant_tokens
+            .lock()
+            .expect("auth mutex poisoned")
+            .insert(tenant.into(), token.into());
+    }
+
+    /// Authorizes a tenant-scoped operation: the tenant's own credential
+    /// or the admin token.
+    pub fn check_tenant(&self, tenant: &str, credential: Option<&str>) -> Result<(), ServiceError> {
+        if matches!(self.policy, AuthPolicy::Trusted) {
+            return Ok(());
+        }
+        let tenant_ok = {
+            let tokens = self.tenant_tokens.lock().expect("auth mutex poisoned");
+            match (tokens.get(tenant), credential) {
+                (Some(t), Some(c)) => constant_time_eq(t, c),
+                _ => false,
+            }
+        };
+        if tenant_ok || self.is_admin(credential) {
+            Ok(())
+        } else {
+            Err(ServiceError::Unauthorized(format!(
+                "invalid credential for tenant {tenant:?}"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trusted_mode_accepts_everything() {
+        let auth = Auth::trusted();
+        assert!(!auth.requires_tokens());
+        auth.check_admin(None).unwrap();
+        auth.check_tenant("anyone", None).unwrap();
+    }
+
+    #[test]
+    fn operator_mode_gates_admin_and_tenant_operations() {
+        let auth = Auth::operator("admin-secret");
+        assert!(auth.requires_tokens());
+        assert!(matches!(
+            auth.check_admin(None),
+            Err(ServiceError::Unauthorized(_))
+        ));
+        assert!(matches!(
+            auth.check_admin(Some("wrong")),
+            Err(ServiceError::Unauthorized(_))
+        ));
+        auth.check_admin(Some("admin-secret")).unwrap();
+
+        // No credential installed yet: only the admin may act for "t".
+        assert!(auth.check_tenant("t", Some("tok")).is_err());
+        auth.check_tenant("t", Some("admin-secret")).unwrap();
+
+        auth.install_tenant_token("t", "tok");
+        auth.check_tenant("t", Some("tok")).unwrap();
+        assert!(auth.check_tenant("t", Some("wrong")).is_err());
+        assert!(auth.check_tenant("t", None).is_err());
+        // A tenant credential never unlocks another tenant or admin ops.
+        assert!(auth.check_tenant("u", Some("tok")).is_err());
+        assert!(auth.check_admin(Some("tok")).is_err());
+    }
+
+    #[test]
+    fn constant_time_eq_handles_lengths_and_content() {
+        assert!(constant_time_eq("", ""));
+        assert!(constant_time_eq("abc", "abc"));
+        assert!(!constant_time_eq("abc", "abd"));
+        assert!(!constant_time_eq("abc", "ab"));
+        assert!(!constant_time_eq("", "a"));
+    }
+}

@@ -5,6 +5,12 @@
 //! typed [`ServiceError`] they encode — `budget_exhausted` reconstructs
 //! the full [`ServiceError::BudgetExhausted`] variant, other codes arrive
 //! as [`ServiceError::Remote`].
+//!
+//! Against a server running the operator auth policy (see
+//! [`crate::auth`]), set a bearer credential with
+//! [`Client::set_credential`]; it rides along as the `"auth"` field on
+//! every request. The operator opens tenants with
+//! [`Client::open_tenant_with_token`] to install each tenant's token.
 
 use std::net::TcpStream;
 
@@ -40,6 +46,7 @@ pub struct RemoteBudgetStatus {
 /// A blocking connection to a running service.
 pub struct Client {
     conn: TcpConnection,
+    credential: Option<String>,
 }
 
 impl Client {
@@ -48,12 +55,28 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         Ok(Client {
             conn: TcpConnection::from_stream(stream)?,
+            credential: None,
         })
+    }
+
+    /// Sets (or clears) the bearer credential attached to every request —
+    /// a tenant token, or the admin token for operator calls. Ignored by
+    /// servers running the trusted policy.
+    pub fn set_credential(&mut self, credential: Option<String>) {
+        self.credential = credential;
     }
 
     /// Sends one raw request value and returns the raw success response.
     pub fn call_value(&mut self, request: &Value) -> Result<Value, ServiceError> {
-        self.conn.send(&render_line(request))?;
+        let line = match (&self.credential, request) {
+            (Some(token), Value::Object(fields)) => {
+                let mut fields = fields.clone();
+                fields.push(("auth".into(), Value::String(token.clone())));
+                render_line(&Value::Object(fields))
+            }
+            _ => render_line(request),
+        };
+        self.conn.send(&line)?;
         let line = self.conn.receive()?.ok_or_else(|| {
             ServiceError::Protocol("server closed the connection mid-call".into())
         })?;
@@ -79,11 +102,29 @@ impl Client {
             .unwrap_or_default())
     }
 
-    /// Opens a tenant with the given total budget.
+    /// Opens a tenant with the given total budget (trusted policy; under
+    /// the operator policy use [`Client::open_tenant_with_token`]).
     pub fn open_tenant(&mut self, tenant: &str, budget: PrivacyLevel) -> Result<(), ServiceError> {
         self.call(&Request::OpenTenant {
             tenant: tenant.into(),
             budget,
+            tenant_token: None,
+        })
+        .map(|_| ())
+    }
+
+    /// Opens a tenant and installs its bearer token (operator policy;
+    /// requires the admin credential to be set).
+    pub fn open_tenant_with_token(
+        &mut self,
+        tenant: &str,
+        budget: PrivacyLevel,
+        token: &str,
+    ) -> Result<(), ServiceError> {
+        self.call(&Request::OpenTenant {
+            tenant: tenant.into(),
+            budget,
+            tenant_token: Some(token.into()),
         })
         .map(|_| ())
     }

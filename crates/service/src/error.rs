@@ -35,6 +35,14 @@ pub enum ServiceError {
     },
     /// No session with this id has been bound.
     UnknownSession(String),
+    /// The request's credential does not authorize the operation (see
+    /// [`crate::auth`] for the policy).
+    Unauthorized(String),
+    /// A plan was registered whose 64-bit fingerprint matches an already
+    /// interned but structurally *different* plan. Fingerprints are not
+    /// collision-proof, so the registry refuses rather than silently
+    /// authorizing (and charging for) the wrong plan.
+    FingerprintCollision(String),
     /// No table or histogram with this name is loaded.
     UnknownTable(String),
     /// Underlying plan/release failure.
@@ -67,6 +75,8 @@ impl ServiceError {
             ServiceError::TenantBudgetMismatch(_) => "tenant_budget_mismatch",
             ServiceError::UnknownPlan { .. } => "unknown_plan",
             ServiceError::UnknownSession(_) => "unknown_session",
+            ServiceError::Unauthorized(_) => "unauthorized",
+            ServiceError::FingerprintCollision(_) => "fingerprint_collision",
             ServiceError::UnknownTable(_) => "unknown_table",
             ServiceError::Core(_) => "core",
             ServiceError::Mech(_) => "mech",
@@ -101,6 +111,11 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "tenant {tenant:?} has no registered plan {plan_id:?}")
             }
             ServiceError::UnknownSession(s) => write!(f, "unknown session {s:?}"),
+            ServiceError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            ServiceError::FingerprintCollision(id) => write!(
+                f,
+                "plan fingerprint {id:?} collides with a different interned plan"
+            ),
             ServiceError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
             ServiceError::Core(e) => write!(f, "release failure: {e}"),
             ServiceError::Mech(e) => write!(f, "mechanism failure: {e}"),

@@ -56,10 +56,24 @@
 //! Over TCP, the same flow runs through [`server::Server`] +
 //! [`client::Client`]; releases are **byte-identical** per seed to the
 //! in-process path, because the wire format round-trips `f64` exactly.
+//!
+//! ## Trust model
+//!
+//! The wire protocol carries bearer-token credentials when the service is
+//! built with [`auth::AuthPolicy::Operator`]: tenant-scoped requests need
+//! that tenant's token, and `open_tenant`/`shutdown` need the admin
+//! token — so budgets meter the *data owner's* tenant grants, not
+//! whatever names a TCP peer invents. The default
+//! [`auth::AuthPolicy::Trusted`] policy skips all checks and is only for
+//! in-process use and single-operator loopback deployments; see [`auth`]
+//! for the full threat model. An optional service-wide ledger
+//! ([`accountant::Accountant::with_global_budget`]) additionally caps the
+//! dataset's cumulative privacy loss across *all* tenants.
 
 #![warn(missing_docs)]
 
 pub mod accountant;
+pub mod auth;
 pub mod client;
 pub mod error;
 pub mod pool;
@@ -70,6 +84,7 @@ pub mod service;
 pub mod transport;
 
 pub use accountant::{Accountant, BudgetStatus};
+pub use auth::{Auth, AuthPolicy};
 pub use client::{Client, RemoteBudgetStatus};
 pub use error::ServiceError;
 pub use pool::{DataStore, Dataset, SessionPool};

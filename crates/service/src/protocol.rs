@@ -4,7 +4,7 @@
 //! ## Requests
 //!
 //! ```json
-//! {"op": "open_tenant",   "tenant": "t1", "budget": {"epsilon": 1.0}}
+//! {"op": "open_tenant",   "tenant": "t1", "budget": {"epsilon": 1.0}, "tenant_token": "…"}
 //! {"op": "register_plan", "tenant": "t1", "plan": { …plan document… }}
 //! {"op": "register_plan", "tenant": "t1", "compile": {"spec": {…}, "privacy": {…}}}
 //! {"op": "bind",          "tenant": "t1", "plan_id": "…", "table": "nltcs"}
@@ -20,6 +20,13 @@
 //! budgeting, privacy, neighbouring) — which the server compiles through
 //! its shared [`dp_core::api::PlanCache`], so K tenants registering the
 //! same shape cost exactly one strategy compile and one budget solve.
+//!
+//! Any request line may carry an `"auth"` credential field. Under the
+//! operator auth policy ([`crate::auth`]) it is required: the admin token
+//! for `open_tenant`/`shutdown`, the tenant's installed credential (or the
+//! admin token) for tenant-scoped requests; `open_tenant` must then also
+//! provide the `tenant_token` to install. Under the trusted policy both
+//! fields are ignored.
 //!
 //! ## Responses
 //!
@@ -125,6 +132,10 @@ pub enum Request {
         tenant: String,
         /// Total (ε, δ) allowance for the tenant's whole query history.
         budget: PrivacyLevel,
+        /// The credential to install for the tenant — required (and
+        /// admin-gated) when the server runs an operator auth policy,
+        /// ignored under the trusted policy. See [`crate::auth`].
+        tenant_token: Option<String>,
     },
     /// Registers a client-compiled plan document for the tenant.
     RegisterPlan {
@@ -206,6 +217,10 @@ impl Request {
             "open_tenant" => Ok(Request::OpenTenant {
                 tenant: string_field(value, "tenant")?,
                 budget: privacy_from_value(field(value, "budget")?)?,
+                tenant_token: value
+                    .get_field("tenant_token")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
             }),
             "register_plan" => {
                 let tenant = string_field(value, "tenant")?;
@@ -263,11 +278,21 @@ impl Request {
     /// Renders the request as its wire value (the client side).
     pub fn to_value(&self) -> Value {
         match self {
-            Request::OpenTenant { tenant, budget } => Value::Object(vec![
-                ("op".into(), Value::String("open_tenant".into())),
-                ("tenant".into(), Value::String(tenant.clone())),
-                ("budget".into(), privacy_to_value(*budget)),
-            ]),
+            Request::OpenTenant {
+                tenant,
+                budget,
+                tenant_token,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Value::String("open_tenant".into())),
+                    ("tenant".into(), Value::String(tenant.clone())),
+                    ("budget".into(), privacy_to_value(*budget)),
+                ];
+                if let Some(token) = tenant_token {
+                    fields.push(("tenant_token".into(), Value::String(token.clone())));
+                }
+                Value::Object(fields)
+            }
             Request::RegisterPlan { tenant, plan } => Value::Object(vec![
                 ("op".into(), Value::String("register_plan".into())),
                 ("tenant".into(), Value::String(tenant.clone())),
@@ -464,6 +489,7 @@ mod tests {
                     epsilon: 1.0,
                     delta: 1e-6,
                 },
+                tenant_token: Some("secret".into()),
             },
             Request::Bind {
                 tenant: "t1".into(),
@@ -490,6 +516,16 @@ mod tests {
                 (req, &back)
             {
                 assert_eq!(seeds, b);
+            }
+            if let (
+                Request::OpenTenant { tenant_token, .. },
+                Request::OpenTenant {
+                    tenant_token: back_token,
+                    ..
+                },
+            ) = (req, &back)
+            {
+                assert_eq!(tenant_token, back_token);
             }
         }
     }

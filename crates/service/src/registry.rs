@@ -7,6 +7,9 @@
 //! are interned by fingerprint, and server-side compiles go through a
 //! shared [`PlanCache`]. Registration also records a per-tenant
 //! authorization set; a tenant can only bind plans it registered itself.
+//! Because the fingerprint is a 64-bit non-cryptographic hash, interning
+//! under an existing id requires full structural equality with the stored
+//! plan — a crafted collision is refused, never silently shared.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
@@ -42,23 +45,32 @@ impl Registry {
         }
     }
 
-    fn intern(&self, tenant: &str, plan: Arc<Plan>) -> String {
+    fn intern(&self, tenant: &str, plan: Arc<Plan>) -> Result<String, ServiceError> {
         let id = plan_id(&plan);
         let mut state = self.state.lock().expect("registry mutex poisoned");
-        // First registration wins; later copies of the same fingerprint
-        // share the interned operator.
-        state.plans.entry(id.clone()).or_insert(plan);
+        match state.plans.get(&id) {
+            None => {
+                state.plans.insert(id.clone(), plan);
+            }
+            // The 64-bit fingerprint is not collision-proof, so a second
+            // plan under an existing id must be structurally identical —
+            // otherwise a crafted collision would silently authorize the
+            // tenant for (and charge it per) a different tenant's plan.
+            Some(existing) if **existing == *plan => {}
+            Some(_) => return Err(ServiceError::FingerprintCollision(id)),
+        }
         state
             .authorized
             .entry(tenant.into())
             .or_default()
             .insert(id.clone());
-        id
+        Ok(id)
     }
 
     /// Registers a client-compiled plan document for `tenant`, returning
-    /// its plan id. Identical plans (same fingerprint) are interned.
-    pub fn register_plan(&self, tenant: &str, plan: Plan) -> String {
+    /// its plan id. Identical plans (same fingerprint) are interned; a
+    /// fingerprint collision with a *different* interned plan is refused.
+    pub fn register_plan(&self, tenant: &str, plan: Plan) -> Result<String, ServiceError> {
         self.intern(tenant, Arc::new(plan))
     }
 
@@ -71,7 +83,7 @@ impl Registry {
         builder: PlanBuilder,
     ) -> Result<String, ServiceError> {
         let plan = self.cache.get_or_compile(builder)?;
-        Ok(self.intern(tenant, plan))
+        self.intern(tenant, plan)
     }
 
     /// Looks up a plan the tenant is authorized to use.
@@ -158,9 +170,15 @@ mod tests {
     fn shipped_documents_intern_by_fingerprint() {
         let registry = Registry::new();
         let plan = builder().compile().unwrap();
-        let id = registry.register_plan("alice", plan);
+        let id = registry.register_plan("alice", plan).unwrap();
         let again = registry.register_compiled("alice", builder()).unwrap();
         assert_eq!(id, again);
+        assert_eq!(registry.len(), 1);
+
+        // A byte-identical re-registration by another tenant interns to
+        // the same id (the full-equality collision check passes).
+        let copy = builder().compile().unwrap();
+        assert_eq!(registry.register_plan("bob", copy).unwrap(), id);
         assert_eq!(registry.len(), 1);
     }
 }

@@ -1,16 +1,27 @@
 //! The threaded server loop: one OS thread per connection over any
 //! [`Transport`].
 //!
-//! Every request line is answered with exactly one response line; request
-//! failures (malformed lines included) are answered in-band with the
-//! typed error encoding, never by dropping the connection. A `shutdown`
-//! request is acknowledged to its sender, after which the transport stops
-//! accepting; in-flight connections drain before [`Server::run`] returns.
+//! Every request line is answered with exactly one response line. A line
+//! that decodes but fails to parse or execute is answered in-band with the
+//! typed error encoding and the connection stays open; input after which
+//! the line stream cannot be resynchronized (an over-long line, bytes that
+//! are not UTF-8) is answered in-band best-effort and then the connection
+//! is closed. A transient `accept` failure (e.g. `ECONNABORTED`, or
+//! `EMFILE` under fd pressure) is logged and retried with backoff rather
+//! than stopping the whole multi-tenant service; only a persistently
+//! failing listener is fatal. An *authorized* `shutdown` request is
+//! acknowledged to its sender, after which the transport stops accepting;
+//! in-flight connections drain before [`Server::run`] returns.
 
 use crate::error::ServiceError;
 use crate::protocol::{error_response, parse_line, render_line, Request};
 use crate::service::DpService;
 use crate::transport::{Connection, Transport};
+use serde::Value;
+
+/// Consecutive `accept` failures tolerated (with backoff) before the
+/// listener is declared dead and [`Server::run`] returns the error.
+const MAX_ACCEPT_FAILURES: u32 = 64;
 
 /// A service bound to a transport (see the module docs).
 pub struct Server<T: Transport> {
@@ -40,32 +51,75 @@ impl<T: Transport> Server<T> {
         self.transport.shutdown();
     }
 
-    /// Serves until a `shutdown` request arrives (or [`Server::shutdown`]
-    /// is called), then drains in-flight connections and returns.
+    /// Serves until an authorized `shutdown` request arrives (or
+    /// [`Server::shutdown`] is called), then drains in-flight connections
+    /// and returns. Transient accept failures are retried with capped
+    /// exponential backoff; 64 consecutive failures are treated as an
+    /// unrecoverable listener and returned as the error.
     pub fn run(&self) -> Result<(), ServiceError> {
-        std::thread::scope(|scope| loop {
-            match self.transport.accept() {
-                Ok(Some(conn)) => {
-                    scope.spawn(|| self.handle_connection(conn));
+        std::thread::scope(|scope| {
+            let mut failures = 0u32;
+            loop {
+                match self.transport.accept() {
+                    Ok(Some(conn)) => {
+                        failures = 0;
+                        scope.spawn(|| self.handle_connection(conn));
+                    }
+                    Ok(None) => return Ok(()),
+                    Err(e) => {
+                        failures += 1;
+                        if failures >= MAX_ACCEPT_FAILURES {
+                            return Err(e);
+                        }
+                        eprintln!("accept failed ({failures} consecutive), retrying: {e}");
+                        // 10ms doubling to a 1.28s ceiling: long enough for
+                        // fd-pressure to drain, short enough to stay live.
+                        let exp = failures.saturating_sub(1).min(7);
+                        std::thread::sleep(std::time::Duration::from_millis(10 << exp));
+                    }
                 }
-                Ok(None) => return Ok(()),
-                Err(e) => return Err(e),
             }
         })
     }
 
     fn handle_connection(&self, mut conn: T::Conn) {
-        while let Ok(Some(line)) = conn.receive() {
+        loop {
+            let line = match conn.receive() {
+                Ok(Some(line)) => line,
+                Ok(None) => return,
+                Err(e) => {
+                    // The stream is mid-line or undecodable, so the answer
+                    // is best-effort in-band and the connection must close:
+                    // there is no way to resynchronize on line boundaries.
+                    let _ = conn.send(&render_line(&error_response(&e)));
+                    return;
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
-            let request = parse_line(&line).and_then(|v| Request::from_value(&v));
-            let stop = matches!(request, Ok(Request::Shutdown));
-            let response = match request {
-                Ok(req) => self
-                    .service
-                    .handle(req)
-                    .unwrap_or_else(|e| error_response(&e)),
+            let parsed = parse_line(&line).and_then(|value| {
+                let credential = value
+                    .get_field("auth")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                Request::from_value(&value).map(|request| (request, credential))
+            });
+            let mut stop = false;
+            let response = match parsed {
+                Ok((request, credential)) => {
+                    let is_shutdown = matches!(request, Request::Shutdown);
+                    match self.service.handle(request, credential.as_deref()) {
+                        Ok(value) => {
+                            // Only an *authorized* shutdown stops the
+                            // listener; a refused one is just an error
+                            // response like any other.
+                            stop = is_shutdown;
+                            value
+                        }
+                        Err(e) => error_response(&e),
+                    }
+                }
                 Err(e) => error_response(&e),
             };
             if conn.send(&render_line(&response)).is_err() {
@@ -78,5 +132,134 @@ impl<T: Transport> Server<T> {
                 return;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accountant::Accountant;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A scripted connection: canned request lines in, responses recorded.
+    struct MockConn {
+        requests: VecDeque<Result<Option<String>, ServiceError>>,
+        responses: std::sync::Arc<Mutex<Vec<String>>>,
+    }
+
+    impl Connection for MockConn {
+        fn receive(&mut self) -> Result<Option<String>, ServiceError> {
+            self.requests.pop_front().unwrap_or(Ok(None))
+        }
+        fn send(&mut self, line: &str) -> Result<(), ServiceError> {
+            self.responses.lock().unwrap().push(line.into());
+            Ok(())
+        }
+        fn peer(&self) -> String {
+            "mock".into()
+        }
+    }
+
+    /// A transport whose `accept` replays a script of errors and
+    /// connections, then reports shutdown.
+    struct MockTransport {
+        script: Mutex<VecDeque<Result<Option<MockConn>, ServiceError>>>,
+    }
+
+    impl Transport for MockTransport {
+        type Conn = MockConn;
+        fn accept(&self) -> Result<Option<MockConn>, ServiceError> {
+            self.script.lock().unwrap().pop_front().unwrap_or(Ok(None))
+        }
+        fn local_addr(&self) -> String {
+            "mock".into()
+        }
+        fn shutdown(&self) {}
+    }
+
+    #[test]
+    fn transient_accept_errors_do_not_stop_the_server() {
+        let responses = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let conn = MockConn {
+            requests: VecDeque::from([Ok(Some("{\"op\": \"ping\"}".into()))]),
+            responses: std::sync::Arc::clone(&responses),
+        };
+        let transport = MockTransport {
+            script: Mutex::new(VecDeque::from([
+                Err(ServiceError::Io("connection aborted".into())),
+                Err(ServiceError::Io("too many open files".into())),
+                Ok(Some(conn)),
+                Ok(None),
+            ])),
+        };
+        let server = Server::new(DpService::new(Accountant::in_memory()), transport);
+        // Two transient failures, then a served connection, then shutdown.
+        server.run().unwrap();
+        let responses = responses.lock().unwrap();
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn persistent_accept_failure_is_eventually_fatal() {
+        let script: VecDeque<_> = (0..MAX_ACCEPT_FAILURES)
+            .map(|_| Err(ServiceError::Io("boom".into())))
+            .collect();
+        let transport = MockTransport {
+            script: Mutex::new(script),
+        };
+        let server = Server::new(DpService::new(Accountant::in_memory()), transport);
+        assert!(matches!(server.run(), Err(ServiceError::Io(_))));
+    }
+
+    #[test]
+    fn receive_errors_are_answered_in_band_before_closing() {
+        let responses = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let conn = MockConn {
+            requests: VecDeque::from([
+                Ok(Some("{\"op\": \"ping\"}".into())),
+                Err(ServiceError::Protocol("request line too long".into())),
+                // Never reached: the connection closes on the error above.
+                Ok(Some("{\"op\": \"ping\"}".into())),
+            ]),
+            responses: std::sync::Arc::clone(&responses),
+        };
+        let transport = MockTransport {
+            script: Mutex::new(VecDeque::from([Ok(Some(conn)), Ok(None)])),
+        };
+        let server = Server::new(DpService::new(Accountant::in_memory()), transport);
+        server.run().unwrap();
+        let responses = responses.lock().unwrap();
+        assert_eq!(responses.len(), 2, "error answered, then closed");
+        assert!(responses[1].contains("\"code\":\"protocol\""));
+    }
+
+    #[test]
+    fn an_unauthorized_shutdown_does_not_stop_accepting() {
+        use crate::auth::Auth;
+        let refused = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let granted = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let conn_refused = MockConn {
+            requests: VecDeque::from([Ok(Some("{\"op\": \"shutdown\"}".into()))]),
+            responses: std::sync::Arc::clone(&refused),
+        };
+        let conn_granted = MockConn {
+            requests: VecDeque::from([Ok(Some(
+                "{\"op\": \"shutdown\", \"auth\": \"admin\"}".into(),
+            ))]),
+            responses: std::sync::Arc::clone(&granted),
+        };
+        let transport = MockTransport {
+            script: Mutex::new(VecDeque::from([
+                Ok(Some(conn_refused)),
+                Ok(Some(conn_granted)),
+                Ok(None),
+            ])),
+        };
+        let service = DpService::with_auth(Accountant::in_memory(), Auth::operator("admin"));
+        Server::new(service, transport).run().unwrap();
+        assert!(refused.lock().unwrap()[0].contains("\"code\":\"unauthorized\""));
+        assert!(granted.lock().unwrap()[0].contains("\"shutdown\":true"));
     }
 }

@@ -7,8 +7,14 @@
 //! rejected debit therefore consumes no randomness and leaks nothing; a
 //! release failure *after* a granted debit burns budget without output,
 //! which is the safe direction (never overspend).
+//!
+//! Authorization is enforced at the wire boundary, [`DpService::handle`],
+//! against the service's [`Auth`] policy; the direct Rust methods
+//! (`open_tenant`, `release`, …) are the in-process operator surface and
+//! take no credential. See [`crate::auth`] for the threat model.
 
 use crate::accountant::{Accountant, BudgetStatus};
+use crate::auth::Auth;
 use crate::error::ServiceError;
 use crate::pool::{DataStore, SessionPool};
 use crate::protocol::{ok_response, privacy_to_value, session_release_to_value, Request};
@@ -21,20 +27,34 @@ use serde::Value;
 /// A privacy-budget-metered release service (see the module docs).
 pub struct DpService {
     accountant: Accountant,
+    auth: Auth,
     registry: Registry,
     pool: SessionPool,
     data: DataStore,
 }
 
 impl DpService {
-    /// A service backed by the given accountant (in-memory or WAL-backed).
+    /// A service backed by the given accountant, trusting every peer (the
+    /// in-process / loopback mode — see [`crate::auth`] before exposing
+    /// this over a network).
     pub fn new(accountant: Accountant) -> DpService {
+        DpService::with_auth(accountant, Auth::trusted())
+    }
+
+    /// A service enforcing the given auth policy at the wire boundary.
+    pub fn with_auth(accountant: Accountant, auth: Auth) -> DpService {
         DpService {
             accountant,
+            auth,
             registry: Registry::new(),
             pool: SessionPool::new(),
             data: DataStore::new(),
         }
+    }
+
+    /// The authenticator enforcing the service's policy.
+    pub fn auth(&self) -> &Auth {
+        &self.auth
     }
 
     /// The named datasets available for binding.
@@ -64,7 +84,7 @@ impl DpService {
     /// Registers a client-compiled plan document for `tenant`.
     pub fn register_plan(&self, tenant: &str, plan: Plan) -> Result<String, ServiceError> {
         self.require_tenant(tenant)?;
-        Ok(self.registry.register_plan(tenant, plan))
+        self.registry.register_plan(tenant, plan)
     }
 
     /// Compiles (through the shared cache) and registers a plan.
@@ -113,15 +133,40 @@ impl DpService {
     }
 
     /// Handles one parsed request, producing the success-response value.
-    /// `Shutdown` is acknowledged here; actually stopping the transport is
-    /// the server loop's job.
-    pub fn handle(&self, request: Request) -> Result<Value, ServiceError> {
+    /// `credential` is the request's `"auth"` field, checked against the
+    /// service's [`Auth`] policy per operation. `Shutdown` is
+    /// acknowledged here; actually stopping the transport is the server
+    /// loop's job (and only after an *authorized* shutdown).
+    pub fn handle(
+        &self,
+        request: Request,
+        credential: Option<&str>,
+    ) -> Result<Value, ServiceError> {
         match request {
-            Request::OpenTenant { tenant, budget } => {
+            Request::OpenTenant {
+                tenant,
+                budget,
+                tenant_token,
+            } => {
+                self.auth.check_admin(credential)?;
+                let token = if self.auth.requires_tokens() {
+                    Some(tenant_token.ok_or_else(|| {
+                        ServiceError::Protocol(
+                            "open_tenant requires a `tenant_token` under the operator auth policy"
+                                .into(),
+                        )
+                    })?)
+                } else {
+                    None
+                };
                 self.open_tenant(&tenant, budget)?;
+                if let Some(token) = token {
+                    self.auth.install_tenant_token(&tenant, &token);
+                }
                 Ok(ok_response(vec![("tenant".into(), Value::String(tenant))]))
             }
             Request::RegisterPlan { tenant, plan } => {
+                self.auth.check_tenant(&tenant, credential)?;
                 let id = self.register_plan(&tenant, *plan)?;
                 Ok(ok_response(vec![("plan_id".into(), Value::String(id))]))
             }
@@ -132,6 +177,7 @@ impl DpService {
                 privacy,
                 neighboring,
             } => {
+                self.auth.check_tenant(&tenant, credential)?;
                 let builder = PlanBuilder::new(spec)
                     .budgeting(budgeting)
                     .privacy(privacy)
@@ -144,6 +190,7 @@ impl DpService {
                 plan_id,
                 table,
             } => {
+                self.auth.check_tenant(&tenant, credential)?;
                 let id = self.bind(&tenant, &plan_id, &table)?;
                 Ok(ok_response(vec![("session".into(), Value::String(id))]))
             }
@@ -152,6 +199,7 @@ impl DpService {
                 session,
                 seeds,
             } => {
+                self.auth.check_tenant(&tenant, credential)?;
                 let releases = self.release(&tenant, &session, &seeds)?;
                 Ok(ok_response(vec![(
                     "releases".into(),
@@ -159,6 +207,7 @@ impl DpService {
                 )]))
             }
             Request::BudgetStatus { tenant } => {
+                self.auth.check_tenant(&tenant, credential)?;
                 let s = self.budget_status(&tenant)?;
                 Ok(ok_response(vec![
                     ("tenant".into(), Value::String(tenant)),
@@ -180,7 +229,10 @@ impl DpService {
                     Value::Array(self.data.names().into_iter().map(Value::String).collect()),
                 ),
             ])),
-            Request::Shutdown => Ok(ok_response(vec![("shutdown".into(), Value::Bool(true))])),
+            Request::Shutdown => {
+                self.auth.check_admin(credential)?;
+                Ok(ok_response(vec![("shutdown".into(), Value::Bool(true))]))
+            }
         }
     }
 }
@@ -253,6 +305,62 @@ mod tests {
             service.release("t", "nope", &[1]),
             Err(ServiceError::UnknownSession(_))
         ));
+    }
+
+    #[test]
+    fn wire_requests_are_gated_by_the_operator_policy() {
+        let service = DpService::with_auth(Accountant::in_memory(), Auth::operator("admin"));
+        service
+            .data()
+            .insert_table("toy", ContingencyTable::from_indices(3, &[0, 1, 2]));
+        let open = || Request::OpenTenant {
+            tenant: "t".into(),
+            budget: PrivacyLevel::Pure { epsilon: 1.0 },
+            tenant_token: Some("tok".into()),
+        };
+
+        // Minting a tenant budget needs the operator credential...
+        for bad in [None, Some("nope"), Some("tok")] {
+            assert!(matches!(
+                service.handle(open(), bad),
+                Err(ServiceError::Unauthorized(_))
+            ));
+        }
+        // ...and must install a tenant credential.
+        assert!(matches!(
+            service.handle(
+                Request::OpenTenant {
+                    tenant: "t".into(),
+                    budget: PrivacyLevel::Pure { epsilon: 1.0 },
+                    tenant_token: None,
+                },
+                Some("admin"),
+            ),
+            Err(ServiceError::Protocol(_))
+        ));
+        service.handle(open(), Some("admin")).unwrap();
+
+        // Tenant-scoped requests take the tenant credential or the admin's.
+        let status = || Request::BudgetStatus { tenant: "t".into() };
+        assert!(matches!(
+            service.handle(status(), None),
+            Err(ServiceError::Unauthorized(_))
+        ));
+        assert!(matches!(
+            service.handle(status(), Some("wrong")),
+            Err(ServiceError::Unauthorized(_))
+        ));
+        service.handle(status(), Some("tok")).unwrap();
+        service.handle(status(), Some("admin")).unwrap();
+
+        // Shutdown is operator-only; a tenant credential does not unlock it.
+        for bad in [None, Some("tok")] {
+            assert!(matches!(
+                service.handle(Request::Shutdown, bad),
+                Err(ServiceError::Unauthorized(_))
+            ));
+        }
+        service.handle(Request::Shutdown, Some("admin")).unwrap();
     }
 
     #[test]

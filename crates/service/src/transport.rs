@@ -12,6 +12,16 @@
 //! front-end later only has to implement these two small traits — nothing
 //! in the protocol or accounting layers would change.
 //!
+//! ## Request size cap
+//!
+//! A request line is read into memory before parsing, so an unbounded
+//! line would let one peer grow the server's memory without limit.
+//! [`TcpConnection::receive`] therefore refuses lines longer than
+//! [`MAX_LINE_BYTES`] with a protocol error (answered in-band by the
+//! server before the connection closes — the stream cannot be
+//! resynchronized mid-line). The cap is far above any real request: plan
+//! documents for the largest supported cubes are well under a megabyte.
+//!
 //! ## Shutdown
 //!
 //! `TcpListener::accept` has no portable timeout, so [`TcpTransport`]
@@ -19,11 +29,14 @@
 //! the self-connection wakes the blocked `accept`, which observes the flag
 //! and reports the transport closed.
 
-use std::io::{BufRead as _, BufReader, Write as _};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::ServiceError;
+
+/// Longest accepted request line, in bytes (16 MiB). See the module docs.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
 
 /// One bidirectional line-oriented peer connection.
 pub trait Connection: Send {
@@ -78,9 +91,27 @@ impl TcpConnection {
 impl Connection for TcpConnection {
     fn receive(&mut self) -> Result<Option<String>, ServiceError> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        // `take` bounds how much one line can pull into memory; the one
+        // extra byte distinguishes "exactly at the cap" from "over it".
+        let n = match (&mut self.reader)
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_line(&mut line)
+        {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return Err(ServiceError::Protocol(
+                    "request line is not valid UTF-8".into(),
+                ));
+            }
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             return Ok(None);
+        }
+        if n > MAX_LINE_BYTES && !line.ends_with('\n') {
+            return Err(ServiceError::Protocol(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes"
+            )));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
             line.pop();
@@ -181,5 +212,54 @@ mod tests {
             transport.shutdown(); // idempotent
         });
         assert!(transport.accept().unwrap().is_none(), "stays shut down");
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_without_buffering_them() {
+        let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr();
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| {
+                let mut conn = transport.accept().unwrap().expect("one connection");
+                assert!(matches!(
+                    conn.receive(),
+                    Err(ServiceError::Protocol(m)) if m.contains("exceeds")
+                ));
+                // Dropping `conn` closes the socket, unblocking the writer.
+            });
+
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            let chunk = vec![b'a'; 1 << 20];
+            // 17 MiB with no newline; the server stops reading at the cap
+            // and closes, so later writes may fail — that is the point.
+            for _ in 0..17 {
+                use std::io::Write as _;
+                if stream.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+            server.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn non_utf8_input_is_a_protocol_error() {
+        let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr();
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut conn = transport.accept().unwrap().expect("one connection");
+                assert!(matches!(
+                    conn.receive(),
+                    Err(ServiceError::Protocol(m)) if m.contains("UTF-8")
+                ));
+            });
+
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            use std::io::Write as _;
+            stream.write_all(b"\xff\xfe{\"op\": \"ping\"}\n").unwrap();
+        });
     }
 }

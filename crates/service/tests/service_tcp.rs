@@ -10,7 +10,7 @@ use dp_core::api::{OwnedSession, WorkloadSpec};
 use dp_core::{ContingencyTable, PlanBuilder, Schema, StrategyKind, Workload};
 use dp_mech::{Neighboring, PrivacyLevel};
 use dp_service::protocol::{render_line, session_release_to_value};
-use dp_service::{Accountant, Client, DpService, Server, ServiceError, TcpTransport};
+use dp_service::{Accountant, Auth, Client, DpService, Server, ServiceError, TcpTransport};
 
 fn toy_table() -> ContingencyTable {
     ContingencyTable::from_indices(4, &[0, 1, 2, 3, 9, 15, 15])
@@ -27,7 +27,11 @@ fn toy_spec() -> WorkloadSpec {
 }
 
 fn start_server() -> (JoinHandle<()>, String) {
-    let service = DpService::new(Accountant::in_memory());
+    start_server_with_auth(Auth::trusted())
+}
+
+fn start_server_with_auth(auth: Auth) -> (JoinHandle<()>, String) {
+    let service = DpService::with_auth(Accountant::in_memory(), auth);
     service.data().insert_table("toy", toy_table());
     let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
     let server = Server::new(service, transport);
@@ -117,6 +121,76 @@ fn exhaustion_arrives_typed_over_the_wire_and_is_permanent() {
     assert_eq!(status.charges, 1);
 
     client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn operator_policy_gates_the_whole_wire_lifecycle() {
+    let (handle, addr) = start_server_with_auth(Auth::operator("admin-secret"));
+
+    // An anonymous peer can ping but cannot mint itself a tenant, drain
+    // another tenant's budget, or stop the service.
+    let mut anon = Client::connect(&addr).unwrap();
+    anon.ping().unwrap();
+    let budget = PrivacyLevel::Pure { epsilon: 2.0 };
+    assert!(matches!(
+        anon.open_tenant("t", budget),
+        Err(ServiceError::Remote { ref code, .. }) if code == "unauthorized"
+    ));
+    assert!(matches!(
+        anon.shutdown(),
+        Err(ServiceError::Remote { ref code, .. }) if code == "unauthorized"
+    ));
+
+    // The operator opens the tenant and installs its token.
+    let mut admin = Client::connect(&addr).unwrap();
+    admin.set_credential(Some("admin-secret".into()));
+    admin
+        .open_tenant_with_token("t", budget, "t-token")
+        .unwrap();
+
+    // A peer presenting the wrong token is still locked out...
+    anon.set_credential(Some("wrong".into()));
+    assert!(matches!(
+        anon.budget_status("t"),
+        Err(ServiceError::Remote { ref code, .. }) if code == "unauthorized"
+    ));
+
+    // ...while the tenant's own token unlocks the full release flow.
+    let mut tenant = Client::connect(&addr).unwrap();
+    tenant.set_credential(Some("t-token".into()));
+    let plan_id = tenant
+        .register_compile(
+            "t",
+            toy_spec(),
+            dp_core::Budgeting::Optimal,
+            PrivacyLevel::Pure { epsilon: 0.25 },
+            Neighboring::AddRemove,
+        )
+        .unwrap();
+    let session = tenant.bind("t", &plan_id, "toy").unwrap();
+    assert_eq!(tenant.release("t", &session, &[7]).unwrap().len(), 1);
+    let status = tenant.budget_status("t").unwrap();
+    assert!((status.spent_epsilon - 0.25).abs() < 1e-12);
+
+    // The tenant token does not reach admin surface: no new tenants, no
+    // shutdown.
+    assert!(matches!(
+        tenant.open_tenant_with_token("t2", budget, "t2-token"),
+        Err(ServiceError::Remote { ref code, .. }) if code == "unauthorized"
+    ));
+    assert!(matches!(
+        tenant.shutdown(),
+        Err(ServiceError::Remote { ref code, .. }) if code == "unauthorized"
+    ));
+
+    // Refused shutdowns left the server running; the admin's succeeds.
+    admin.ping().unwrap();
+    // Hang up the other connections first: the server drains in-flight
+    // handlers before run() returns, so they must not sit in receive().
+    drop(anon);
+    drop(tenant);
+    admin.shutdown().unwrap();
     handle.join().unwrap();
 }
 

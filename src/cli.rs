@@ -119,6 +119,15 @@ pub struct ServeArgs {
     /// Optional path of the persistent budget ledger (write-ahead JSON
     /// lines); without it budgets reset with the process.
     pub ledger: Option<String>,
+    /// Admin bearer token; switches the service to the operator auth
+    /// policy (tenant ops need per-tenant tokens, `open`/`shutdown` need
+    /// this token). Without it the server trusts every peer.
+    pub admin_token: Option<String>,
+    /// Optional service-wide ε cap across *all* tenants (the per-dataset
+    /// global ledger).
+    pub global_epsilon: Option<f64>,
+    /// Optional service-wide δ cap (requires `--global-epsilon`).
+    pub global_delta: Option<f64>,
 }
 
 /// One-shot client operations (the `client` subcommand).
@@ -132,6 +141,9 @@ pub enum ClientOp {
         epsilon: f64,
         /// Optional total δ allowance.
         delta: Option<f64>,
+        /// Bearer token to install for the tenant (required when the
+        /// server runs the operator auth policy).
+        token: Option<String>,
     },
     /// `register`: have the server compile + register a plan.
     Register {
@@ -186,6 +198,9 @@ pub enum ClientOp {
 pub struct ClientArgs {
     /// Address of the running service.
     pub addr: String,
+    /// Bearer credential sent with every request (a tenant token, or the
+    /// admin token for `open`/`shutdown`).
+    pub auth: Option<String>,
     /// The operation to perform.
     pub op: ClientOp,
 }
@@ -217,9 +232,10 @@ USAGE:
                       [--cluster <fast|serial|faithful>] [--output <path.json>]
   datacube-dp inspect --dataset <adult|nltcs>
   datacube-dp serve   --addr <host:port> [--dataset <adult|nltcs>]...
-                      [--ledger <path.jsonl>]
-  datacube-dp client  --addr <host:port> <op> [op flags]
-      open     --tenant <t> --epsilon <f64> [--delta <f64>]
+                      [--ledger <path.jsonl>] [--admin-token <secret>]
+                      [--global-epsilon <f64> [--global-delta <f64>]]
+  datacube-dp client  --addr <host:port> [--auth <token>] <op> [op flags]
+      open     --tenant <t> --epsilon <f64> [--delta <f64>] [--token <secret>]
       register --tenant <t> --dataset <adult|nltcs> --workload <label>
                --strategy <f|q|c|i> [--budgets <uniform|optimal>]
                --epsilon <f64> [--delta <f64>]
@@ -234,8 +250,13 @@ USAGE:
 emits one JSON array (marginal lists, or full documents with --json).
 `plan` stops after compilation and emits the serialized plan document.
 `serve` runs the budget-metered multi-tenant release service (JSON lines
-over TCP; with --ledger, spent budget survives restarts); `client` performs
-one service call and prints the response.
+over TCP; with --ledger, spent budget survives restarts). --admin-token
+switches it to the operator auth policy: `open`/`shutdown` need --auth set
+to the admin token, `open` installs the tenant's --token, and tenant ops
+need --auth set to that tenant token; without --admin-token every peer is
+trusted (loopback/dev only). --global-epsilon adds a service-wide budget
+cap across all tenants. `client` performs one service call and prints the
+response.
 `--cluster` picks the cluster-strategy (`--strategy c`) search: `fast` (the
 optimized incremental search, default), `serial` (same, without the rayon
 fan-out), or `faithful` (the paper-faithful exponential candidate walk of
@@ -310,6 +331,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut addr = None;
             let mut datasets = Vec::new();
             let mut ledger = None;
+            let mut admin_token = None;
+            let mut global_epsilon = None;
+            let mut global_delta = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, CliError> {
@@ -324,16 +348,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--ledger" => ledger = Some(value("--ledger")?.clone()),
+                    "--admin-token" => admin_token = Some(value("--admin-token")?.clone()),
+                    "--global-epsilon" => {
+                        global_epsilon = Some(
+                            value("--global-epsilon")?
+                                .parse::<f64>()
+                                .map_err(|e| CliError(format!("bad --global-epsilon: {e}")))?,
+                        )
+                    }
+                    "--global-delta" => {
+                        global_delta = Some(
+                            value("--global-delta")?
+                                .parse::<f64>()
+                                .map_err(|e| CliError(format!("bad --global-delta: {e}")))?,
+                        )
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?} for serve"))),
                 }
             }
             if datasets.is_empty() {
                 datasets = vec![DatasetArg::Adult, DatasetArg::Nltcs];
             }
+            if global_delta.is_some() && global_epsilon.is_none() {
+                return Err(CliError("--global-delta requires --global-epsilon".into()));
+            }
             Ok(Command::Serve(ServeArgs {
                 addr: addr.ok_or(CliError("serve requires --addr".into()))?,
                 datasets,
                 ledger,
+                admin_token,
+                global_epsilon,
+                global_delta,
             }))
         }
         "client" => parse_client(&args[1..]),
@@ -434,6 +479,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 /// its flags, in any order.
 fn parse_client(args: &[String]) -> Result<Command, CliError> {
     let mut addr = None;
+    let mut auth = None;
+    let mut token = None;
     let mut op_name: Option<&str> = None;
     let mut tenant = None;
     let mut dataset = None;
@@ -455,6 +502,8 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
         };
         match arg.as_str() {
             "--addr" => addr = Some(value("--addr")?.clone()),
+            "--auth" => auth = Some(value("--auth")?.clone()),
+            "--token" => token = Some(value("--token")?.clone()),
             "--tenant" => tenant = Some(value("--tenant")?.clone()),
             "--dataset" => dataset = Some(parse_dataset(value("--dataset")?)?),
             "--workload" => workload = Some(value("--workload")?.clone()),
@@ -504,6 +553,7 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
             tenant: need_tenant(tenant, "open")?,
             epsilon: epsilon.ok_or(CliError("client open requires --epsilon".into()))?,
             delta,
+            token,
         },
         "register" => ClientOp::Register {
             tenant: need_tenant(tenant, "register")?,
@@ -532,7 +582,7 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
         "shutdown" => ClientOp::Shutdown,
         other => return Err(CliError(format!("unknown client operation {other:?}"))),
     };
-    Ok(Command::Client(ClientArgs { addr, op }))
+    Ok(Command::Client(ClientArgs { addr, auth, op }))
 }
 
 /// Builds the workload for a label over a schema.
@@ -840,6 +890,8 @@ mod tests {
         assert_eq!(a.addr, "127.0.0.1:0");
         assert_eq!(a.datasets, vec![DatasetArg::Adult, DatasetArg::Nltcs]);
         assert_eq!(a.ledger, None);
+        assert_eq!(a.admin_token, None);
+        assert_eq!(a.global_epsilon, None);
 
         let cmd = parse_args(&sv(&[
             "serve",
@@ -851,6 +903,12 @@ mod tests {
             "nltcs",
             "--ledger",
             "budget.jsonl",
+            "--admin-token",
+            "s3cret",
+            "--global-epsilon",
+            "8.0",
+            "--global-delta",
+            "1e-6",
         ]))
         .unwrap();
         let Command::Serve(a) = cmd else {
@@ -858,9 +916,16 @@ mod tests {
         };
         assert_eq!(a.datasets, vec![DatasetArg::Nltcs], "duplicates collapse");
         assert_eq!(a.ledger.as_deref(), Some("budget.jsonl"));
+        assert_eq!(a.admin_token.as_deref(), Some("s3cret"));
+        assert_eq!(a.global_epsilon, Some(8.0));
+        assert_eq!(a.global_delta, Some(1e-6));
 
         assert!(parse_args(&sv(&["serve"])).is_err());
         assert!(parse_args(&sv(&["serve", "--addr", "x", "--json"])).is_err());
+        assert!(
+            parse_args(&sv(&["serve", "--addr", "x", "--global-delta", "1e-6"])).is_err(),
+            "--global-delta without --global-epsilon"
+        );
     }
 
     #[test]
@@ -877,12 +942,39 @@ mod tests {
             panic!("expected client");
         };
         assert_eq!(a.addr, "127.0.0.1:7878");
+        assert_eq!(a.auth, None);
         assert_eq!(
             a.op,
             ClientOp::Open {
                 tenant: "t".into(),
                 epsilon: 1.5,
-                delta: None
+                delta: None,
+                token: None
+            }
+        );
+
+        let Command::Client(a) = with(&[
+            "--auth",
+            "admin",
+            "open",
+            "--tenant",
+            "t",
+            "--epsilon",
+            "1.5",
+            "--token",
+            "tok",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(a.auth.as_deref(), Some("admin"));
+        assert_eq!(
+            a.op,
+            ClientOp::Open {
+                tenant: "t".into(),
+                epsilon: 1.5,
+                delta: None,
+                token: Some("tok".into())
             }
         );
 

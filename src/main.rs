@@ -8,7 +8,7 @@ use datacube_dp::cli::{
     ClientOp, Command, PlanArgs, ReleaseArgs, ServeArgs, USAGE,
 };
 use datacube_dp::prelude::*;
-use datacube_dp::service::{protocol, Accountant, Client, DpService, Server, TcpTransport};
+use datacube_dp::service::{protocol, Accountant, Auth, Client, DpService, Server, TcpTransport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -109,13 +109,22 @@ fn run_plan(args: &PlanArgs) -> Result<(), String> {
 /// arrives. Prints the resolved listen address as the first stdout line so
 /// scripts can capture an OS-picked port (`--addr 127.0.0.1:0`).
 fn run_serve(args: &ServeArgs) -> Result<(), String> {
-    let accountant = match &args.ledger {
+    let mut accountant = match &args.ledger {
         Some(path) => {
             Accountant::with_wal(std::path::Path::new(path)).map_err(|e| e.to_string())?
         }
         None => Accountant::in_memory(),
     };
-    let service = DpService::new(accountant);
+    if let Some(epsilon) = args.global_epsilon {
+        accountant = accountant
+            .with_global_budget(privacy_level(epsilon, args.global_delta))
+            .map_err(|e| e.to_string())?;
+    }
+    let auth = match &args.admin_token {
+        Some(token) => Auth::operator(token),
+        None => Auth::trusted(),
+    };
+    let service = DpService::with_auth(accountant, auth);
     for &dataset in &args.datasets {
         let (_, table) = load_dataset(dataset, 20130401).map_err(|e| e.to_string())?;
         service.data().insert_table(dataset_name(dataset), table);
@@ -126,12 +135,21 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "serving on {} with tables {:?}{}",
+        "serving on {} with tables {:?}{}{}{}",
         server.addr(),
         server.service().data().names(),
         match &args.ledger {
             Some(p) => format!(", persistent ledger at {p}"),
             None => ", in-memory budgets".into(),
+        },
+        if args.admin_token.is_some() {
+            ", operator auth"
+        } else {
+            ", trusted peers (no auth)"
+        },
+        match args.global_epsilon {
+            Some(eps) => format!(", global budget ε = {eps}"),
+            None => String::new(),
         }
     );
     server.run().map_err(|e| e.to_string())
@@ -141,15 +159,20 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
 /// result (ids and releases go to stdout for scripting).
 fn run_client(args: &ClientArgs) -> Result<(), String> {
     let mut client = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    client.set_credential(args.auth.clone());
     match &args.op {
         ClientOp::Open {
             tenant,
             epsilon,
             delta,
+            token,
         } => {
-            client
-                .open_tenant(tenant, privacy_level(*epsilon, *delta))
-                .map_err(|e| e.to_string())?;
+            let budget = privacy_level(*epsilon, *delta);
+            match token {
+                Some(token) => client.open_tenant_with_token(tenant, budget, token),
+                None => client.open_tenant(tenant, budget),
+            }
+            .map_err(|e| e.to_string())?;
             println!("opened {tenant}");
         }
         ClientOp::Register {
