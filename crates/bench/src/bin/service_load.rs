@@ -1,7 +1,8 @@
 //! Service load benchmark: releases/sec and request latency of the
 //! budget-metered TCP service under `N` concurrent tenants, each hammering
 //! its own connection with single-seed release requests against one shared
-//! cached plan (NLTCS Q2, F+).
+//! cached plan (NLTCS Q2, F+), followed by an overload storm that drives
+//! one tenant past its in-flight cap to measure the shed/retry path.
 //!
 //! Usage: `cargo run -p dp-bench --release --bin service_load [-- --smoke]`
 //!
@@ -9,9 +10,9 @@
 
 use dp_core::api::WorkloadSpec;
 use dp_core::prelude::*;
-use dp_service::{Accountant, Client, DpService, Server, TcpTransport};
+use dp_service::{Accountant, Client, ClientConfig, DpService, Server, TcpTransport};
 use serde::Serialize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One measured service-load configuration.
 #[derive(Debug, Clone, Serialize)]
@@ -33,6 +34,17 @@ pub struct ServiceLoadPoint {
     /// Step-2 budget solves across registration + storm (the shared
     /// cache should hold this at 1 no matter how many tenants).
     pub budget_solves: u64,
+    /// Client-side resends during the throughput storm (0 on a healthy
+    /// loopback: nothing times out, nothing sheds).
+    pub storm_retries: u64,
+    /// Keyed release requests issued in the overload storm (several
+    /// connections hammering ONE tenant past its in-flight cap).
+    pub overload_requests: usize,
+    /// Typed `overloaded` sheds received during the overload storm.
+    pub overload_sheds: u64,
+    /// Resends during the overload storm (every shed that the retry
+    /// budget covered, plus any transport retries).
+    pub overload_retries: u64,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -57,14 +69,20 @@ fn main() {
         strategy: StrategyKind::Fourier,
         cluster: ClusterConfig::default(),
     };
+    let overload_workers = 4;
+    let overload_per_worker = if smoke { 8 } else { 50 };
     let per_release = PrivacyLevel::Pure { epsilon: 0.01 };
     // Budget sized so no request is ever refused — this measures
-    // throughput, not exhaustion.
+    // throughput and shedding, not exhaustion (tenant0 additionally pays
+    // for the whole overload storm).
     let budget = PrivacyLevel::Pure {
-        epsilon: 0.01 * (requests as f64) * 2.0,
+        epsilon: 0.01 * ((requests + overload_workers * overload_per_worker) as f64) * 2.0,
     };
 
-    let service = DpService::new(Accountant::in_memory());
+    // The in-flight cap is irrelevant to the throughput storm (one
+    // connection per tenant → at most one in-flight each) but makes the
+    // overload storm below actually shed.
+    let service = DpService::new(Accountant::in_memory()).with_tenant_inflight_cap(1);
     service.data().insert_table("nltcs", table);
     let transport = TcpTransport::bind("127.0.0.1:0").expect("loopback bind");
     let server = Server::new(service, transport);
@@ -91,7 +109,7 @@ fn main() {
     }
 
     let start = Instant::now();
-    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let outcomes: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..tenants)
             .map(|t| {
                 let tenant = format!("tenant{t}");
@@ -108,7 +126,7 @@ fn main() {
                         assert_eq!(r.len(), 1);
                         lat.push(t0.elapsed().as_secs_f64() * 1e3);
                     }
-                    lat
+                    (lat, client.stats().retries)
                 })
             })
             .collect();
@@ -116,8 +134,62 @@ fn main() {
     });
     let seconds = start.elapsed().as_secs_f64();
     let budget_solves = dp_opt::budget::solve_count() - solves_before;
+    let storm_retries: u64 = outcomes.iter().map(|(_, r)| r).sum();
 
-    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    // Overload storm: several connections hammer tenant0 at once, past
+    // its in-flight cap. Sheds come back as the typed retryable
+    // `overloaded`; the client retry machinery resends, and the
+    // idempotency keys keep the ledger at one charge per logical release
+    // however many resends the storm needed.
+    let overload_charges_before = {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.budget_status("tenant0").expect("status").charges
+    };
+    let (overload_sheds, overload_retries) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..overload_workers)
+            .map(|w| {
+                let session = sessions[0].clone();
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect_with(
+                        &addr,
+                        ClientConfig {
+                            max_retries: 32,
+                            backoff_base: Duration::from_millis(1),
+                            backoff_cap: Duration::from_millis(50),
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .expect("connect");
+                    for i in 0..overload_per_worker as u64 {
+                        let seed = 1_000_000 + w as u64 * 10_000 + i;
+                        let r = client
+                            .release("tenant0", &session, &[seed])
+                            .expect("retries absorb every shed");
+                        assert_eq!(r.len(), 1);
+                    }
+                    let stats = client.stats();
+                    (stats.sheds, stats.retries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u64, 0u64), |(s, r), (ws, wr)| (s + ws, r + wr))
+    });
+    let overload_requests = overload_workers * overload_per_worker;
+    {
+        let mut c = Client::connect(&addr).expect("connect");
+        let charges = c.budget_status("tenant0").expect("status").charges;
+        assert_eq!(
+            charges - overload_charges_before,
+            overload_requests,
+            "exactly one charge per logical release, sheds and retries notwithstanding"
+        );
+    }
+
+    let mut all: Vec<f64> = outcomes.into_iter().flat_map(|(lat, _)| lat).collect();
     all.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let total = all.len();
     let point = ServiceLoadPoint {
@@ -129,26 +201,43 @@ fn main() {
         p50_ms: percentile(&all, 0.50),
         p99_ms: percentile(&all, 0.99),
         budget_solves,
+        storm_retries,
+        overload_requests,
+        overload_sheds,
+        overload_retries,
     };
 
     println!("\n== service load: concurrent tenants over TCP (NLTCS Q2, F+) ==");
     println!(
-        "{:>8} {:>10} {:>10} {:>14} {:>10} {:>10} {:>8}",
-        "tenants", "requests", "seconds", "releases/s", "p50 ms", "p99 ms", "solves"
+        "{:>8} {:>10} {:>10} {:>14} {:>10} {:>10} {:>8} {:>8}",
+        "tenants", "requests", "seconds", "releases/s", "p50 ms", "p99 ms", "solves", "retries"
     );
     println!(
-        "{:>8} {:>10} {:>10.3} {:>14.1} {:>10.3} {:>10.3} {:>8}",
+        "{:>8} {:>10} {:>10.3} {:>14.1} {:>10.3} {:>10.3} {:>8} {:>8}",
         point.tenants,
         point.requests_per_tenant,
         point.seconds,
         point.releases_per_sec,
         point.p50_ms,
         point.p99_ms,
-        point.budget_solves
+        point.budget_solves,
+        point.storm_retries
+    );
+    println!(
+        "\n== overload storm: {overload_workers} connections on one tenant (in-flight cap 1) =="
+    );
+    println!("{:>10} {:>8} {:>8}", "requests", "sheds", "retries");
+    println!(
+        "{:>10} {:>8} {:>8}",
+        point.overload_requests, point.overload_sheds, point.overload_retries
     );
     assert_eq!(
         point.budget_solves, 1,
         "all tenants share one cached plan solve"
+    );
+    assert_eq!(
+        point.storm_retries, 0,
+        "the throughput storm never exceeds the in-flight cap"
     );
 
     // Shut down through the setup connection and drop it: the server

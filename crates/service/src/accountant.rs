@@ -25,6 +25,26 @@
 //! and the release is refused: budget is burned without output, which
 //! wastes utility but can never overspend ε.
 //!
+//! Records carry an FNV-1a checksum (`"crc"`), so a bit flip anywhere in
+//! a committed record — including inside a spent-ε digit, which would
+//! otherwise *parse fine and silently under-report spend* — fails closed
+//! as [`ServiceError::WalCorrupt`]. Records written before checksums
+//! existed (no `"crc"` field) still replay.
+//!
+//! ## The release journal (exactly-once)
+//!
+//! A release request that carries a client `request_id` is admitted
+//! through [`Accountant::admit_release`], which makes the duplicate check
+//! and the debit **one critical section**: the first admission debits the
+//! charge and journals `(tenant, request_id, session, seeds, charge)` in
+//! the WAL record itself; every later admission of the same id debits
+//! *nothing* and replays — from the cached response if the release
+//! completed, or by telling the caller to recompute (releases are
+//! seed-deterministic, so recomputation is byte-identical) if the first
+//! attempt died between debit and response. WAL replay reconstructs the
+//! journal, so the no-double-debit guarantee survives crash/restart; only
+//! the response *cache* is volatile, and recomputation covers it.
+//!
 //! ## The global ledger
 //!
 //! Per-tenant ledgers bound per-tenant spend; they say nothing about the
@@ -36,16 +56,25 @@
 //! persisted per-tenant spends are replayed into the global ledger first,
 //! so a restart cannot launder dataset-level spend either.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::Path;
 use std::sync::Mutex;
 
 use crate::error::ServiceError;
+use crate::fail_point;
 use crate::protocol::{parse_line, privacy_from_value, privacy_to_value, render_line};
+use dp_core::serde_impls::{u64_from, u64_value};
 use dp_mech::{BudgetLedger, PrivacyLevel};
 use serde::Value;
+
+/// Completed release responses kept in memory for replay. The *journal*
+/// (which ids were charged, and for what) is never evicted — it is the
+/// exactly-once guarantee and is WAL-backed anyway; the cached response
+/// bytes are only a shortcut, because an evicted response is recomputed
+/// deterministically from the journaled seeds.
+const RESPONSE_CACHE_CAP: usize = 1024;
 
 /// A point-in-time snapshot of one tenant's budget position.
 #[derive(Debug, Clone, Copy)]
@@ -64,10 +93,43 @@ pub struct BudgetStatus {
     pub charges: usize,
 }
 
+/// What the accountant knows about one journaled release: enough to
+/// detect a request-id reuse with different parameters, and enough for
+/// the service to *recompute* the release if the cached response is gone
+/// (releases are seed-deterministic).
+struct ReleaseRecord {
+    session: String,
+    seeds: Vec<u64>,
+    charge: PrivacyLevel,
+    response: Option<Value>,
+}
+
+/// The accountant's verdict on a release request that carries a client
+/// `request_id` (see [`Accountant::admit_release`]).
+#[derive(Debug)]
+pub enum ReleaseAdmission {
+    /// First admission of this id: the charge was debited and journaled.
+    /// The caller must compute the release and then store its response
+    /// with [`Accountant::record_response`].
+    Fresh,
+    /// This id was already charged — debit nothing. `Some` carries the
+    /// cached response to return verbatim; `None` means the response was
+    /// never stored (the first attempt died between debit and response,
+    /// or the cache evicted it) and the caller must recompute it from the
+    /// same session and seeds, which is byte-identical by determinism.
+    Replay(Option<Value>),
+}
+
 struct AccountantState {
     tenants: HashMap<String, BudgetLedger>,
     global: Option<BudgetLedger>,
     wal: Option<File>,
+    /// The release journal, keyed by `(tenant, request_id)`. Entries are
+    /// never removed — each one witnesses a debit that must not repeat.
+    releases: HashMap<(String, String), ReleaseRecord>,
+    /// Which journal entries currently hold a cached response, oldest
+    /// first, for [`RESPONSE_CACHE_CAP`] eviction.
+    response_order: VecDeque<(String, String)>,
 }
 
 /// Thread-safe per-tenant budget accountant (see the module docs).
@@ -79,23 +141,87 @@ pub struct Accountant {
     state: Mutex<AccountantState>,
 }
 
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends a `"crc"` field holding the FNV-1a 64 of the record as rendered
+/// *without* it. Rendering is deterministic (insertion-ordered keys, exact
+/// f64 round-trip), so verification re-renders and compares.
+fn seal(record: Value) -> Value {
+    let crc = fnv1a64(render_line(&record).as_bytes());
+    let Value::Object(mut fields) = record else {
+        unreachable!("ledger records are always objects");
+    };
+    fields.push(("crc".into(), Value::String(format!("{crc:016x}"))));
+    Value::Object(fields)
+}
+
+/// Checks a record's `"crc"` seal. Records from before checksums existed
+/// carry no `"crc"` field and are accepted as-is.
+fn verify_seal(record: &Value) -> Result<(), String> {
+    let Value::Object(fields) = record else {
+        return Err("record is not an object".into());
+    };
+    let Some(pos) = fields.iter().position(|(key, _)| key == "crc") else {
+        return Ok(());
+    };
+    let stored = fields[pos].1.as_str().ok_or("crc is not a string")?;
+    let mut without = fields.clone();
+    without.remove(pos);
+    let crc = fnv1a64(render_line(&Value::Object(without)).as_bytes());
+    if format!("{crc:016x}") != stored {
+        return Err("checksum mismatch".into());
+    }
+    Ok(())
+}
+
 fn open_record(tenant: &str, budget: PrivacyLevel) -> Value {
-    Value::Object(vec![
+    seal(Value::Object(vec![
         ("op".into(), Value::String("open".into())),
         ("tenant".into(), Value::String(tenant.into())),
         ("budget".into(), privacy_to_value(budget)),
-    ])
+    ]))
 }
 
 fn spend_record(tenant: &str, charge: PrivacyLevel) -> Value {
-    Value::Object(vec![
+    spend_record_with(tenant, charge, None)
+}
+
+/// A spend record, optionally journaling the `(request_id, session, seeds)`
+/// of the release it pays for, so WAL replay can rebuild the dedup journal.
+fn spend_record_with(
+    tenant: &str,
+    charge: PrivacyLevel,
+    release: Option<(&str, &str, &[u64])>,
+) -> Value {
+    let mut fields = vec![
         ("op".into(), Value::String("spend".into())),
         ("tenant".into(), Value::String(tenant.into())),
         ("charge".into(), privacy_to_value(charge)),
-    ])
+    ];
+    if let Some((request_id, session, seeds)) = release {
+        fields.push(("request_id".into(), Value::String(request_id.into())));
+        fields.push(("session".into(), Value::String(session.into())));
+        fields.push((
+            "seeds".into(),
+            Value::Array(seeds.iter().map(|&s| u64_value(s)).collect()),
+        ));
+    }
+    seal(Value::Object(fields))
 }
 
-fn apply_record(tenants: &mut HashMap<String, BudgetLedger>, record: &Value) -> Result<(), String> {
+fn apply_record(
+    tenants: &mut HashMap<String, BudgetLedger>,
+    releases: &mut HashMap<(String, String), ReleaseRecord>,
+    record: &Value,
+) -> Result<(), String> {
+    verify_seal(record)?;
     let tenant = record
         .get_field("tenant")
         .and_then(Value::as_str)
@@ -124,7 +250,35 @@ fn apply_record(tenants: &mut HashMap<String, BudgetLedger>, record: &Value) -> 
                 .get_mut(&tenant)
                 .ok_or_else(|| format!("spend for unopened tenant {tenant:?}"))?
                 .try_spend(charge)
-                .map_err(|e| e.to_string())
+                .map_err(|e| e.to_string())?;
+            if let Some(request_id) = record.get_field("request_id").and_then(Value::as_str) {
+                let session = record
+                    .get_field("session")
+                    .and_then(Value::as_str)
+                    .ok_or("release record missing session")?
+                    .to_string();
+                let seeds = record
+                    .get_field("seeds")
+                    .and_then(Value::as_array)
+                    .ok_or("release record missing seeds")?
+                    .iter()
+                    .map(|v| u64_from(v, "seed").map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<u64>, String>>()?;
+                let key = (tenant, request_id.to_string());
+                let entry = ReleaseRecord {
+                    session,
+                    seeds,
+                    charge,
+                    response: None,
+                };
+                if releases.insert(key, entry).is_some() {
+                    // Two debits for one id means the exactly-once
+                    // invariant was already violated on disk; refuse to
+                    // load rather than normalize it.
+                    return Err(format!("duplicate release request id {request_id:?}"));
+                }
+            }
+            Ok(())
         }
         other => Err(format!("unknown ledger op {other:?}")),
     }
@@ -138,6 +292,8 @@ impl Accountant {
                 tenants: HashMap::new(),
                 global: None,
                 wal: None,
+                releases: HashMap::new(),
+                response_order: VecDeque::new(),
             }),
         }
     }
@@ -176,32 +332,54 @@ impl Accountant {
             None => "",
         };
         let mut tenants = HashMap::new();
+        let mut releases = HashMap::new();
         for (idx, line) in committed.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let record = parse_line(line)
                 .map_err(|e| ServiceError::WalCorrupt(format!("record {}: {e}", idx + 1)))?;
-            apply_record(&mut tenants, &record)
+            apply_record(&mut tenants, &mut releases, &record)
                 .map_err(|e| ServiceError::WalCorrupt(format!("record {}: {e}", idx + 1)))?;
         }
+        let existed = path.exists();
         let wal = OpenOptions::new().create(true).append(true).open(path)?;
         if text.len() > committed.len() {
             wal.set_len(committed.len() as u64)?;
         }
+        // `sync_data` on the ledger file durably commits its *contents*,
+        // but a freshly created file's directory entry lives in the parent
+        // directory's inode: without an fsync of the parent, a crash right
+        // after the first acknowledged debit can lose the entire file —
+        // and with it every record of spent budget. Fsync the parent once
+        // at creation so the name is as durable as the bytes.
+        #[cfg(unix)]
+        if !existed {
+            let parent = match path.parent() {
+                Some(dir) if !dir.as_os_str().is_empty() => dir,
+                _ => Path::new("."),
+            };
+            File::open(parent)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        let _ = existed;
         Ok(Accountant {
             state: Mutex::new(AccountantState {
                 tenants,
                 global: None,
                 wal: Some(wal),
+                releases,
+                response_order: VecDeque::new(),
             }),
         })
     }
 
     fn append(wal: &mut Option<File>, record: &Value) -> Result<(), ServiceError> {
         if let Some(file) = wal {
+            fail_point!("wal.append");
             let line = render_line(record);
             writeln!(file, "{line}")?;
+            fail_point!("wal.sync");
             file.sync_data()?;
         }
         Ok(())
@@ -225,13 +403,14 @@ impl Accountant {
         Ok(())
     }
 
-    /// Atomically checks and debits `charge` from the tenant's ledger —
-    /// and, when configured, the global ledger — persisting the spend
-    /// record before returning. Callers draw noise only after this
-    /// returns `Ok`.
-    pub fn try_debit(&self, tenant: &str, charge: PrivacyLevel) -> Result<(), ServiceError> {
-        let mut state = self.state.lock().expect("accountant mutex poisoned");
-        let state = &mut *state;
+    /// The in-memory half of a debit: tenant ledger and, when configured,
+    /// the global ledger, all-or-nothing. Callers hold the state lock and
+    /// are responsible for journaling the spend.
+    fn debit_locked(
+        state: &mut AccountantState,
+        tenant: &str,
+        charge: PrivacyLevel,
+    ) -> Result<(), ServiceError> {
         let ledger = state
             .tenants
             .get_mut(tenant)
@@ -248,10 +427,105 @@ impl Accountant {
                 *ledger = staged;
             }
         }
+        Ok(())
+    }
+
+    /// Atomically checks and debits `charge` from the tenant's ledger —
+    /// and, when configured, the global ledger — persisting the spend
+    /// record before returning. Callers draw noise only after this
+    /// returns `Ok`.
+    pub fn try_debit(&self, tenant: &str, charge: PrivacyLevel) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().expect("accountant mutex poisoned");
+        let state = &mut *state;
+        Self::debit_locked(state, tenant, charge)?;
         // On append failure the in-memory debit is deliberately kept: the
         // caller refuses the release, so burned-but-unreleased budget is
         // the safe direction (see the module docs).
         Self::append(&mut state.wal, &spend_record(tenant, charge))
+    }
+
+    /// Admits a release request carrying a client `request_id`: the
+    /// duplicate check and the debit are **one critical section**, so two
+    /// racing retries of the same id cannot both debit.
+    ///
+    /// - First admission: debits `charge`, journals the id (with its
+    ///   session/seeds, in the WAL spend record itself) and returns
+    ///   [`ReleaseAdmission::Fresh`].
+    /// - Same id, same parameters: debits nothing, returns
+    ///   [`ReleaseAdmission::Replay`] with the cached response if any.
+    /// - Same id, *different* parameters:
+    ///   [`ServiceError::IdempotencyMismatch`] — a client bug the service
+    ///   refuses to make ambiguous.
+    ///
+    /// If the WAL append fails after the in-memory debit, the debit is
+    /// kept but the id is **not** journaled: a retry will debit again.
+    /// Double-counting spend in a failure window is the safe direction;
+    /// under-counting never is.
+    pub fn admit_release(
+        &self,
+        tenant: &str,
+        request_id: &str,
+        session: &str,
+        seeds: &[u64],
+        charge: PrivacyLevel,
+    ) -> Result<ReleaseAdmission, ServiceError> {
+        let mut state = self.state.lock().expect("accountant mutex poisoned");
+        let state = &mut *state;
+        let key = (tenant.to_string(), request_id.to_string());
+        if let Some(existing) = state.releases.get(&key) {
+            if existing.session != session || existing.seeds != seeds || existing.charge != charge {
+                return Err(ServiceError::IdempotencyMismatch {
+                    request_id: request_id.into(),
+                });
+            }
+            return Ok(ReleaseAdmission::Replay(existing.response.clone()));
+        }
+        Self::debit_locked(state, tenant, charge)?;
+        Self::append(
+            &mut state.wal,
+            &spend_record_with(tenant, charge, Some((request_id, session, seeds))),
+        )?;
+        state.releases.insert(
+            key,
+            ReleaseRecord {
+                session: session.into(),
+                seeds: seeds.to_vec(),
+                charge,
+                response: None,
+            },
+        );
+        Ok(ReleaseAdmission::Fresh)
+    }
+
+    /// Stores the completed response for a journaled release so later
+    /// retries of the same `request_id` replay it verbatim. A bounded
+    /// number of responses are cached; evicted ones are recomputed on
+    /// replay (the journal entry itself is never evicted).
+    pub fn record_response(&self, tenant: &str, request_id: &str, response: &Value) {
+        let mut state = self.state.lock().expect("accountant mutex poisoned");
+        let state = &mut *state;
+        let key = (tenant.to_string(), request_id.to_string());
+        let Some(entry) = state.releases.get_mut(&key) else {
+            return;
+        };
+        let newly_cached = entry.response.is_none();
+        entry.response = Some(response.clone());
+        if newly_cached {
+            state.response_order.push_back(key);
+        }
+        while state.response_order.len() > RESPONSE_CACHE_CAP {
+            if let Some(oldest) = state.response_order.pop_front() {
+                if let Some(evicted) = state.releases.get_mut(&oldest) {
+                    evicted.response = None;
+                }
+            }
+        }
+    }
+
+    /// How many distinct `(tenant, request_id)` releases are journaled.
+    pub fn journaled_releases(&self) -> usize {
+        let state = self.state.lock().expect("accountant mutex poisoned");
+        state.releases.len()
     }
 
     /// The global (dataset-wide) budget position, if a global cap was
@@ -445,5 +719,172 @@ mod tests {
             Accountant::with_wal(&bad),
             Err(ServiceError::WalCorrupt(_))
         ));
+    }
+
+    #[test]
+    fn release_journal_debits_once_and_replays() {
+        let acct = Accountant::in_memory();
+        acct.open_tenant("t", EPS1).unwrap();
+        let admission = acct.admit_release("t", "r1", "s", &[7, 8], HALF).unwrap();
+        assert!(matches!(admission, ReleaseAdmission::Fresh));
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+
+        // Retried before the response was stored: replay, recompute.
+        let admission = acct.admit_release("t", "r1", "s", &[7, 8], HALF).unwrap();
+        assert!(matches!(admission, ReleaseAdmission::Replay(None)));
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+
+        acct.record_response("t", "r1", &Value::String("out".into()));
+        let admission = acct.admit_release("t", "r1", "s", &[7, 8], HALF).unwrap();
+        let ReleaseAdmission::Replay(Some(cached)) = admission else {
+            panic!("expected a cached replay");
+        };
+        assert_eq!(cached.as_str(), Some("out"));
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+        assert_eq!(acct.journaled_releases(), 1);
+
+        // Reusing the id with different parameters is a typed client bug.
+        assert!(matches!(
+            acct.admit_release("t", "r1", "s", &[9], HALF),
+            Err(ServiceError::IdempotencyMismatch { .. })
+        ));
+        // A different tenant's identical id is an independent release.
+        acct.open_tenant("u", EPS1).unwrap();
+        assert!(matches!(
+            acct.admit_release("u", "r1", "s", &[7, 8], HALF).unwrap(),
+            ReleaseAdmission::Fresh
+        ));
+    }
+
+    #[test]
+    fn release_journal_survives_restart() {
+        let path = tmp("journal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = Accountant::with_wal(&path).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+            let a = acct
+                .admit_release("t", "r1", "s", &[1u64 << 60], HALF)
+                .unwrap();
+            assert!(matches!(a, ReleaseAdmission::Fresh));
+            acct.record_response("t", "r1", &Value::String("out".into()));
+            // Process dies here; the cached response is volatile but the
+            // journaled debit is not.
+        }
+        let acct = Accountant::with_wal(&path).unwrap();
+        assert_eq!(acct.journaled_releases(), 1);
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+        // Same id after restart: no second debit, recompute the response
+        // (the > 2^53 seed also proves the string wire form round-trips).
+        let a = acct
+            .admit_release("t", "r1", "s", &[1u64 << 60], HALF)
+            .unwrap();
+        assert!(matches!(a, ReleaseAdmission::Replay(None)));
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+        assert!(matches!(
+            acct.admit_release("t", "r1", "s", &[2], HALF),
+            Err(ServiceError::IdempotencyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checksums_fail_closed_on_bit_flips_but_accept_legacy_records() {
+        let path = tmp("crc");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = Accountant::with_wal(&path).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+            acct.try_debit("t", HALF).unwrap();
+        }
+        // Flip one digit of the spent ε. The record still *parses* fine
+        // and would silently under-report spend — the checksum is what
+        // catches it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("0.5"), "expected a 0.5 charge in {text}");
+        std::fs::write(&path, text.replacen("0.5", "0.1", 1)).unwrap();
+        assert!(matches!(
+            Accountant::with_wal(&path),
+            Err(ServiceError::WalCorrupt(_))
+        ));
+
+        // Records written before checksums existed (no "crc" field) still
+        // replay.
+        std::fs::write(
+            &path,
+            "{\"op\": \"open\", \"tenant\": \"t\", \"budget\": {\"epsilon\": 1}}\n\
+             {\"op\": \"spend\", \"tenant\": \"t\", \"charge\": {\"epsilon\": 0.5}}\n",
+        )
+        .unwrap();
+        let acct = Accountant::with_wal(&path).unwrap();
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+    }
+
+    #[test]
+    fn duplicate_journaled_request_id_is_corrupt() {
+        let path = tmp("dup");
+        let open = render_line(&open_record("t", EPS1));
+        let spend = render_line(&spend_record_with(
+            "t",
+            PrivacyLevel::Pure { epsilon: 0.25 },
+            Some(("r1", "s", &[1, 2])),
+        ));
+        std::fs::write(&path, format!("{open}\n{spend}\n{spend}\n")).unwrap();
+        let Err(err) = Accountant::with_wal(&path).map(|_| ()) else {
+            panic!("duplicate ids must refuse to load");
+        };
+        let ServiceError::WalCorrupt(msg) = err else {
+            panic!("expected WalCorrupt, got {err:?}");
+        };
+        assert!(msg.contains("duplicate"), "{msg}");
+    }
+
+    #[test]
+    fn response_cache_is_bounded_but_the_journal_is_not() {
+        let acct = Accountant::in_memory();
+        acct.open_tenant("t", PrivacyLevel::Pure { epsilon: 1e9 })
+            .unwrap();
+        let tiny = PrivacyLevel::Pure { epsilon: 1e-6 };
+        let n = RESPONSE_CACHE_CAP + 8;
+        for i in 0..n {
+            let rid = format!("r{i}");
+            acct.admit_release("t", &rid, "s", &[i as u64], tiny)
+                .unwrap();
+            acct.record_response("t", &rid, &Value::Number(i as f64));
+        }
+        assert_eq!(acct.journaled_releases(), n);
+        // The oldest responses were evicted (recompute on replay), but the
+        // journal entry — and its no-second-debit guarantee — remains.
+        assert!(matches!(
+            acct.admit_release("t", "r0", "s", &[0], tiny).unwrap(),
+            ReleaseAdmission::Replay(None)
+        ));
+        // The newest response is still cached.
+        let last = format!("r{}", n - 1);
+        assert!(matches!(
+            acct.admit_release("t", &last, "s", &[(n - 1) as u64], tiny)
+                .unwrap(),
+            ReleaseAdmission::Replay(Some(_))
+        ));
+    }
+
+    #[test]
+    fn creating_a_ledger_in_a_fresh_directory_fsyncs_the_parent() {
+        // Exercises the parent-directory fsync path taken only on file
+        // creation (the durability gap this pins: a synced file whose
+        // directory entry was never synced can vanish on crash).
+        let dir = std::env::temp_dir().join(format!(
+            "dp-service-acct-{}-dirsync/nested",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        {
+            let acct = Accountant::with_wal(&path).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+        }
+        // Reopening an existing file takes the no-fsync branch.
+        let acct = Accountant::with_wal(&path).unwrap();
+        assert_eq!(acct.status("t").unwrap().charges, 0);
     }
 }

@@ -1,10 +1,35 @@
-//! A small blocking client for the JSON-lines protocol.
+//! A small blocking client for the JSON-lines protocol, with timeouts
+//! and idempotent retries.
 //!
-//! One [`Client`] holds one connection; every call sends one request line
-//! and blocks for its one response line. Error responses come back as the
-//! typed [`ServiceError`] they encode — `budget_exhausted` reconstructs
-//! the full [`ServiceError::BudgetExhausted`] variant, other codes arrive
-//! as [`ServiceError::Remote`].
+//! One [`Client`] holds (at most) one connection; every call sends one
+//! request line and blocks for its one response line. Error responses
+//! come back as the typed [`ServiceError`] they encode —
+//! `budget_exhausted` reconstructs the full
+//! [`ServiceError::BudgetExhausted`] variant, `overloaded` the retryable
+//! [`ServiceError::Overloaded`], other codes arrive as
+//! [`ServiceError::Remote`].
+//!
+//! ## Failure handling
+//!
+//! Every socket operation runs under the deadlines in [`ClientConfig`] —
+//! a hung or partitioned server surfaces as a typed
+//! [`ServiceError::Timeout`] instead of blocking forever. Calls that are
+//! *idempotent* are then retried with capped exponential backoff, on a
+//! fresh connection when the old one failed:
+//!
+//! - Every protocol op except `shutdown` is naturally idempotent
+//!   (`open_tenant` re-asserts, `register_plan`/`bind` are deterministic,
+//!   `budget_status`/`ping` are reads).
+//! - `release` is made idempotent by attaching a client-generated
+//!   `request_id`: [`Client::release`] mints one per *logical* call and
+//!   reuses it across its internal retries, so a retry after a dropped
+//!   response returns the server's journaled bytes instead of debiting
+//!   the budget again. [`Client::release_with_id`] exposes the key for
+//!   retries that must survive the client process itself.
+//!
+//! Only transport-class failures ([`ServiceError::is_retryable`]) are
+//! retried; deterministic refusals (auth, exhaustion, protocol errors)
+//! return immediately.
 //!
 //! Against a server running the operator auth policy (see
 //! [`crate::auth`]), set a bearer credential with
@@ -12,7 +37,9 @@
 //! every request. The operator opens tenants with
 //! [`Client::open_tenant_with_token`] to install each tenant's token.
 
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crate::error::ServiceError;
 use crate::protocol::{
@@ -43,20 +70,110 @@ pub struct RemoteBudgetStatus {
     pub charges: usize,
 }
 
-/// A blocking connection to a running service.
+/// Deadlines and retry policy for a [`Client`].
+///
+/// The defaults are finite on purpose: a client must never hang forever
+/// on a dead or wedged server. Set a field to [`Duration::ZERO`] to
+/// disable that deadline (blocking indefinitely), or `max_retries` to 0
+/// to disable retries.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for each blocking read (one response line).
+    pub read_timeout: Duration,
+    /// Deadline for each blocking write (one request line).
+    pub write_timeout: Duration,
+    /// Retries after the first attempt, for idempotent requests only.
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry up to `backoff_cap`.
+    pub backoff_base: Duration,
+    /// Ceiling for the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_retries: 4,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// A config with every socket deadline set to `timeout` (retry policy
+    /// unchanged from the default).
+    pub fn with_timeout(timeout: Duration) -> ClientConfig {
+        ClientConfig {
+            connect_timeout: timeout,
+            read_timeout: timeout,
+            write_timeout: timeout,
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// Counters of how often this client hit the failure paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Requests resent after a retryable failure.
+    pub retries: u64,
+    /// Typed [`ServiceError::Overloaded`] sheds received (each one is
+    /// also counted as a retry when the budget of attempts allowed).
+    pub sheds: u64,
+}
+
+/// Process-unique suffix for generated request ids.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Mints a request id unique across processes (pid + wall-clock nanos)
+/// and within this process (atomic sequence).
+fn generate_request_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("c{:x}-{nanos:x}-{seq:x}", std::process::id())
+}
+
+/// A blocking connection to a running service (see the module docs for
+/// the timeout and retry behavior).
 pub struct Client {
-    conn: TcpConnection,
+    addr: String,
+    config: ClientConfig,
+    conn: Option<TcpConnection>,
     credential: Option<String>,
+    stats: ClientStats,
+}
+
+fn optional(timeout: Duration) -> Option<Duration> {
+    (timeout > Duration::ZERO).then_some(timeout)
 }
 
 impl Client {
-    /// Dials `addr` (e.g. `127.0.0.1:7878`).
+    /// Dials `addr` (e.g. `127.0.0.1:7878`) with the default
+    /// [`ClientConfig`].
     pub fn connect(addr: &str) -> Result<Client, ServiceError> {
-        let stream = TcpStream::connect(addr)?;
-        Ok(Client {
-            conn: TcpConnection::from_stream(stream)?,
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Dials `addr` under an explicit deadline/retry policy.
+    pub fn connect_with(addr: &str, config: ClientConfig) -> Result<Client, ServiceError> {
+        let mut client = Client {
+            addr: addr.to_string(),
+            config,
+            conn: None,
             credential: None,
-        })
+            stats: ClientStats::default(),
+        };
+        client.ensure_connected()?;
+        Ok(client)
     }
 
     /// Sets (or clears) the bearer credential attached to every request —
@@ -66,8 +183,53 @@ impl Client {
         self.credential = credential;
     }
 
-    /// Sends one raw request value and returns the raw success response.
-    pub fn call_value(&mut self, request: &Value) -> Result<Value, ServiceError> {
+    /// How often this client has retried or been shed so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpConnection, ServiceError> {
+        if self.conn.is_none() {
+            let stream = match optional(self.config.connect_timeout) {
+                None => TcpStream::connect(&self.addr)?,
+                Some(deadline) => {
+                    let target =
+                        self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                            ServiceError::Io(format!("cannot resolve {}", self.addr))
+                        })?;
+                    TcpStream::connect_timeout(&target, deadline).map_err(|e| {
+                        if e.kind() == std::io::ErrorKind::TimedOut {
+                            ServiceError::Timeout(format!("connect to {}", self.addr))
+                        } else {
+                            ServiceError::Io(e.to_string())
+                        }
+                    })?
+                }
+            };
+            stream.set_read_timeout(optional(self.config.read_timeout))?;
+            stream.set_write_timeout(optional(self.config.write_timeout))?;
+            self.conn = Some(TcpConnection::from_stream(stream)?);
+        }
+        Ok(self.conn.as_mut().expect("connection was just established"))
+    }
+
+    /// One request/response exchange on the current connection, no
+    /// retries. A connection closed before the response arrives is a
+    /// retryable [`ServiceError::Io`]: for idempotent requests the retry
+    /// machinery (or the server's release journal) absorbs the ambiguity
+    /// of whether the request executed.
+    fn call_once(&mut self, line: &str) -> Result<Value, ServiceError> {
+        let conn = self.ensure_connected()?;
+        conn.send(line)?;
+        let response = conn
+            .receive()?
+            .ok_or_else(|| ServiceError::Io("server closed the connection mid-call".into()))?;
+        response_to_result(parse_line(&response)?)
+    }
+
+    /// Sends the request, retrying transport-class failures with capped
+    /// exponential backoff when `idempotent` allows it.
+    fn call_retrying(&mut self, request: &Value, idempotent: bool) -> Result<Value, ServiceError> {
         let line = match (&self.credential, request) {
             (Some(token), Value::Object(fields)) => {
                 let mut fields = fields.clone();
@@ -76,15 +238,50 @@ impl Client {
             }
             _ => render_line(request),
         };
-        self.conn.send(&line)?;
-        let line = self.conn.receive()?.ok_or_else(|| {
-            ServiceError::Protocol("server closed the connection mid-call".into())
-        })?;
-        response_to_result(parse_line(&line)?)
+        let mut attempt: u32 = 0;
+        loop {
+            match self.call_once(&line) {
+                Ok(response) => return Ok(response),
+                Err(err) => {
+                    let shed = matches!(err, ServiceError::Overloaded { .. });
+                    if shed {
+                        self.stats.sheds += 1;
+                    } else {
+                        // The connection state is unknown after an I/O or
+                        // timeout failure; reconnect before any retry. A
+                        // shed leaves the connection healthy.
+                        self.conn = None;
+                    }
+                    if !idempotent || !err.is_retryable() || attempt >= self.config.max_retries {
+                        return Err(err);
+                    }
+                    let exp = self
+                        .config
+                        .backoff_base
+                        .saturating_mul(1u32 << attempt.min(16));
+                    std::thread::sleep(exp.min(self.config.backoff_cap));
+                    attempt += 1;
+                    self.stats.retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Sends one raw request value and returns the raw success response.
+    /// Raw values are treated as idempotent (every built-in op except
+    /// `shutdown` is); use [`Client::call_value_once`] for requests that
+    /// must not be resent.
+    pub fn call_value(&mut self, request: &Value) -> Result<Value, ServiceError> {
+        self.call_retrying(request, true)
+    }
+
+    /// Sends one raw request value without any retry.
+    pub fn call_value_once(&mut self, request: &Value) -> Result<Value, ServiceError> {
+        self.call_retrying(request, false)
     }
 
     fn call(&mut self, request: &Request) -> Result<Value, ServiceError> {
-        self.call_value(&request.to_value())
+        self.call_retrying(&request.to_value(), true)
     }
 
     /// Liveness check; returns the server's loaded dataset names.
@@ -178,17 +375,38 @@ impl Client {
     /// Draws one release per seed, returning the raw release objects
     /// (render with [`crate::protocol::render_line`] for byte-stable
     /// comparison or storage).
+    ///
+    /// A fresh `request_id` is minted for this logical call and reused
+    /// across its internal retries, so a response lost to a dropped
+    /// connection is recovered by replay — exactly one debit, identical
+    /// bytes. Use [`Client::release_with_id`] to control the key.
     pub fn release(
         &mut self,
         tenant: &str,
         session: &str,
         seeds: &[u64],
     ) -> Result<Vec<Value>, ServiceError> {
-        let response = self.call(&Request::Release {
+        self.release_with_id(tenant, session, seeds, &generate_request_id())
+    }
+
+    /// [`Client::release`] under an explicit idempotency key, for retries
+    /// that must survive this client (or this process): resending the
+    /// same `request_id` with the same session and seeds never debits
+    /// twice, and returns the originally journaled release bytes.
+    pub fn release_with_id(
+        &mut self,
+        tenant: &str,
+        session: &str,
+        seeds: &[u64],
+        request_id: &str,
+    ) -> Result<Vec<Value>, ServiceError> {
+        let request = Request::Release {
             tenant: tenant.into(),
             session: session.into(),
             seeds: seeds.to_vec(),
-        })?;
+            request_id: Some(request_id.into()),
+        };
+        let response = self.call_retrying(&request.to_value(), true)?;
         Ok(field(&response, "releases")?
             .as_array()
             .ok_or_else(|| ServiceError::Protocol("`releases` must be an array".into()))?
@@ -215,8 +433,42 @@ impl Client {
         })
     }
 
-    /// Asks the server to stop accepting connections and exit.
+    /// Asks the server to stop accepting connections and exit. Never
+    /// retried: a resend could kill a server that restarted in between.
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
-        self.call(&Request::Shutdown).map(|_| ())
+        self.call_retrying(&Request::Shutdown.to_value(), false)
+            .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_request_ids_are_unique() {
+        let ids: Vec<String> = (0..64).map(|_| generate_request_id()).collect();
+        let distinct: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len());
+    }
+
+    #[test]
+    fn zero_timeouts_mean_block_forever() {
+        assert_eq!(optional(Duration::ZERO), None);
+        assert_eq!(
+            optional(Duration::from_millis(5)),
+            Some(Duration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn default_deadlines_are_finite() {
+        let config = ClientConfig::default();
+        assert!(config.connect_timeout > Duration::ZERO);
+        assert!(config.read_timeout > Duration::ZERO);
+        assert!(config.write_timeout > Duration::ZERO);
+        let uniform = ClientConfig::with_timeout(Duration::from_millis(250));
+        assert_eq!(uniform.read_timeout, Duration::from_millis(250));
+        assert_eq!(uniform.max_retries, config.max_retries);
     }
 }

@@ -53,6 +53,24 @@ pub enum ServiceError {
     Io(String),
     /// Malformed request or response on the wire.
     Protocol(String),
+    /// A socket operation exceeded its configured deadline. Transport-level
+    /// and therefore retryable — for *idempotent* requests only (see
+    /// [`ServiceError::is_retryable`]).
+    Timeout(String),
+    /// The server shed this request to protect itself (connection cap or
+    /// per-tenant in-flight cap). Nothing was charged or computed; the
+    /// client should back off and retry.
+    Overloaded {
+        /// Which limit shed the request (`"connections"` / `"tenant"`).
+        scope: String,
+    },
+    /// A `request_id` was reused with different parameters (session, seeds
+    /// or charge) than the journaled original. This is a client bug, never
+    /// retried: honoring it would make "exactly once" ambiguous.
+    IdempotencyMismatch {
+        /// The reused request id.
+        request_id: String,
+    },
     /// The persisted ledger file is corrupt (a non-tail record failed to
     /// parse); refusing to guess at spent budget.
     WalCorrupt(String),
@@ -82,8 +100,33 @@ impl ServiceError {
             ServiceError::Mech(_) => "mech",
             ServiceError::Io(_) => "io",
             ServiceError::Protocol(_) => "protocol",
+            ServiceError::Timeout(_) => "timeout",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::IdempotencyMismatch { .. } => "idempotency_mismatch",
             ServiceError::WalCorrupt(_) => "wal_corrupt",
             ServiceError::Remote { code, .. } => code,
+        }
+    }
+
+    /// Whether a *client* may safely resend the request that produced this
+    /// error — provided the request is idempotent (every protocol op except
+    /// a `release` without a `request_id`).
+    ///
+    /// Retryable: local transport failures ([`ServiceError::Io`],
+    /// [`ServiceError::Timeout`]) — the request may or may not have
+    /// executed, which is exactly what idempotency absorbs — and a typed
+    /// [`ServiceError::Overloaded`] shed (locally typed or arriving as the
+    /// remote `overloaded` code), where the server promises nothing
+    /// happened. Everything else (protocol errors, auth failures, budget
+    /// exhaustion, server-side state errors) is deterministic: resending
+    /// the same bytes cannot succeed, so retrying only burns time.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServiceError::Io(_) | ServiceError::Timeout(_) | ServiceError::Overloaded { .. } => {
+                true
+            }
+            ServiceError::Remote { code, .. } => code == "overloaded",
+            _ => false,
         }
     }
 }
@@ -121,6 +164,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Mech(e) => write!(f, "mechanism failure: {e}"),
             ServiceError::Io(e) => write!(f, "i/o failure: {e}"),
             ServiceError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServiceError::Timeout(e) => write!(f, "timed out: {e}"),
+            ServiceError::Overloaded { scope } => write!(
+                f,
+                "server overloaded (at the {scope} limit); back off and retry"
+            ),
+            ServiceError::IdempotencyMismatch { request_id } => write!(
+                f,
+                "request id {request_id:?} was already used with different parameters"
+            ),
             ServiceError::WalCorrupt(e) => write!(f, "corrupt budget ledger file: {e}"),
             ServiceError::Remote { code, message } => {
                 write!(f, "remote error [{code}]: {message}")
@@ -190,6 +242,42 @@ mod tests {
             .code(),
             "custom"
         );
+    }
+
+    #[test]
+    fn retryability_tracks_the_transport_or_shed_classes_only() {
+        for retryable in [
+            ServiceError::Io("broken pipe".into()),
+            ServiceError::Timeout("read".into()),
+            ServiceError::Overloaded {
+                scope: "tenant".into(),
+            },
+            ServiceError::Remote {
+                code: "overloaded".into(),
+                message: "m".into(),
+            },
+        ] {
+            assert!(retryable.is_retryable(), "{retryable}");
+        }
+        for fatal in [
+            ServiceError::Protocol("bad".into()),
+            ServiceError::Unauthorized("no".into()),
+            ServiceError::IdempotencyMismatch {
+                request_id: "r".into(),
+            },
+            ServiceError::BudgetExhausted {
+                requested_epsilon: 1.0,
+                requested_delta: 0.0,
+                remaining_epsilon: 0.0,
+                remaining_delta: 0.0,
+            },
+            ServiceError::Remote {
+                code: "unknown_tenant".into(),
+                message: "m".into(),
+            },
+        ] {
+            assert!(!fatal.is_retryable(), "{fatal}");
+        }
     }
 
     #[test]

@@ -57,6 +57,20 @@
 //! [`client::Client`]; releases are **byte-identical** per seed to the
 //! in-process path, because the wire format round-trips `f64` exactly.
 //!
+//! ## Failure model
+//!
+//! A release may carry a client-generated `request_id`: the accountant
+//! journals the debit in the write-ahead ledger, so a retried request —
+//! after a dropped connection, a timeout, or even a server crash and
+//! restart — returns the same release bytes without a second debit
+//! (exactly once; see [`accountant`]). The [`client::Client`] runs every
+//! socket operation under finite deadlines and retries *idempotent*
+//! requests with capped exponential backoff. Servers can bound
+//! concurrent connections ([`server::ServerLimits`]) and per-tenant
+//! in-flight releases ([`service::DpService::with_tenant_inflight_cap`]),
+//! shedding excess load with the typed, retryable
+//! [`error::ServiceError::Overloaded`] instead of degrading everyone.
+//!
 //! ## Trust model
 //!
 //! The wire protocol carries bearer-token credentials when the service is
@@ -76,6 +90,8 @@ pub mod accountant;
 pub mod auth;
 pub mod client;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod failpoint;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
@@ -83,12 +99,34 @@ pub mod server;
 pub mod service;
 pub mod transport;
 
-pub use accountant::{Accountant, BudgetStatus};
+/// Evaluates a named fault-injection site (see [`failpoint`]).
+///
+/// Expands to nothing unless the `fault-inject` feature is on, so the hot
+/// paths carry no branch in production builds. With the feature on, the
+/// enclosing function must return `Result<_, ServiceError>`: a firing
+/// `Error` action propagates through `?`.
+#[cfg(feature = "fault-inject")]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        $crate::failpoint::check($site)?
+    };
+}
+
+/// Evaluates a named fault-injection site (no-op: the `fault-inject`
+/// feature is off, so no registry exists and no cost is paid).
+#[cfg(not(feature = "fault-inject"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {};
+}
+
+pub use accountant::{Accountant, BudgetStatus, ReleaseAdmission};
 pub use auth::{Auth, AuthPolicy};
-pub use client::{Client, RemoteBudgetStatus};
+pub use client::{Client, ClientConfig, ClientStats, RemoteBudgetStatus};
 pub use error::ServiceError;
 pub use pool::{DataStore, Dataset, SessionPool};
 pub use registry::Registry;
-pub use server::Server;
+pub use server::{Server, ServerLimits};
 pub use service::DpService;
 pub use transport::{Connection, TcpTransport, Transport};

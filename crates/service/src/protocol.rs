@@ -8,7 +8,7 @@
 //! {"op": "register_plan", "tenant": "t1", "plan": { …plan document… }}
 //! {"op": "register_plan", "tenant": "t1", "compile": {"spec": {…}, "privacy": {…}}}
 //! {"op": "bind",          "tenant": "t1", "plan_id": "…", "table": "nltcs"}
-//! {"op": "release",       "tenant": "t1", "session": "…", "seeds": [1, 2, 3]}
+//! {"op": "release",       "tenant": "t1", "session": "…", "seeds": [1, 2, 3], "request_id": "…"}
 //! {"op": "budget_status", "tenant": "t1"}
 //! {"op": "ping"}
 //! {"op": "shutdown"}
@@ -20,6 +20,11 @@
 //! budgeting, privacy, neighbouring) — which the server compiles through
 //! its shared [`dp_core::api::PlanCache`], so K tenants registering the
 //! same shape cost exactly one strategy compile and one budget solve.
+//!
+//! `release` may carry a client-generated `request_id` idempotency key:
+//! retries reusing the id (after a timeout, a dropped connection, or even
+//! a server restart) return the original release bytes without a second
+//! budget debit. See [`crate::accountant`] for the journal semantics.
 //!
 //! Any request line may carry an `"auth"` credential field. Under the
 //! operator auth policy ([`crate::auth`]) it is required: the admin token
@@ -175,6 +180,12 @@ pub enum Request {
         session: String,
         /// Release seeds.
         seeds: Vec<u64>,
+        /// Client-generated idempotency key. When present, the server
+        /// journals the debit under `(tenant, request_id)` and a retried
+        /// request with the same id returns the same bytes without a
+        /// second debit — exactly-once across connection loss and server
+        /// restart. Without it, every send is a fresh debit.
+        request_id: Option<String>,
     },
     /// Reports the tenant's total/spent/remaining budget.
     BudgetStatus {
@@ -264,6 +275,10 @@ impl Request {
                     tenant: string_field(value, "tenant")?,
                     session: string_field(value, "session")?,
                     seeds,
+                    request_id: value
+                        .get_field("request_id")
+                        .and_then(Value::as_str)
+                        .map(str::to_owned),
                 })
             }
             "budget_status" => Ok(Request::BudgetStatus {
@@ -349,15 +364,22 @@ impl Request {
                 tenant,
                 session,
                 seeds,
-            } => Value::Object(vec![
-                ("op".into(), Value::String("release".into())),
-                ("tenant".into(), Value::String(tenant.clone())),
-                ("session".into(), Value::String(session.clone())),
-                (
-                    "seeds".into(),
-                    Value::Array(seeds.iter().map(|&s| u64_value(s)).collect()),
-                ),
-            ]),
+                request_id,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Value::String("release".into())),
+                    ("tenant".into(), Value::String(tenant.clone())),
+                    ("session".into(), Value::String(session.clone())),
+                    (
+                        "seeds".into(),
+                        Value::Array(seeds.iter().map(|&s| u64_value(s)).collect()),
+                    ),
+                ];
+                if let Some(id) = request_id {
+                    fields.push(("request_id".into(), Value::String(id.clone())));
+                }
+                Value::Object(fields)
+            }
             Request::BudgetStatus { tenant } => Value::Object(vec![
                 ("op".into(), Value::String("budget_status".into())),
                 ("tenant".into(), Value::String(tenant.clone())),
@@ -406,6 +428,9 @@ pub fn error_response(error: &ServiceError) -> Value {
             ("remaining_delta".into(), Value::Number(*remaining_delta)),
         ]);
     }
+    if let ServiceError::Overloaded { scope } = error {
+        fields.push(("scope".into(), Value::String(scope.clone())));
+    }
     Value::Object(fields)
 }
 
@@ -439,6 +464,18 @@ pub fn response_to_result(value: Value) -> Result<Value, ServiceError> {
                         remaining_delta: md,
                     });
                 }
+            }
+            if code == "overloaded" {
+                // Reconstructed as the typed shed so `is_retryable` and
+                // the client's backoff logic see it without string checks.
+                if let Some(scope) = value.get_field("scope").and_then(Value::as_str) {
+                    return Err(ServiceError::Overloaded {
+                        scope: scope.to_string(),
+                    });
+                }
+                return Err(ServiceError::Overloaded {
+                    scope: "server".into(),
+                });
             }
             Err(ServiceError::Remote { code, message })
         }
@@ -500,6 +537,13 @@ mod tests {
                 tenant: "t1".into(),
                 session: "abc/nltcs".into(),
                 seeds: vec![1, 2, (1 << 60) + 5],
+                request_id: Some("retry-0001".into()),
+            },
+            Request::Release {
+                tenant: "t1".into(),
+                session: "abc/nltcs".into(),
+                seeds: vec![3],
+                request_id: None,
             },
             Request::BudgetStatus {
                 tenant: "t1".into(),
@@ -512,10 +556,19 @@ mod tests {
             assert!(!line.contains('\n'), "wire lines must be single lines");
             let back = Request::from_value(&parse_line(&line).unwrap()).unwrap();
             // Spot-check the lossiest field: large seeds survive exactly.
-            if let (Request::Release { seeds, .. }, Request::Release { seeds: b, .. }) =
-                (req, &back)
+            if let (
+                Request::Release {
+                    seeds, request_id, ..
+                },
+                Request::Release {
+                    seeds: b,
+                    request_id: back_id,
+                    ..
+                },
+            ) = (req, &back)
             {
                 assert_eq!(seeds, b);
+                assert_eq!(request_id, back_id);
             }
             if let (
                 Request::OpenTenant { tenant_token, .. },
@@ -571,5 +624,13 @@ mod tests {
         let other = response_to_result(error_response(&ServiceError::UnknownTenant("t".into())))
             .unwrap_err();
         assert!(matches!(other, ServiceError::Remote { ref code, .. } if code == "unknown_tenant"));
+
+        // A shed survives the wire as the typed (retryable) variant.
+        let shed = response_to_result(error_response(&ServiceError::Overloaded {
+            scope: "tenant".into(),
+        }))
+        .unwrap_err();
+        assert!(matches!(&shed, ServiceError::Overloaded { scope } if scope == "tenant"));
+        assert!(shed.is_retryable());
     }
 }

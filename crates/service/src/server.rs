@@ -12,6 +12,17 @@
 //! failing listener is fatal. An *authorized* `shutdown` request is
 //! acknowledged to its sender, after which the transport stops accepting;
 //! in-flight connections drain before [`Server::run`] returns.
+//!
+//! ## Overload shedding
+//!
+//! With a connection cap ([`ServerLimits`]), a connection accepted at the
+//! cap is answered one in-band typed `overloaded` error and closed, and
+//! no handler thread is spawned for it — bounding both thread count and
+//! per-connection memory. Clients see the typed, retryable
+//! [`ServiceError::Overloaded`] and back off; nothing is charged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::error::ServiceError;
 use crate::protocol::{error_response, parse_line, render_line, Request};
@@ -23,16 +34,46 @@ use serde::Value;
 /// listener is declared dead and [`Server::run`] returns the error.
 const MAX_ACCEPT_FAILURES: u32 = 64;
 
+/// Resource bounds for a [`Server`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerLimits {
+    /// Connections served concurrently; further accepts are shed in-band
+    /// with the typed `overloaded` error. `None` = unbounded (the
+    /// pre-limits behavior).
+    pub max_connections: Option<usize>,
+}
+
 /// A service bound to a transport (see the module docs).
 pub struct Server<T: Transport> {
     service: DpService,
     transport: T,
+    limits: ServerLimits,
+    active: Arc<AtomicUsize>,
+}
+
+/// RAII decrement of the live-connection count.
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl<T: Transport> Server<T> {
-    /// Couples `service` to `transport`.
+    /// Couples `service` to `transport` with no resource bounds.
     pub fn new(service: DpService, transport: T) -> Server<T> {
-        Server { service, transport }
+        Server::with_limits(service, transport, ServerLimits::default())
+    }
+
+    /// Couples `service` to `transport` under explicit resource bounds.
+    pub fn with_limits(service: DpService, transport: T, limits: ServerLimits) -> Server<T> {
+        Server {
+            service,
+            transport,
+            limits,
+            active: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
     /// The dialable address of the underlying transport.
@@ -61,9 +102,27 @@ impl<T: Transport> Server<T> {
             let mut failures = 0u32;
             loop {
                 match self.transport.accept() {
-                    Ok(Some(conn)) => {
+                    Ok(Some(mut conn)) => {
                         failures = 0;
-                        scope.spawn(|| self.handle_connection(conn));
+                        if let Some(cap) = self.limits.max_connections {
+                            if self.active.load(Ordering::SeqCst) >= cap {
+                                // Shed in-band on the accept thread — no
+                                // handler thread, no request read, no
+                                // charge. The client sees the typed,
+                                // retryable `overloaded` error.
+                                let shed = ServiceError::Overloaded {
+                                    scope: "connections".into(),
+                                };
+                                let _ = conn.send(&render_line(&error_response(&shed)));
+                                continue;
+                            }
+                        }
+                        self.active.fetch_add(1, Ordering::SeqCst);
+                        let slot = ConnSlot(Arc::clone(&self.active));
+                        scope.spawn(move || {
+                            let _slot = slot;
+                            self.handle_connection(conn);
+                        });
                     }
                     Ok(None) => return Ok(()),
                     Err(e) => {
@@ -143,13 +202,19 @@ mod tests {
     use std::sync::Mutex;
 
     /// A scripted connection: canned request lines in, responses recorded.
+    /// With `hold`, the first receive blocks until the test releases it —
+    /// a deterministic way to keep a connection "in flight".
     struct MockConn {
         requests: VecDeque<Result<Option<String>, ServiceError>>,
         responses: std::sync::Arc<Mutex<Vec<String>>>,
+        hold: Option<std::sync::mpsc::Receiver<()>>,
     }
 
     impl Connection for MockConn {
         fn receive(&mut self) -> Result<Option<String>, ServiceError> {
+            if let Some(gate) = self.hold.take() {
+                let _ = gate.recv();
+            }
             self.requests.pop_front().unwrap_or(Ok(None))
         }
         fn send(&mut self, line: &str) -> Result<(), ServiceError> {
@@ -184,6 +249,7 @@ mod tests {
         let conn = MockConn {
             requests: VecDeque::from([Ok(Some("{\"op\": \"ping\"}".into()))]),
             responses: std::sync::Arc::clone(&responses),
+            hold: None,
         };
         let transport = MockTransport {
             script: Mutex::new(VecDeque::from([
@@ -224,6 +290,7 @@ mod tests {
                 Ok(Some("{\"op\": \"ping\"}".into())),
             ]),
             responses: std::sync::Arc::clone(&responses),
+            hold: None,
         };
         let transport = MockTransport {
             script: Mutex::new(VecDeque::from([Ok(Some(conn)), Ok(None)])),
@@ -243,12 +310,14 @@ mod tests {
         let conn_refused = MockConn {
             requests: VecDeque::from([Ok(Some("{\"op\": \"shutdown\"}".into()))]),
             responses: std::sync::Arc::clone(&refused),
+            hold: None,
         };
         let conn_granted = MockConn {
             requests: VecDeque::from([Ok(Some(
                 "{\"op\": \"shutdown\", \"auth\": \"admin\"}".into(),
             ))]),
             responses: std::sync::Arc::clone(&granted),
+            hold: None,
         };
         let transport = MockTransport {
             script: Mutex::new(VecDeque::from([
@@ -261,5 +330,52 @@ mod tests {
         Server::new(service, transport).run().unwrap();
         assert!(refused.lock().unwrap()[0].contains("\"code\":\"unauthorized\""));
         assert!(granted.lock().unwrap()[0].contains("\"shutdown\":true"));
+    }
+
+    #[test]
+    fn connections_past_the_cap_are_shed_in_band() {
+        let (release_first, gate) = std::sync::mpsc::channel();
+        let first_responses = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let shed_responses = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let held_conn = MockConn {
+            requests: VecDeque::from([Ok(Some("{\"op\": \"ping\"}".into()))]),
+            responses: std::sync::Arc::clone(&first_responses),
+            hold: Some(gate),
+        };
+        let shed_conn = MockConn {
+            requests: VecDeque::from([Ok(Some("{\"op\": \"ping\"}".into()))]),
+            responses: std::sync::Arc::clone(&shed_responses),
+            hold: None,
+        };
+        let transport = MockTransport {
+            script: Mutex::new(VecDeque::from([
+                Ok(Some(held_conn)),
+                Ok(Some(shed_conn)),
+                Ok(None),
+            ])),
+        };
+        let server = Server::with_limits(
+            DpService::new(Accountant::in_memory()),
+            transport,
+            ServerLimits {
+                max_connections: Some(1),
+            },
+        );
+        std::thread::scope(|scope| {
+            let running = scope.spawn(|| server.run().unwrap());
+            // The second connection is shed on the accept thread while the
+            // first is still held in flight; wait for that, then release.
+            while shed_responses.lock().unwrap().is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            release_first.send(()).unwrap();
+            running.join().unwrap();
+        });
+        let shed = shed_responses.lock().unwrap();
+        assert_eq!(shed.len(), 1, "shed connections get exactly one line");
+        assert!(shed[0].contains("\"code\":\"overloaded\""), "{}", shed[0]);
+        assert!(shed[0].contains("\"scope\":\"connections\""), "{}", shed[0]);
+        // The held connection was served normally once released.
+        assert!(first_responses.lock().unwrap()[0].contains("\"pong\":true"));
     }
 }

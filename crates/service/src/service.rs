@@ -13,9 +13,13 @@
 //! (`open_tenant`, `release`, …) are the in-process operator surface and
 //! take no credential. See [`crate::auth`] for the threat model.
 
-use crate::accountant::{Accountant, BudgetStatus};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::accountant::{Accountant, BudgetStatus, ReleaseAdmission};
 use crate::auth::Auth;
 use crate::error::ServiceError;
+use crate::fail_point;
 use crate::pool::{DataStore, SessionPool};
 use crate::protocol::{ok_response, privacy_to_value, session_release_to_value, Request};
 use crate::registry::{plan_id, Registry};
@@ -31,6 +35,42 @@ pub struct DpService {
     registry: Registry,
     pool: SessionPool,
     data: DataStore,
+    /// Per-tenant cap on wire releases being computed at once (`None` =
+    /// unbounded). Excess requests are shed with the typed, retryable
+    /// [`ServiceError::Overloaded`] *before* anything is charged.
+    tenant_inflight_cap: Option<usize>,
+    inflight: Mutex<HashMap<String, usize>>,
+}
+
+/// The success response for a batch of releases — the one shape both the
+/// fresh path and idempotent replay must produce identically.
+fn release_response(releases: &[SessionRelease]) -> Value {
+    ok_response(vec![(
+        "releases".into(),
+        Value::Array(releases.iter().map(session_release_to_value).collect()),
+    )])
+}
+
+/// RAII decrement for the per-tenant in-flight release counter.
+struct InflightGuard<'a> {
+    service: &'a DpService,
+    tenant: String,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .service
+            .inflight
+            .lock()
+            .expect("inflight mutex poisoned");
+        if let Some(count) = inflight.get_mut(&self.tenant) {
+            *count -= 1;
+            if *count == 0 {
+                inflight.remove(&self.tenant);
+            }
+        }
+    }
 }
 
 impl DpService {
@@ -49,7 +89,39 @@ impl DpService {
             registry: Registry::new(),
             pool: SessionPool::new(),
             data: DataStore::new(),
+            tenant_inflight_cap: None,
+            inflight: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Bounds how many wire releases one tenant may have in flight at
+    /// once; excess requests are shed with the retryable
+    /// [`ServiceError::Overloaded`] before any budget is charged. Applies
+    /// to [`DpService::handle`] (the wire boundary), not the direct Rust
+    /// methods.
+    pub fn with_tenant_inflight_cap(mut self, cap: usize) -> DpService {
+        self.tenant_inflight_cap = Some(cap);
+        self
+    }
+
+    /// Claims an in-flight slot for `tenant`, or sheds with the typed
+    /// [`ServiceError::Overloaded`]. The slot frees when the guard drops.
+    fn acquire_inflight(&self, tenant: &str) -> Result<Option<InflightGuard<'_>>, ServiceError> {
+        let Some(cap) = self.tenant_inflight_cap else {
+            return Ok(None);
+        };
+        let mut inflight = self.inflight.lock().expect("inflight mutex poisoned");
+        let count = inflight.entry(tenant.to_string()).or_insert(0);
+        if *count >= cap {
+            return Err(ServiceError::Overloaded {
+                scope: "tenant".into(),
+            });
+        }
+        *count += 1;
+        Ok(Some(InflightGuard {
+            service: self,
+            tenant: tenant.to_string(),
+        }))
     }
 
     /// The authenticator enforcing the service's policy.
@@ -127,6 +199,48 @@ impl DpService {
         session.release_batch(seeds).map_err(Into::into)
     }
 
+    /// Draws releases under an idempotency key, returning the full wire
+    /// response value. Exactly-once semantics: the first admission debits
+    /// the composed charge and journals `(tenant, request_id)`; any retry
+    /// with the same id (same session/seeds) returns the same response
+    /// value — byte-identical on the wire — without a second debit, even
+    /// if the first attempt died after the debit, and even across a
+    /// server restart (the WAL replays the journal; releases are
+    /// seed-deterministic, so a recomputed response matches the lost one).
+    pub fn release_idempotent(
+        &self,
+        tenant: &str,
+        session_id: &str,
+        seeds: &[u64],
+        request_id: &str,
+    ) -> Result<Value, ServiceError> {
+        if seeds.is_empty() {
+            return Ok(release_response(&[]));
+        }
+        let session = self.pool.get(session_id)?;
+        // A session is shared across tenants; authorization is against the
+        // tenant's own registration of the underlying plan.
+        let pid = plan_id(session.plan());
+        self.registry.lookup(tenant, &pid)?;
+        let charge = compose_n(session.plan().privacy(), seeds.len());
+        match self
+            .accountant
+            .admit_release(tenant, request_id, session_id, seeds, charge)?
+        {
+            ReleaseAdmission::Replay(Some(cached)) => Ok(cached),
+            admission => {
+                if matches!(admission, ReleaseAdmission::Fresh) {
+                    fail_point!("release.post_debit");
+                }
+                let releases = session.release_batch(seeds)?;
+                let response = release_response(&releases);
+                self.accountant
+                    .record_response(tenant, request_id, &response);
+                Ok(response)
+            }
+        }
+    }
+
     /// The tenant's current budget position.
     pub fn budget_status(&self, tenant: &str) -> Result<BudgetStatus, ServiceError> {
         self.accountant.status(tenant)
@@ -198,13 +312,17 @@ impl DpService {
                 tenant,
                 session,
                 seeds,
+                request_id,
             } => {
                 self.auth.check_tenant(&tenant, credential)?;
-                let releases = self.release(&tenant, &session, &seeds)?;
-                Ok(ok_response(vec![(
-                    "releases".into(),
-                    Value::Array(releases.iter().map(session_release_to_value).collect()),
-                )]))
+                let _slot = self.acquire_inflight(&tenant)?;
+                match request_id {
+                    Some(rid) => self.release_idempotent(&tenant, &session, &seeds, &rid),
+                    None => {
+                        let releases = self.release(&tenant, &session, &seeds)?;
+                        Ok(release_response(&releases))
+                    }
+                }
             }
             Request::BudgetStatus { tenant } => {
                 self.auth.check_tenant(&tenant, credential)?;
@@ -387,5 +505,92 @@ mod tests {
             service.release("carol", &sa, &[1]),
             Err(ServiceError::UnknownPlan { .. })
         ));
+    }
+
+    #[test]
+    fn idempotent_releases_charge_once_and_replay_the_same_bytes() {
+        let service = service_with_toy_table();
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        let plan_id = service.register_compiled("t", builder(0.25)).unwrap();
+        let session = service.bind("t", &plan_id, "toy").unwrap();
+
+        let first = service
+            .release_idempotent("t", &session, &[1, 2], "r1")
+            .unwrap();
+        assert_eq!(service.budget_status("t").unwrap().spent_epsilon, 0.5);
+        for _ in 0..3 {
+            let again = service
+                .release_idempotent("t", &session, &[1, 2], "r1")
+                .unwrap();
+            assert_eq!(
+                crate::protocol::render_line(&again),
+                crate::protocol::render_line(&first),
+                "replays must be byte-identical"
+            );
+        }
+        // Still one charge — and the replay even works with the budget
+        // fully exhausted, because nothing new is debited.
+        assert_eq!(service.budget_status("t").unwrap().spent_epsilon, 0.5);
+        service
+            .release_idempotent("t", &session, &[9, 10], "r2")
+            .unwrap();
+        assert_eq!(service.budget_status("t").unwrap().remaining_epsilon, 0.0);
+        service
+            .release_idempotent("t", &session, &[1, 2], "r1")
+            .unwrap();
+
+        // Reusing an id with different seeds is the typed client bug.
+        assert!(matches!(
+            service.release_idempotent("t", &session, &[3, 4], "r1"),
+            Err(ServiceError::IdempotencyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tenant_inflight_cap_sheds_with_the_typed_overload() {
+        let service = service_with_toy_table().with_tenant_inflight_cap(1);
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        let held = service.acquire_inflight("t").unwrap();
+        assert!(held.is_some());
+        // The tenant is at its cap: the wire release sheds, charging
+        // nothing...
+        let err = service
+            .handle(
+                Request::Release {
+                    tenant: "t".into(),
+                    session: "s".into(),
+                    seeds: vec![1],
+                    request_id: None,
+                },
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(&err, ServiceError::Overloaded { scope } if scope == "tenant"));
+        assert!(err.is_retryable());
+        assert_eq!(service.budget_status("t").unwrap().spent_epsilon, 0.0);
+        // ...other tenants are unaffected...
+        service
+            .open_tenant("u", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        assert!(service.acquire_inflight("u").unwrap().is_some());
+        // ...and dropping the slot un-sheds the tenant.
+        drop(held);
+        let plan_id = service.register_compiled("t", builder(0.25)).unwrap();
+        let session = service.bind("t", &plan_id, "toy").unwrap();
+        service
+            .handle(
+                Request::Release {
+                    tenant: "t".into(),
+                    session,
+                    seeds: vec![1],
+                    request_id: Some("r1".into()),
+                },
+                None,
+            )
+            .unwrap();
     }
 }

@@ -34,6 +34,20 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::ServiceError;
+use crate::fail_point;
+
+/// Maps a socket error to the typed service error: deadline expiries
+/// become the retryable [`ServiceError::Timeout`] (`WouldBlock` is what
+/// Unix returns for a timed-out read/write on a stream with a deadline;
+/// `TimedOut` is the Windows spelling), everything else stays I/O.
+fn io_to_service(e: std::io::Error, during: &str) -> ServiceError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            ServiceError::Timeout(during.to_string())
+        }
+        _ => ServiceError::Io(e.to_string()),
+    }
+}
 
 /// Longest accepted request line, in bytes (16 MiB). See the module docs.
 pub const MAX_LINE_BYTES: usize = 16 << 20;
@@ -90,6 +104,7 @@ impl TcpConnection {
 
 impl Connection for TcpConnection {
     fn receive(&mut self) -> Result<Option<String>, ServiceError> {
+        fail_point!("net.recv");
         let mut line = String::new();
         // `take` bounds how much one line can pull into memory; the one
         // extra byte distinguishes "exactly at the cap" from "over it".
@@ -103,7 +118,7 @@ impl Connection for TcpConnection {
                     "request line is not valid UTF-8".into(),
                 ));
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(io_to_service(e, "read")),
         };
         if n == 0 {
             return Ok(None);
@@ -120,9 +135,11 @@ impl Connection for TcpConnection {
     }
 
     fn send(&mut self, line: &str) -> Result<(), ServiceError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        fail_point!("net.send");
+        let write = |e| io_to_service(e, "write");
+        self.writer.write_all(line.as_bytes()).map_err(write)?;
+        self.writer.write_all(b"\n").map_err(write)?;
+        self.writer.flush().map_err(write)?;
         Ok(())
     }
 

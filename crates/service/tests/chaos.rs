@@ -1,0 +1,240 @@
+//! Chaos tests driven by the deterministic failpoints (see
+//! `dp_service::failpoint`). Compiled and run only with
+//! `--features fault-inject`; the CI workflow has a dedicated step.
+//!
+//! The failpoint registry is process-global, so every test here takes the
+//! `serial()` lock and clears the registry on both sides.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::{Mutex, MutexGuard};
+
+use dp_core::{ContingencyTable, PlanBuilder, Schema, StrategyKind, Workload};
+use dp_mech::PrivacyLevel;
+use dp_service::failpoint::{self, FailAction, Trigger};
+use dp_service::protocol::render_line;
+use dp_service::{
+    Accountant, Client, ClientConfig, DpService, ReleaseAdmission, Server, ServiceError,
+    TcpTransport,
+};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::clear_all();
+    guard
+}
+
+fn tmp_ledger(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dp-service-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+const HALF: PrivacyLevel = PrivacyLevel::Pure { epsilon: 0.5 };
+
+fn toy_service(accountant: Accountant) -> (DpService, String) {
+    let service = DpService::new(accountant);
+    service
+        .data()
+        .insert_table("toy", ContingencyTable::from_indices(3, &[0, 1, 5, 7, 7]));
+    service
+        .open_tenant("t", PrivacyLevel::Pure { epsilon: 8.0 })
+        .unwrap();
+    let schema = Schema::binary(3).unwrap();
+    let workload = Workload::all_k_way(&schema, 1).unwrap();
+    let plan_id = service
+        .register_compiled(
+            "t",
+            PlanBuilder::marginals(workload, StrategyKind::Fourier).privacy(HALF),
+        )
+        .unwrap();
+    let session = service.bind("t", &plan_id, "toy").unwrap();
+    (service, session)
+}
+
+/// A WAL append that dies after the in-memory debit: the budget stays
+/// burned (over-counting is the safe direction) but the request id is
+/// *not* journaled, so the retry debits again rather than replaying a
+/// record that never reached disk.
+#[test]
+fn an_append_failure_burns_budget_without_journaling_the_id() {
+    let _guard = serial();
+    let acct = Accountant::with_wal(&tmp_ledger("append")).unwrap();
+    acct.open_tenant("t", PrivacyLevel::Pure { epsilon: 8.0 })
+        .unwrap();
+
+    failpoint::configure("wal.append", Trigger::nth(0), FailAction::Error);
+    let err = acct.admit_release("t", "r1", "s", &[1], HALF).unwrap_err();
+    assert!(matches!(err, ServiceError::Io(_)), "got {err:?}");
+    assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+    assert_eq!(acct.journaled_releases(), 0);
+
+    // The retry finds no journal entry and debits again: 2 × 0.5 spent
+    // for one released answer — wasteful, never an overspend.
+    assert!(matches!(
+        acct.admit_release("t", "r1", "s", &[1], HALF).unwrap(),
+        ReleaseAdmission::Fresh
+    ));
+    assert_eq!(acct.status("t").unwrap().spent_epsilon, 1.0);
+    assert_eq!(acct.journaled_releases(), 1);
+    assert_eq!(failpoint::fired_count("wal.append"), 1);
+    failpoint::clear_all();
+}
+
+/// A failed `sync_data` is reported to the caller (the release is
+/// refused) while the in-memory debit is kept.
+#[test]
+fn a_sync_failure_keeps_the_debit_and_refuses_the_release() {
+    let _guard = serial();
+    let acct = Accountant::with_wal(&tmp_ledger("sync")).unwrap();
+    acct.open_tenant("t", PrivacyLevel::Pure { epsilon: 8.0 })
+        .unwrap();
+
+    failpoint::configure("wal.sync", Trigger::nth(0), FailAction::Error);
+    assert!(acct.try_debit("t", HALF).is_err());
+    assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+
+    // With the fault passed, accounting continues normally.
+    acct.try_debit("t", HALF).unwrap();
+    assert_eq!(acct.status("t").unwrap().spent_epsilon, 1.0);
+    failpoint::clear_all();
+}
+
+/// The narrowest exactly-once window, hit without any socket: the debit
+/// lands, then the release computation dies. The retry of the same id
+/// replays (recomputes) without a second debit.
+#[test]
+fn a_post_debit_crash_retries_into_one_charge() {
+    let _guard = serial();
+    let (service, session) = toy_service(Accountant::with_wal(&tmp_ledger("post-debit")).unwrap());
+
+    failpoint::configure("release.post_debit", Trigger::nth(0), FailAction::Error);
+    let err = service
+        .release_idempotent("t", &session, &[3, 4], "r1")
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Io(_)), "got {err:?}");
+    let status = service.budget_status("t").unwrap();
+    assert_eq!(status.charges, 1, "the debit preceded the crash");
+    assert_eq!(status.spent_epsilon, 1.0);
+
+    let response = service
+        .release_idempotent("t", &session, &[3, 4], "r1")
+        .unwrap();
+    let status = service.budget_status("t").unwrap();
+    assert_eq!(status.charges, 1, "the retry replayed, not re-debited");
+    assert_eq!(status.spent_epsilon, 1.0);
+
+    // And a further retry returns the now-cached bytes verbatim.
+    let again = service
+        .release_idempotent("t", &session, &[3, 4], "r1")
+        .unwrap();
+    assert_eq!(render_line(&response), render_line(&again));
+    failpoint::clear_all();
+}
+
+fn start_server(accountant: Accountant) -> (std::thread::JoinHandle<()>, String) {
+    let service = DpService::new(accountant);
+    service
+        .data()
+        .insert_table("toy", ContingencyTable::from_indices(3, &[0, 1, 5, 7, 7]));
+    let server = Server::new(service, TcpTransport::bind("127.0.0.1:0").unwrap());
+    let addr = server.addr();
+    (std::thread::spawn(move || server.run().unwrap()), addr)
+}
+
+fn register_over_tcp(client: &mut Client) -> String {
+    client
+        .open_tenant("t", PrivacyLevel::Pure { epsilon: 8.0 })
+        .unwrap();
+    let schema = Schema::binary(3).unwrap();
+    let workload = Workload::all_k_way(&schema, 1).unwrap();
+    let plan_id = client
+        .register_compile(
+            "t",
+            dp_core::api::WorkloadSpec::Marginals {
+                workload,
+                strategy: StrategyKind::Fourier,
+                cluster: Default::default(),
+            },
+            dp_core::Budgeting::Optimal,
+            HALF,
+            dp_mech::Neighboring::AddRemove,
+        )
+        .unwrap();
+    client.bind("t", &plan_id, "toy").unwrap()
+}
+
+/// Kills the server's response send for one release over real TCP; the
+/// client's retry machinery resends under the same id and the ledger
+/// shows exactly one charge. (Sends alternate client-request /
+/// server-response on this sequential protocol, so hit 1 after arming is
+/// the server's response.)
+#[test]
+fn an_injected_send_failure_is_absorbed_by_the_retry_machinery() {
+    let _guard = serial();
+    let (handle, addr) = start_server(Accountant::in_memory());
+    let mut client = Client::connect(&addr).unwrap();
+    let session = register_over_tcp(&mut client);
+
+    failpoint::configure("net.send", Trigger::nth(1), FailAction::Error);
+    let released = client.release("t", &session, &[5, 6]).unwrap();
+    assert_eq!(released.len(), 2);
+    assert!(client.stats().retries >= 1);
+    failpoint::clear_all();
+
+    let status = client.budget_status("t").unwrap();
+    assert_eq!(status.charges, 1, "the retried release debited once");
+    assert_eq!(status.spent_epsilon, 1.0);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A seeded chaos storm: every third-ish socket send fails (client and
+/// server alike), deterministically. Every logical release must still
+/// land exactly once — same schedule, same outcome, every run.
+#[test]
+fn a_seeded_send_storm_never_double_debits() {
+    let _guard = serial();
+    let (handle, addr) = start_server(Accountant::in_memory());
+    let mut client = Client::connect_with(
+        &addr,
+        ClientConfig {
+            max_retries: 10,
+            backoff_base: std::time::Duration::from_millis(1),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let session = register_over_tcp(&mut client);
+
+    failpoint::configure(
+        "net.send",
+        Trigger::Seeded {
+            seed: 42,
+            period: 3,
+        },
+        FailAction::Error,
+    );
+    const RELEASES: u64 = 6;
+    for i in 0..RELEASES {
+        let released = client.release("t", &session, &[i]).unwrap();
+        assert_eq!(released.len(), 1);
+    }
+    let fired = failpoint::fired_count("net.send");
+    failpoint::clear_all();
+
+    let status = client.budget_status("t").unwrap();
+    assert_eq!(
+        status.charges as u64, RELEASES,
+        "one charge per logical release, {fired} injected faults notwithstanding"
+    );
+    assert!((status.spent_epsilon - 0.5 * RELEASES as f64).abs() < 1e-12);
+    assert!(fired >= 1, "the storm must actually have injected faults");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

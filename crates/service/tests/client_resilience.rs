@@ -1,0 +1,104 @@
+//! Client-side failure handling against misbehaving servers: a stalled
+//! server must surface as a bounded, typed timeout (never an infinite
+//! hang), and a connection dropped mid-call must be absorbed by the
+//! retry machinery on a fresh connection.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use dp_service::{Client, ClientConfig, ServiceError};
+
+/// A server that accepts and then never says anything. Returns the
+/// address and a guard handle; the listener thread exits when the
+/// blocked connection is dropped by the timed-out client.
+fn start_stalled_server() -> (std::thread::JoinHandle<()>, String) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        // Hold every connection open without responding until the peer
+        // gives up; stop once one full client lifecycle has run.
+        if let Ok((stream, _)) = listener.accept() {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while matches!(reader.read_line(&mut line), Ok(n) if n > 0) {
+                line.clear();
+            }
+        }
+    });
+    (handle, addr)
+}
+
+#[test]
+fn a_stalled_server_times_out_within_the_deadline() {
+    let (handle, addr) = start_stalled_server();
+    let mut client = Client::connect_with(
+        &addr,
+        ClientConfig {
+            max_retries: 0,
+            ..ClientConfig::with_timeout(Duration::from_millis(200))
+        },
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    let err = client.ping().unwrap_err();
+    let elapsed = started.elapsed();
+
+    assert!(
+        matches!(err, ServiceError::Timeout(_)),
+        "a wedged server must be a typed timeout, got: {err}"
+    );
+    assert!(err.is_retryable(), "timeouts are transport-class");
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "the deadline must actually bound the wait (took {elapsed:?})"
+    );
+
+    drop(client); // closes the held connection, releasing the listener
+    handle.join().unwrap();
+}
+
+/// A server whose first connection is dropped after reading the request
+/// (no response), while the second connection answers properly — the
+/// shape of a backend bouncing under a client's feet.
+#[test]
+fn a_dropped_connection_is_retried_on_a_fresh_one() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        // Connection 1: read the request, hang up without answering.
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        drop(reader);
+        // Connection 2: answer the retried request for real.
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let mut writer = stream;
+        writer
+            .write_all(b"{\"ok\": true, \"tables\": [\"toy\"]}\n")
+            .unwrap();
+        writer.flush().unwrap();
+    });
+
+    let mut client = Client::connect_with(
+        &addr,
+        ClientConfig {
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::with_timeout(Duration::from_secs(5))
+        },
+    )
+    .unwrap();
+    let tables = client.ping().unwrap();
+    assert_eq!(tables, vec!["toy".to_string()]);
+    assert_eq!(
+        client.stats().retries,
+        1,
+        "exactly one resend absorbed the dropped connection"
+    );
+    server.join().unwrap();
+}

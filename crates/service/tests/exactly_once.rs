@@ -1,0 +1,268 @@
+//! The exactly-once acceptance tests: a release whose connection dies
+//! *after the debit but before the response* is retried by the client
+//! under the same `request_id` and comes back byte-identical with exactly
+//! one charge on the ledger — including when a whole server crash and
+//! WAL-replaying restart happens between the attempts.
+//!
+//! The fault here is injected at the [`Transport`] seam with a test-local
+//! wrapper (so this file runs under default features); the feature-gated
+//! `fail_point!` sites get their own exercise in `tests/chaos.rs`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dp_core::api::WorkloadSpec;
+use dp_core::{ContingencyTable, Schema, StrategyKind, Workload};
+use dp_mech::{Neighboring, PrivacyLevel};
+use dp_service::protocol::render_line;
+use dp_service::transport::{Connection, TcpTransport, Transport};
+use dp_service::{Accountant, Client, ClientConfig, DpService, Server, ServiceError};
+
+fn toy_table() -> ContingencyTable {
+    ContingencyTable::from_indices(4, &[0, 1, 2, 3, 9, 15, 15])
+}
+
+fn toy_spec() -> WorkloadSpec {
+    let schema = Schema::binary(4).unwrap();
+    let workload = Workload::all_k_way(&schema, 1).unwrap();
+    WorkloadSpec::Marginals {
+        workload,
+        strategy: StrategyKind::Fourier,
+        cluster: Default::default(),
+    }
+}
+
+/// A TCP connection whose next `send` can be remotely killed — the
+/// precise failure window of the exactly-once contract: the server has
+/// already debited and computed, the client never hears back.
+struct FlakyConn {
+    inner: <TcpTransport as Transport>::Conn,
+    kill_next_send: Arc<AtomicBool>,
+}
+
+impl Connection for FlakyConn {
+    fn receive(&mut self) -> Result<Option<String>, ServiceError> {
+        self.inner.receive()
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ServiceError> {
+        if self.kill_next_send.swap(false, Ordering::SeqCst) {
+            // The handler treats this like any broken pipe: it closes the
+            // connection without the response ever reaching the peer.
+            return Err(ServiceError::Io(
+                "injected: connection died before the response".into(),
+            ));
+        }
+        self.inner.send(line)
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+}
+
+struct FlakyTransport {
+    inner: TcpTransport,
+    kill_next_send: Arc<AtomicBool>,
+}
+
+impl Transport for FlakyTransport {
+    type Conn = FlakyConn;
+
+    fn accept(&self) -> Result<Option<FlakyConn>, ServiceError> {
+        Ok(self.inner.accept()?.map(|conn| FlakyConn {
+            inner: conn,
+            kill_next_send: Arc::clone(&self.kill_next_send),
+        }))
+    }
+
+    fn local_addr(&self) -> String {
+        self.inner.local_addr()
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown()
+    }
+}
+
+fn start_flaky_server(ledger: &std::path::Path) -> (JoinHandle<()>, String, Arc<AtomicBool>) {
+    let service = DpService::new(Accountant::with_wal(ledger).unwrap());
+    service.data().insert_table("toy", toy_table());
+    let kill_next_send = Arc::new(AtomicBool::new(false));
+    let transport = FlakyTransport {
+        inner: TcpTransport::bind("127.0.0.1:0").unwrap(),
+        kill_next_send: Arc::clone(&kill_next_send),
+    };
+    let server = Server::new(service, transport);
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (handle, addr, kill_next_send)
+}
+
+fn tmp_ledger(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dp-service-exactly-once-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ledger.jsonl");
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Registers the plan and binds the session — the deterministic part a
+/// restarted server must redo, since only budgets live in the WAL.
+fn register_and_bind(client: &mut Client) -> String {
+    let plan_id = client
+        .register_compile(
+            "t",
+            toy_spec(),
+            dp_core::Budgeting::Optimal,
+            PrivacyLevel::Pure { epsilon: 0.25 },
+            Neighboring::AddRemove,
+        )
+        .unwrap();
+    client.bind("t", &plan_id, "toy").unwrap()
+}
+
+#[test]
+fn a_connection_killed_after_the_debit_retries_into_one_charge() {
+    let ledger = tmp_ledger("conn-kill");
+    let (handle, addr, kill_next_send) = start_flaky_server(&ledger);
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .open_tenant("t", PrivacyLevel::Pure { epsilon: 2.0 })
+        .unwrap();
+    let session = register_and_bind(&mut client);
+    let seeds = [11u64, (1 << 60) + 3];
+
+    // The server will debit, draw the release, and then the connection
+    // dies before the response line leaves. The client's retry machinery
+    // resends under the same request id and gets the journaled response.
+    kill_next_send.store(true, Ordering::SeqCst);
+    let released = client
+        .release_with_id("t", &session, &seeds, "req-flaky")
+        .unwrap();
+    assert_eq!(released.len(), seeds.len());
+    assert!(
+        client.stats().retries >= 1,
+        "the first attempt must actually have failed"
+    );
+
+    // Exactly one charge for the whole episode.
+    let status = client.budget_status("t").unwrap();
+    assert_eq!(status.charges, 1);
+    assert!((status.spent_epsilon - 0.5).abs() < 1e-12);
+
+    // And replays of the same id are byte-identical, debiting nothing.
+    let again = client
+        .release_with_id("t", &session, &seeds, "req-flaky")
+        .unwrap();
+    let rendered: Vec<String> = released.iter().map(render_line).collect();
+    let rendered_again: Vec<String> = again.iter().map(render_line).collect();
+    assert_eq!(rendered, rendered_again);
+    assert_eq!(client.budget_status("t").unwrap().charges, 1);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn a_retry_across_a_server_restart_replays_byte_identically() {
+    let ledger = tmp_ledger("restart");
+    let seeds = [7u64, 42, (1 << 59) + 1];
+
+    // ---- Server incarnation 1 ----
+    let (handle, addr, kill_next_send) = start_flaky_server(&ledger);
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .open_tenant("t", PrivacyLevel::Pure { epsilon: 2.0 })
+        .unwrap();
+    let session = register_and_bind(&mut client);
+
+    // "req-ok" completes normally: these are the reference bytes.
+    let reference: Vec<String> = client
+        .release_with_id("t", &session, &seeds, "req-ok")
+        .unwrap()
+        .iter()
+        .map(render_line)
+        .collect();
+
+    // "req-lost" is debited but its response never arrives — and this
+    // client does not retry, mimicking a caller that crashes and will
+    // come back later (as a new process, even) with the same id.
+    let mut one_shot = Client::connect_with(
+        &addr,
+        ClientConfig {
+            max_retries: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    kill_next_send.store(true, Ordering::SeqCst);
+    let err = one_shot
+        .release_with_id("t", &session, &seeds, "req-lost")
+        .unwrap_err();
+    assert!(
+        err.is_retryable(),
+        "lost response must look retryable: {err}"
+    );
+    assert_eq!(
+        client.budget_status("t").unwrap().charges,
+        2,
+        "req-lost was debited even though its response was lost"
+    );
+
+    // The server "crashes": every acknowledged debit is already fsynced
+    // in the WAL, so a clean stop is ledger-equivalent to SIGKILL (the
+    // CI chaos job kills a real process for the ruder version).
+    drop(one_shot);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // ---- Server incarnation 2: same ledger, fresh process state ----
+    let (handle, addr, _kill) = start_flaky_server(&ledger);
+    let mut client = Client::connect(&addr).unwrap();
+    // Budgets replayed from the WAL; both debits survived the crash.
+    let status = client.budget_status("t").unwrap();
+    assert_eq!(status.charges, 2);
+    assert!((status.spent_epsilon - 1.5).abs() < 1e-12);
+    // Plans and sessions are deterministic, not persisted: re-register.
+    let session2 = register_and_bind(&mut client);
+    assert_eq!(session2, session, "session ids are deterministic");
+
+    // Retrying the *lost* release now: the journal (rebuilt from the WAL)
+    // knows the id, debits nothing, and recomputes the seed-deterministic
+    // response the first incarnation never delivered.
+    let recovered: Vec<String> = client
+        .release_with_id("t", &session2, &seeds, "req-lost")
+        .unwrap()
+        .iter()
+        .map(render_line)
+        .collect();
+    assert_eq!(
+        recovered, reference,
+        "same plan, table and seeds must reproduce the same bytes"
+    );
+    // Retrying the *completed* release: same bytes, still no new charge.
+    let replayed: Vec<String> = client
+        .release_with_id("t", &session2, &seeds, "req-ok")
+        .unwrap()
+        .iter()
+        .map(render_line)
+        .collect();
+    assert_eq!(replayed, reference);
+    let status = client.budget_status("t").unwrap();
+    assert_eq!(status.charges, 2, "no retry ever debited a second time");
+    assert!((status.spent_epsilon - 1.5).abs() < 1e-12);
+
+    // Reusing a journaled id with different seeds is refused, typed.
+    assert!(matches!(
+        client.release_with_id("t", &session2, &[99], "req-ok"),
+        Err(ServiceError::Remote { ref code, .. }) if code == "idempotency_mismatch"
+    ));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,106 @@
+//! Property test for ledger damage: however the WAL file is truncated or
+//! bit-flipped, reloading must produce either a *consistent prefix* of
+//! the real history (only possible by losing whole tail records, which is
+//! the torn-append case) or the typed [`ServiceError::WalCorrupt`] /
+//! an I/O refusal — never a state that silently under-reports spend.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dp_mech::PrivacyLevel;
+use dp_service::{Accountant, ReleaseAdmission, ServiceError};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_ledger() -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dp-service-wal-corruption-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "ledger-{}.jsonl",
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Builds a known six-record history (open + five debits, two of them
+/// journaled releases) and returns the per-prefix `(charges, spent_ε)`
+/// states. Power-of-two charges make every prefix sum exact in `f64` and
+/// every state distinct.
+fn build_history(path: &std::path::Path) -> Vec<(usize, f64)> {
+    let acct = Accountant::with_wal(path).unwrap();
+    acct.open_tenant("t", PrivacyLevel::Pure { epsilon: 10.0 })
+        .unwrap();
+    let charges = [0.5, 0.25, 1.0, 0.125, 2.0];
+    let mut states = vec![(0usize, 0.0f64)];
+    let mut spent = 0.0;
+    for (i, &eps) in charges.iter().enumerate() {
+        let charge = PrivacyLevel::Pure { epsilon: eps };
+        if i % 2 == 1 {
+            let rid = format!("r{i}");
+            assert!(matches!(
+                acct.admit_release("t", &rid, "s", &[i as u64], charge)
+                    .unwrap(),
+                ReleaseAdmission::Fresh
+            ));
+        } else {
+            acct.try_debit("t", charge).unwrap();
+        }
+        spent += eps;
+        states.push((i + 1, spent));
+    }
+    states
+}
+
+proptest::proptest! {
+    /// For arbitrary single-site damage — truncation at any byte, or any
+    /// single bit flip — the reload is a typed refusal or a state equal
+    /// to replaying some prefix of the genuine record sequence.
+    #[test]
+    fn damaged_ledgers_load_as_a_true_prefix_or_refuse(
+        site in 0usize..1 << 16,
+        bit in 0u32..8,
+        mode in 0u32..2,
+    ) {
+        let path = fresh_ledger();
+        let prefix_states = build_history(&path);
+        let original = std::fs::read(&path).unwrap();
+        proptest::prop_assert!(!original.is_empty());
+
+        let mut damaged = original.clone();
+        let at = site % damaged.len();
+        if mode == 0 {
+            damaged.truncate(at);
+        } else {
+            damaged[at] ^= 1 << bit;
+        }
+        std::fs::write(&path, &damaged).unwrap();
+
+        match Accountant::with_wal(&path) {
+            Err(ServiceError::WalCorrupt(_)) | Err(ServiceError::Io(_)) => {
+                // Fail-closed: damaged interior history refuses to load
+                // (Io covers flips that break UTF-8 before parsing).
+            }
+            Err(other) => panic!("unexpected refusal: {other:?}"),
+            Ok(acct) => {
+                let state = match acct.status("t") {
+                    Ok(status) => (status.charges, status.spent_epsilon),
+                    Err(ServiceError::UnknownTenant(_)) => {
+                        // Even the open record was lost: the empty prefix.
+                        (0, 0.0)
+                    }
+                    Err(other) => panic!("unexpected status error: {other:?}"),
+                };
+                proptest::prop_assert!(
+                    prefix_states
+                        .iter()
+                        .any(|&(c, s)| c == state.0 && (s - state.1).abs() < 1e-12),
+                    "loaded state {state:?} is not a true prefix of {prefix_states:?}"
+                );
+                // And the journal never invents releases: at most the two
+                // that were really charged.
+                proptest::prop_assert!(acct.journaled_releases() <= 2);
+            }
+        }
+    }
+}

@@ -128,6 +128,12 @@ pub struct ServeArgs {
     pub global_epsilon: Option<f64>,
     /// Optional service-wide δ cap (requires `--global-epsilon`).
     pub global_delta: Option<f64>,
+    /// Cap on concurrently served connections; excess connections are
+    /// shed in-band with the retryable `overloaded` error.
+    pub max_connections: Option<usize>,
+    /// Cap on concurrently in-flight releases *per tenant*; excess
+    /// releases are shed the same way.
+    pub max_inflight: Option<usize>,
 }
 
 /// One-shot client operations (the `client` subcommand).
@@ -181,6 +187,11 @@ pub enum ClientOp {
         seed: u64,
         /// Number of releases (seeds `seed..seed+batch`).
         batch: usize,
+        /// Explicit idempotency key. Re-running the command with the same
+        /// key (after a timeout, crash, or server restart) returns the
+        /// originally charged release without debiting again; without it
+        /// a fresh key is minted per run.
+        request_id: Option<String>,
     },
     /// `status`: print the tenant's budget position.
     Status {
@@ -201,6 +212,13 @@ pub struct ClientArgs {
     /// Bearer credential sent with every request (a tenant token, or the
     /// admin token for `open`/`shutdown`).
     pub auth: Option<String>,
+    /// Socket deadline in milliseconds applied to connect/read/write
+    /// (default 30000; 0 disables the deadlines). Finite by default so a
+    /// wedged server can never hang the CLI forever.
+    pub timeout_ms: u64,
+    /// Retries after the first attempt for idempotent requests
+    /// (default 4; 0 disables retrying).
+    pub retries: u32,
     /// The operation to perform.
     pub op: ClientOp,
 }
@@ -234,13 +252,16 @@ USAGE:
   datacube-dp serve   --addr <host:port> [--dataset <adult|nltcs>]...
                       [--ledger <path.jsonl>] [--admin-token <secret>]
                       [--global-epsilon <f64> [--global-delta <f64>]]
-  datacube-dp client  --addr <host:port> [--auth <token>] <op> [op flags]
+                      [--max-connections <n>] [--max-inflight <n>]
+  datacube-dp client  --addr <host:port> [--auth <token>]
+                      [--timeout-ms <u64>] [--retries <n>] <op> [op flags]
       open     --tenant <t> --epsilon <f64> [--delta <f64>] [--token <secret>]
       register --tenant <t> --dataset <adult|nltcs> --workload <label>
                --strategy <f|q|c|i> [--budgets <uniform|optimal>]
                --epsilon <f64> [--delta <f64>]
       bind     --tenant <t> --plan <id> --table <adult|nltcs>
       release  --tenant <t> --session <id> [--seed <u64>] [--batch <n>]
+               [--request-id <id>]
       status   --tenant <t>
       ping | shutdown
   datacube-dp help
@@ -255,8 +276,14 @@ switches it to the operator auth policy: `open`/`shutdown` need --auth set
 to the admin token, `open` installs the tenant's --token, and tenant ops
 need --auth set to that tenant token; without --admin-token every peer is
 trusted (loopback/dev only). --global-epsilon adds a service-wide budget
-cap across all tenants. `client` performs one service call and prints the
-response.
+cap across all tenants. --max-connections / --max-inflight bound concurrent
+connections and per-tenant in-flight releases; excess load is shed with the
+retryable `overloaded` error. `client` performs one service call and prints
+the response; socket deadlines are finite by default (--timeout-ms 30000,
+0 disables them) and idempotent calls are retried --retries times with
+backoff. `client release --request-id` pins the idempotency key, so
+re-running the exact command after a timeout or crash returns the already
+charged release instead of debiting again.
 `--cluster` picks the cluster-strategy (`--strategy c`) search: `fast` (the
 optimized incremental search, default), `serial` (same, without the rayon
 fan-out), or `faithful` (the paper-faithful exponential candidate walk of
@@ -334,6 +361,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut admin_token = None;
             let mut global_epsilon = None;
             let mut global_delta = None;
+            let mut max_connections = None;
+            let mut max_inflight = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| -> Result<&String, CliError> {
@@ -363,6 +392,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                                 .map_err(|e| CliError(format!("bad --global-delta: {e}")))?,
                         )
                     }
+                    "--max-connections" => {
+                        max_connections = Some(
+                            value("--max-connections")?
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or(CliError(
+                                    "bad --max-connections: need an integer ≥ 1".into(),
+                                ))?,
+                        )
+                    }
+                    "--max-inflight" => {
+                        max_inflight = Some(
+                            value("--max-inflight")?
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n >= 1)
+                                .ok_or(CliError(
+                                    "bad --max-inflight: need an integer ≥ 1".into(),
+                                ))?,
+                        )
+                    }
                     other => return Err(CliError(format!("unknown flag {other:?} for serve"))),
                 }
             }
@@ -379,6 +430,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 admin_token,
                 global_epsilon,
                 global_delta,
+                max_connections,
+                max_inflight,
             }))
         }
         "client" => parse_client(&args[1..]),
@@ -494,6 +547,9 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
     let mut session = None;
     let mut seed = 42u64;
     let mut batch = 1usize;
+    let mut request_id = None;
+    let mut timeout_ms = 30_000u64;
+    let mut retries = 4u32;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -538,6 +594,17 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
                     .filter(|&n| n >= 1)
                     .ok_or(CliError("bad --batch: need an integer ≥ 1".into()))?
             }
+            "--request-id" => request_id = Some(value("--request-id")?.clone()),
+            "--timeout-ms" => {
+                timeout_ms = value("--timeout-ms")?
+                    .parse::<u64>()
+                    .map_err(|e| CliError(format!("bad --timeout-ms: {e}")))?
+            }
+            "--retries" => {
+                retries = value("--retries")?
+                    .parse::<u32>()
+                    .map_err(|e| CliError(format!("bad --retries: {e}")))?
+            }
             other if !other.starts_with("--") && op_name.is_none() => op_name = Some(other),
             other => return Err(CliError(format!("unknown flag {other:?} for client"))),
         }
@@ -574,6 +641,7 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
             session: session.ok_or(CliError("client release requires --session".into()))?,
             seed,
             batch,
+            request_id,
         },
         "status" => ClientOp::Status {
             tenant: need_tenant(tenant, "status")?,
@@ -582,7 +650,13 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
         "shutdown" => ClientOp::Shutdown,
         other => return Err(CliError(format!("unknown client operation {other:?}"))),
     };
-    Ok(Command::Client(ClientArgs { addr, auth, op }))
+    Ok(Command::Client(ClientArgs {
+        addr,
+        auth,
+        timeout_ms,
+        retries,
+        op,
+    }))
 }
 
 /// Builds the workload for a label over a schema.
@@ -919,6 +993,25 @@ mod tests {
         assert_eq!(a.admin_token.as_deref(), Some("s3cret"));
         assert_eq!(a.global_epsilon, Some(8.0));
         assert_eq!(a.global_delta, Some(1e-6));
+        assert_eq!(a.max_connections, None);
+        assert_eq!(a.max_inflight, None);
+
+        let Command::Serve(a) = parse_args(&sv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--max-connections",
+            "64",
+            "--max-inflight",
+            "2",
+        ]))
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(a.max_connections, Some(64));
+        assert_eq!(a.max_inflight, Some(2));
+        assert!(parse_args(&sv(&["serve", "--addr", "x", "--max-connections", "0"])).is_err());
+        assert!(parse_args(&sv(&["serve", "--addr", "x", "--max-inflight", "no"])).is_err());
 
         assert!(parse_args(&sv(&["serve"])).is_err());
         assert!(parse_args(&sv(&["serve", "--addr", "x", "--json"])).is_err());
@@ -1022,9 +1115,12 @@ mod tests {
                 tenant: "t".into(),
                 session: "s".into(),
                 seed: 7,
-                batch: 3
+                batch: 3,
+                request_id: None
             }
         );
+        assert_eq!(a.timeout_ms, 30_000, "deadlines default finite");
+        assert_eq!(a.retries, 4);
 
         assert!(matches!(
             with(&["ping"]).unwrap(),
@@ -1040,6 +1136,31 @@ mod tests {
                 ..
             })
         ));
+
+        let Command::Client(a) = with(&[
+            "--timeout-ms",
+            "250",
+            "--retries",
+            "0",
+            "release",
+            "--tenant",
+            "t",
+            "--session",
+            "s",
+            "--request-id",
+            "retry-0007",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(a.timeout_ms, 250);
+        assert_eq!(a.retries, 0);
+        assert!(matches!(
+            a.op,
+            ClientOp::Release { ref request_id, .. } if request_id.as_deref() == Some("retry-0007")
+        ));
+        assert!(with(&["--timeout-ms", "soon", "ping"]).is_err());
+        assert!(with(&["--retries", "-1", "ping"]).is_err());
 
         // Missing pieces are reported.
         assert!(with(&["open", "--tenant", "t"]).is_err());

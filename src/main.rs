@@ -8,7 +8,9 @@ use datacube_dp::cli::{
     ClientOp, Command, PlanArgs, ReleaseArgs, ServeArgs, USAGE,
 };
 use datacube_dp::prelude::*;
-use datacube_dp::service::{protocol, Accountant, Auth, Client, DpService, Server, TcpTransport};
+use datacube_dp::service::{
+    protocol, Accountant, Auth, Client, ClientConfig, DpService, Server, ServerLimits, TcpTransport,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -124,13 +126,22 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
         Some(token) => Auth::operator(token),
         None => Auth::trusted(),
     };
-    let service = DpService::with_auth(accountant, auth);
+    let mut service = DpService::with_auth(accountant, auth);
+    if let Some(cap) = args.max_inflight {
+        service = service.with_tenant_inflight_cap(cap);
+    }
     for &dataset in &args.datasets {
         let (_, table) = load_dataset(dataset, 20130401).map_err(|e| e.to_string())?;
         service.data().insert_table(dataset_name(dataset), table);
     }
     let transport = TcpTransport::bind(&args.addr).map_err(|e| e.to_string())?;
-    let server = Server::new(service, transport);
+    let server = Server::with_limits(
+        service,
+        transport,
+        ServerLimits {
+            max_connections: args.max_connections,
+        },
+    );
     println!("{}", server.addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -158,7 +169,11 @@ fn run_serve(args: &ServeArgs) -> Result<(), String> {
 /// Performs one client call against a running service and prints the
 /// result (ids and releases go to stdout for scripting).
 fn run_client(args: &ClientArgs) -> Result<(), String> {
-    let mut client = Client::connect(&args.addr).map_err(|e| e.to_string())?;
+    let config = ClientConfig {
+        max_retries: args.retries,
+        ..ClientConfig::with_timeout(std::time::Duration::from_millis(args.timeout_ms))
+    };
+    let mut client = Client::connect_with(&args.addr, config).map_err(|e| e.to_string())?;
     client.set_credential(args.auth.clone());
     match &args.op {
         ClientOp::Open {
@@ -217,11 +232,14 @@ fn run_client(args: &ClientArgs) -> Result<(), String> {
             session,
             seed,
             batch,
+            request_id,
         } => {
             let seeds: Vec<u64> = (0..*batch as u64).map(|i| seed.wrapping_add(i)).collect();
-            let releases = client
-                .release(tenant, session, &seeds)
-                .map_err(|e| e.to_string())?;
+            let releases = match request_id {
+                Some(id) => client.release_with_id(tenant, session, &seeds, id),
+                None => client.release(tenant, session, &seeds),
+            }
+            .map_err(|e| e.to_string())?;
             for release in &releases {
                 println!("{}", protocol::render_line(release));
             }
