@@ -4,13 +4,22 @@
 //! cached plan (NLTCS Q2, F+), followed by an overload storm that drives
 //! one tenant past its in-flight cap to measure the shed/retry path.
 //!
-//! Usage: `cargo run -p dp-bench --release --bin service_load [-- --smoke]`
+//! Usage: `cargo run -p dp-bench --release --bin service_load [-- --smoke] [-- --ledger]`
 //!
 //! * `--smoke`: few tenants and requests — for CI.
+//! * `--ledger`: additionally benchmark the *durability-bound* path
+//!   (write-ahead ledger + fsync on): per-record sync vs group commit,
+//!   same run, same seeds — pipelined keyed releases so the group
+//!   committer actually gets batches to merge. Verifies exactly one
+//!   charge per request id and byte-identical releases per seed across
+//!   the two sync modes.
 
 use dp_core::api::WorkloadSpec;
 use dp_core::prelude::*;
-use dp_service::{Accountant, Client, ClientConfig, DpService, Server, TcpTransport};
+use dp_service::{
+    Accountant, Client, ClientConfig, DpService, KeyedRelease, ReleaseAdmission, Server,
+    TcpTransport, WalSync,
+};
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -52,9 +61,276 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+/// One measured durability configuration (WAL + fsync on).
+#[derive(Debug, Clone, Serialize)]
+pub struct DurabilityPoint {
+    /// `"wire-tcp"` (end-to-end keyed releases over TCP) or
+    /// `"admission"` (the accountant's admit path alone: dedup + debit +
+    /// journal + durable sync — the critical section PR-8 serialized).
+    pub path: String,
+    /// `"per-record"` (one fsync per release, serialized) or `"group"`
+    /// (one fsync per batch of concurrent records).
+    pub mode: String,
+    /// Concurrent tenants (one pipelined connection each).
+    pub tenants: usize,
+    /// Keyed release requests issued per tenant.
+    pub requests_per_tenant: usize,
+    /// Requests each client keeps in flight on its connection.
+    pub pipeline_depth: usize,
+    /// Total releases granted (all fresh — no replays in this phase).
+    pub total_releases: usize,
+    /// Wall-clock seconds for the storm.
+    pub seconds: f64,
+    /// Granted releases per wall-clock second, durably journaled.
+    pub releases_per_sec: f64,
+    /// `sync_data` calls the ledger issued.
+    pub wal_batches: u64,
+    /// Ledger records across those syncs (opens + spends).
+    pub wal_records: u64,
+    /// Largest single batch.
+    pub wal_max_batch: usize,
+    /// Mean records per sync.
+    pub wal_mean_batch: f64,
+    /// Records landing in batches of size 1, 2, 3–4, 5–8, 9–16, 17–32,
+    /// 33+ — the observed batch-size distribution.
+    pub wal_size_hist: Vec<u64>,
+}
+
+/// Runs one WAL-backed storm: `tenants` pipelined connections, each
+/// issuing `requests` keyed single-seed releases with `depth` in flight.
+/// Returns the measured point plus tenant0's rendered releases by seed
+/// (for byte-identity checks across sync modes).
+fn durability_phase(
+    mode: WalSync,
+    tenants: usize,
+    requests: usize,
+    depth: usize,
+    spec: &WorkloadSpec,
+    table: &ContingencyTable,
+    per_release: PrivacyLevel,
+) -> (DurabilityPoint, Vec<String>) {
+    let mode_name = match mode {
+        WalSync::PerRecord => "per-record",
+        WalSync::Group => "group",
+    };
+    let wal_path = std::env::temp_dir().join(format!(
+        "service_load-{}-{mode_name}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+    let accountant = Accountant::with_wal_sync(&wal_path, mode).expect("fresh ledger");
+    let budget = PrivacyLevel::Pure {
+        epsilon: per_release.epsilon() * requests as f64 * 2.0,
+    };
+    let service = DpService::new(accountant);
+    service.data().insert_table("nltcs", table.clone());
+    let transport = TcpTransport::bind("127.0.0.1:0").expect("loopback bind");
+    let server = std::sync::Arc::new(Server::new(service, transport));
+    let addr = server.addr();
+    let server_thread = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("server runs"))
+    };
+
+    let mut setup = Client::connect(&addr).expect("connect");
+    let mut sessions = Vec::new();
+    for t in 0..tenants {
+        let tenant = format!("tenant{t}");
+        setup.open_tenant(&tenant, budget).expect("open");
+        let plan_id = setup
+            .register_compile(
+                &tenant,
+                spec.clone(),
+                Budgeting::Optimal,
+                per_release,
+                Neighboring::AddRemove,
+            )
+            .expect("register");
+        sessions.push(setup.bind(&tenant, &plan_id, "nltcs").expect("bind"));
+    }
+
+    let start = Instant::now();
+    let rendered: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..tenants)
+            .map(|t| {
+                let tenant = format!("tenant{t}");
+                let session = sessions[t].clone();
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut lines = Vec::with_capacity(requests);
+                    for window in (0..requests as u64).collect::<Vec<_>>().chunks(depth) {
+                        let batch: Vec<KeyedRelease> = window
+                            .iter()
+                            .map(|&seed| KeyedRelease {
+                                // Ids differ across sync modes on purpose:
+                                // each mode's ledger must journal its own
+                                // debits, while the *releases* stay
+                                // byte-identical per seed.
+                                request_id: format!("{mode_name}-{tenant}-{seed}"),
+                                seeds: vec![seed],
+                            })
+                            .collect();
+                        for releases in client
+                            .release_pipelined(&tenant, &session, &batch)
+                            .expect("budget never exhausts in this storm")
+                        {
+                            assert_eq!(releases.len(), 1);
+                            lines.push(dp_service::protocol::render_line(&releases[0]));
+                        }
+                    }
+                    assert_eq!(client.stats().retries, 0, "loopback storms never retry");
+                    lines
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    // Exactly one durable charge per request id, per tenant.
+    for t in 0..tenants {
+        let status = setup.budget_status(&format!("tenant{t}")).expect("status");
+        assert_eq!(
+            status.charges, requests,
+            "tenant{t}: exactly one charge per request id"
+        );
+    }
+    let stats = server
+        .service()
+        .accountant()
+        .wal_stats()
+        .expect("WAL-backed accountant has stats");
+    setup.shutdown().expect("clean shutdown");
+    drop(setup);
+    server_thread.join().expect("server thread exits");
+    let _ = std::fs::remove_file(&wal_path);
+
+    let total = tenants * requests;
+    println!(
+        "  {mode_name:>10}: {total} releases in {seconds:.3}s = {:.1} releases/s \
+         ({} syncs for {} records, mean batch {:.2}, max {}) — charges: {total} (expected {total})",
+        total as f64 / seconds,
+        stats.batches,
+        stats.records,
+        stats.mean_batch(),
+        stats.max_batch,
+    );
+    let point = DurabilityPoint {
+        path: "wire-tcp".into(),
+        mode: mode_name.into(),
+        tenants,
+        requests_per_tenant: requests,
+        pipeline_depth: depth,
+        total_releases: total,
+        seconds,
+        releases_per_sec: total as f64 / seconds,
+        wal_batches: stats.batches,
+        wal_records: stats.records,
+        wal_max_batch: stats.max_batch,
+        wal_mean_batch: stats.mean_batch(),
+        wal_size_hist: stats.size_hist.to_vec(),
+    };
+    (point, rendered.into_iter().next().unwrap_or_default())
+}
+
+/// Measures the accountant's *admission path* alone — dedup check, debit,
+/// journal, durable sync — with `threads` worker threads each admitting
+/// `per_thread` uniquely-keyed releases against their own tenant. No TCP,
+/// no noise drawing: this is exactly the critical section the pre-group-
+/// commit service held one global mutex across, so releases/s here is how
+/// fast the service can *durably account*, independent of release compute
+/// (which parallelizes outside any lock).
+fn admission_phase(mode: WalSync, threads: usize, per_thread: usize) -> DurabilityPoint {
+    let mode_name = match mode {
+        WalSync::PerRecord => "per-record",
+        WalSync::Group => "group",
+    };
+    let wal_path = std::env::temp_dir().join(format!(
+        "service_load-admit-{}-{mode_name}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+    let accountant = Accountant::with_wal_sync(&wal_path, mode).expect("fresh ledger");
+    let per_release = PrivacyLevel::Pure { epsilon: 0.001 };
+    let budget = PrivacyLevel::Pure {
+        epsilon: 0.001 * per_thread as f64 * 2.0,
+    };
+    for t in 0..threads {
+        accountant
+            .open_tenant(&format!("tenant{t}"), budget)
+            .expect("open");
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let accountant = &accountant;
+            scope.spawn(move || {
+                let tenant = format!("tenant{t}");
+                for i in 0..per_thread {
+                    let admission = accountant
+                        .admit_release(
+                            &tenant,
+                            &format!("{mode_name}-{t}-{i}"),
+                            "session0",
+                            &[i as u64],
+                            per_release,
+                        )
+                        .expect("budget never exhausts in this storm");
+                    assert!(
+                        matches!(admission, ReleaseAdmission::Fresh),
+                        "every request id in the storm is unique"
+                    );
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    for t in 0..threads {
+        let status = accountant.status(&format!("tenant{t}")).expect("status");
+        assert_eq!(
+            status.charges, per_thread,
+            "tenant{t}: exactly one durable charge per request id"
+        );
+    }
+    let stats = accountant
+        .wal_stats()
+        .expect("WAL-backed accountant has stats");
+    let _ = std::fs::remove_file(&wal_path);
+
+    let total = threads * per_thread;
+    println!(
+        "  {mode_name:>10}: {total} admissions in {seconds:.3}s = {:.1} releases/s \
+         ({} syncs for {} records, mean batch {:.2}, max {}) — charges: {total} (expected {total})",
+        total as f64 / seconds,
+        stats.batches,
+        stats.records,
+        stats.mean_batch(),
+        stats.max_batch,
+    );
+    DurabilityPoint {
+        path: "admission".into(),
+        mode: mode_name.into(),
+        tenants: threads,
+        requests_per_tenant: per_thread,
+        pipeline_depth: 0,
+        total_releases: total,
+        seconds,
+        releases_per_sec: total as f64 / seconds,
+        wal_batches: stats.batches,
+        wal_records: stats.records,
+        wal_max_batch: stats.max_batch,
+        wal_mean_batch: stats.mean_batch(),
+        wal_size_hist: stats.size_hist.to_vec(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let ledger = args.iter().any(|a| a == "--ledger");
     let tenants = if smoke { 2 } else { 8 };
     let requests = if smoke { 10 } else { 200 };
 
@@ -83,6 +359,7 @@ fn main() {
     // connection per tenant → at most one in-flight each) but makes the
     // overload storm below actually shed.
     let service = DpService::new(Accountant::in_memory()).with_tenant_inflight_cap(1);
+    let table_for_ledger = table.clone();
     service.data().insert_table("nltcs", table);
     let transport = TcpTransport::bind("127.0.0.1:0").expect("loopback bind");
     let server = Server::new(service, transport);
@@ -247,6 +524,84 @@ fn main() {
     server_thread.join().expect("server thread exits");
 
     match dp_bench::write_jsonl("service_load.jsonl", &[point]) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
+
+    if !ledger {
+        return;
+    }
+
+    // Durability phase: the fsync-bound path the failure model relies on.
+    // Two sync modes, same seeds, one run; pipelined keyed releases keep
+    // `depth` requests in flight per connection so the group committer
+    // has something to batch. The workload is deliberately light (NLTCS
+    // Q1): this phase measures the *durability* path — admission, debit,
+    // journal, sync — and a heavy release computation would only mask
+    // the fsync cost being compared.
+    let d_tenants = if smoke { 2 } else { 4 };
+    let d_requests = if smoke { 16 } else { 200 };
+    let depth = 32;
+    let light_spec = WorkloadSpec::Marginals {
+        workload: Workload::all_k_way(&schema, 1).expect("Q1 builds over NLTCS"),
+        strategy: StrategyKind::Fourier,
+        cluster: ClusterConfig::default(),
+    };
+    println!(
+        "\n== durability: WAL + fsync on ({d_tenants} tenants × {d_requests} keyed releases, \
+         pipeline depth {depth}, NLTCS Q1) =="
+    );
+    let (per_record, lines_per_record) = durability_phase(
+        WalSync::PerRecord,
+        d_tenants,
+        d_requests,
+        depth,
+        &light_spec,
+        &table_for_ledger,
+        per_release,
+    );
+    let (group, lines_group) = durability_phase(
+        WalSync::Group,
+        d_tenants,
+        d_requests,
+        depth,
+        &light_spec,
+        &table_for_ledger,
+        per_release,
+    );
+    assert_eq!(
+        lines_per_record, lines_group,
+        "releases must stay byte-identical per seed across sync modes"
+    );
+    let wire_speedup = group.releases_per_sec / per_record.releases_per_sec;
+    println!(
+        "  end-to-end: group commit is {wire_speedup:.2}× per-record sync, \
+         releases byte-identical per seed"
+    );
+
+    // Admission-path storm: the same two sync modes on the accountant
+    // alone. End-to-end numbers above fold in noise drawing and protocol
+    // CPU, which parallelize outside any lock and (on a machine with a
+    // fast fsync) can dominate; this storm isolates the serialized
+    // durability path the group committer exists to unblock.
+    let a_threads = if smoke { 4 } else { 16 };
+    let a_requests = if smoke { 50 } else { 250 };
+    println!(
+        "\n== durability: admission path alone (dedup + debit + journal + fsync, \
+         {a_threads} threads × {a_requests} keyed admissions) =="
+    );
+    let admit_per_record = admission_phase(WalSync::PerRecord, a_threads, a_requests);
+    let admit_group = admission_phase(WalSync::Group, a_threads, a_requests);
+    let admit_speedup = admit_group.releases_per_sec / admit_per_record.releases_per_sec;
+    println!(
+        "  admission: group commit journals {admit_speedup:.2}× more durable releases/s \
+         than per-record sync"
+    );
+
+    match dp_bench::write_jsonl(
+        "service_load_ledger.jsonl",
+        &[per_record, group, admit_per_record, admit_group],
+    ) {
         Ok(p) => eprintln!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write results file: {e}"),
     }

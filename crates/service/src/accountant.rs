@@ -5,12 +5,44 @@
 //! is drawn — a rejected charge means no randomness was consumed and no
 //! output left the server, so rejections are privacy-free.
 //!
-//! ## Durability
+//! ## Concurrency: sharded locks, one cross-tenant rendezvous
 //!
-//! With a write-ahead ledger file ([`Accountant::with_wal`]), every `open`
-//! and `spend` record is appended and synced *before* the operation is
-//! acknowledged, so a restarted service reloads exactly the budget it had
-//! granted and refuses to replay spent budget. Two crash cases matter:
+//! Tenant state is sharded: each tenant's ledger and release journal live
+//! behind that tenant's own mutex, so the check-and-debit critical
+//! section — still atomic per tenant, which is the contract
+//! [`BudgetLedger`] requires — no longer serializes tenants on each
+//! other, and never includes any I/O. The optional global ledger has its
+//! own small critical section (locked strictly after a tenant shard,
+//! never the other way, so the two-ledger debit stays all-or-nothing and
+//! deadlock-free). The only cross-tenant rendezvous left is the WAL
+//! commit queue below.
+//!
+//! ## Durability: group commit
+//!
+//! With a write-ahead ledger file ([`Accountant::with_wal`]), every
+//! `open` and `spend` record is durable *before* the operation is
+//! acknowledged. Records are made durable by **group commit**: a writer
+//! stages its rendered record on the commit queue and parks; the first
+//! stager becomes the committer, drains everything staged, writes the
+//! whole batch in one buffered append, issues **one** `sync_data` for
+//! the batch, and wakes every waiter — then keeps draining while new
+//! records arrived, so under load the batch size grows to the number of
+//! concurrent writers instead of the fsync rate capping throughput at
+//! one release per `sync_data`. Each request is still acknowledged (and
+//! noise still drawn) only after the batch containing *its* record is
+//! durable, so a restarted service reloads exactly the budget it had
+//! granted and refuses to replay spent budget.
+//! [`Accountant::with_wal_sync`] selects [`WalSync::PerRecord`] to get
+//! the old one-fsync-per-record behavior (the benchmark baseline).
+//!
+//! A batch-level failure (the append or the `sync_data`, see the
+//! `wal.append` / `wal.batch_sync` failpoints) fails **every** waiter in
+//! the batch the safe direction: their in-memory debits are kept, their
+//! request ids are *not* journaled, and the file is truncated back to
+//! the last durable byte so the failed batch's torn bytes can never
+//! corrupt the interior of the log. A retry therefore re-debits — budget
+//! is burned without output, which wastes utility but can never
+//! overspend ε. Two crash cases matter on reload:
 //!
 //! - **Torn tail** (final line has no trailing newline): the process died
 //!   mid-append, which is *before* the corresponding release was returned
@@ -20,10 +52,6 @@
 //!   re-apply means the history itself is damaged. The accountant refuses
 //!   to guess at spent budget and fails loading with
 //!   [`ServiceError::WalCorrupt`].
-//!
-//! If a WAL append fails *after* the in-memory debit, the debit is kept
-//! and the release is refused: budget is burned without output, which
-//! wastes utility but can never overspend ε.
 //!
 //! Records carry an FNV-1a checksum (`"crc"`), so a bit flip anywhere in
 //! a committed record — including inside a spent-ε digit, which would
@@ -35,15 +63,19 @@
 //!
 //! A release request that carries a client `request_id` is admitted
 //! through [`Accountant::admit_release`], which makes the duplicate check
-//! and the debit **one critical section**: the first admission debits the
-//! charge and journals `(tenant, request_id, session, seeds, charge)` in
-//! the WAL record itself; every later admission of the same id debits
-//! *nothing* and replays — from the cached response if the release
-//! completed, or by telling the caller to recompute (releases are
-//! seed-deterministic, so recomputation is byte-identical) if the first
-//! attempt died between debit and response. WAL replay reconstructs the
-//! journal, so the no-double-debit guarantee survives crash/restart; only
-//! the response *cache* is volatile, and recomputation covers it.
+//! and the debit **one critical section** (per tenant): the first
+//! admission debits the charge and journals
+//! `(tenant, request_id, session, seeds, charge)` in the WAL record
+//! itself; every later admission of the same id debits *nothing* and
+//! replays — from the cached response if the release completed, or by
+//! telling the caller to recompute (releases are seed-deterministic, so
+//! recomputation is byte-identical) if the first attempt died between
+//! debit and response. A retry racing the first admission's group commit
+//! waits for that commit's outcome rather than guessing: if the batch
+//! lands the retry replays, if the batch fails the retry re-debits. WAL
+//! replay reconstructs the journal, so the no-double-debit guarantee
+//! survives crash/restart; only the response *cache* is volatile, and
+//! recomputation covers it.
 //!
 //! ## The global ledger
 //!
@@ -60,7 +92,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use crate::error::ServiceError;
 use crate::fail_point;
@@ -69,11 +101,11 @@ use dp_core::serde_impls::{u64_from, u64_value};
 use dp_mech::{BudgetLedger, PrivacyLevel};
 use serde::Value;
 
-/// Completed release responses kept in memory for replay. The *journal*
-/// (which ids were charged, and for what) is never evicted — it is the
-/// exactly-once guarantee and is WAL-backed anyway; the cached response
-/// bytes are only a shortcut, because an evicted response is recomputed
-/// deterministically from the journaled seeds.
+/// Completed release responses kept in memory (per tenant) for replay.
+/// The *journal* (which ids were charged, and for what) is never evicted
+/// — it is the exactly-once guarantee and is WAL-backed anyway; the
+/// cached response values are only a shortcut, because an evicted
+/// response is recomputed deterministically from the journaled seeds.
 const RESPONSE_CACHE_CAP: usize = 1024;
 
 /// A point-in-time snapshot of one tenant's budget position.
@@ -101,7 +133,12 @@ struct ReleaseRecord {
     session: String,
     seeds: Vec<u64>,
     charge: PrivacyLevel,
-    response: Option<Value>,
+    /// Shared, never deep-cloned: replay hands out another `Arc` handle.
+    response: Option<Arc<Value>>,
+    /// `false` while the spend record is staged on the commit queue but
+    /// not yet durable. Duplicates observing a pending entry wait for
+    /// the commit outcome instead of guessing.
+    journaled: bool,
 }
 
 /// The accountant's verdict on a release request that carries a client
@@ -117,28 +154,253 @@ pub enum ReleaseAdmission {
     /// never stored (the first attempt died between debit and response,
     /// or the cache evicted it) and the caller must recompute it from the
     /// same session and seeds, which is byte-identical by determinism.
-    Replay(Option<Value>),
+    Replay(Option<Arc<Value>>),
 }
 
-struct AccountantState {
-    tenants: HashMap<String, BudgetLedger>,
-    global: Option<BudgetLedger>,
-    wal: Option<File>,
-    /// The release journal, keyed by `(tenant, request_id)`. Entries are
-    /// never removed — each one witnesses a debit that must not repeat.
-    releases: HashMap<(String, String), ReleaseRecord>,
+/// One tenant's state: ledger plus release journal, behind that tenant's
+/// own lock.
+struct TenantShard {
+    ledger: BudgetLedger,
+    /// The release journal, keyed by `request_id` (the tenant is the
+    /// shard). Journaled entries are never removed — each one witnesses
+    /// a debit that must not repeat; pending entries are removed only by
+    /// their owner when the group commit fails.
+    releases: HashMap<String, ReleaseRecord>,
     /// Which journal entries currently hold a cached response, oldest
     /// first, for [`RESPONSE_CACHE_CAP`] eviction.
-    response_order: VecDeque<(String, String)>,
+    response_order: VecDeque<String>,
+}
+
+impl TenantShard {
+    fn new(ledger: BudgetLedger) -> TenantShard {
+        TenantShard {
+            ledger,
+            releases: HashMap::new(),
+            response_order: VecDeque::new(),
+        }
+    }
+}
+
+/// A tenant shard plus the condvar pending-entry waiters park on.
+type Shard = Arc<(Mutex<TenantShard>, Condvar)>;
+
+/// When the write-ahead ledger issues `sync_data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalSync {
+    /// Group commit (the default): concurrent records are appended in one
+    /// buffered write and synced with **one** `sync_data` per batch.
+    Group,
+    /// One `sync_data` per record, fully serialized — the pre-group-commit
+    /// behavior, kept as the benchmark baseline.
+    PerRecord,
+}
+
+/// Counters describing the batches the group committer has written.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Synced batches (each one `sync_data`).
+    pub batches: u64,
+    /// Records across all batches.
+    pub records: u64,
+    /// Largest single batch.
+    pub max_batch: usize,
+    /// Batch-size histogram: records landing in batches of size
+    /// 1, 2, 3–4, 5–8, 9–16, 17–32, 33+ respectively.
+    pub size_hist: [u64; 7],
+}
+
+impl WalStats {
+    fn note(&mut self, size: usize) {
+        self.batches += 1;
+        self.records += size as u64;
+        self.max_batch = self.max_batch.max(size);
+        let bucket = match size {
+            0..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            17..=32 => 5,
+            _ => 6,
+        };
+        self.size_hist[bucket] += size as u64;
+    }
+
+    /// Mean records per `sync_data`.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.records as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A staged record's commit outcome, shared between the stager and the
+/// committer. Errors cross threads as strings (resurfacing as
+/// [`ServiceError::Io`]); success is `Ok`.
+struct Ticket {
+    done: Mutex<Option<Result<(), String>>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Ticket {
+        Ticket {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<(), String>) {
+        *self.done.lock().expect("ticket mutex poisoned") = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<(), ServiceError> {
+        let mut done = self.done.lock().expect("ticket mutex poisoned");
+        while done.is_none() {
+            done = self.cv.wait(done).expect("ticket mutex poisoned");
+        }
+        done.clone()
+            .expect("checked Some above")
+            .map_err(ServiceError::Io)
+    }
+}
+
+/// The commit queue: the only lock shared across tenants, held only to
+/// push/drain staged lines — never across I/O.
+struct WalQueue {
+    queue: Vec<(String, Arc<Ticket>)>,
+    /// A committer is currently draining; stagers park on their ticket.
+    committing: bool,
+    stats: WalStats,
+}
+
+/// The ledger file plus what is known-durable in it. Locked only by the
+/// active committer (or, in [`WalSync::PerRecord`] mode, by each writer
+/// in turn — which is exactly the serialized-fsync baseline).
+struct WalFile {
+    file: File,
+    /// Bytes known durable; a failed batch truncates back to this.
+    synced_len: u64,
+    /// Set when even the failure-path truncate failed: the on-disk state
+    /// is unknown, so all further appends are refused (reads still work).
+    poisoned: Option<String>,
+}
+
+/// The group-commit write-ahead log (see the module docs).
+struct Wal {
+    sync: WalSync,
+    state: Mutex<WalQueue>,
+    file: Mutex<WalFile>,
+}
+
+impl Wal {
+    /// Appends `lines` as one buffered write and syncs once. On failure
+    /// the file is rolled back to the last durable byte (or poisoned if
+    /// even that fails) — the caller fails every waiter in the batch.
+    fn write_batch(file: &mut WalFile, lines: &[String]) -> Result<(), ServiceError> {
+        if let Some(reason) = &file.poisoned {
+            return Err(ServiceError::Io(format!("ledger poisoned: {reason}")));
+        }
+        let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            fail_point!("wal.append");
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        let result = (|| -> Result<(), ServiceError> {
+            file.file.write_all(buf.as_bytes())?;
+            fail_point!("wal.batch_sync");
+            fail_point!("wal.sync");
+            file.file.sync_data()?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                file.synced_len += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                if let Err(trunc) = file.file.set_len(file.synced_len) {
+                    file.poisoned = Some(format!(
+                        "failed batch could not be rolled back ({trunc}) after: {e}"
+                    ));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Makes one rendered record durable, batching with whatever else is
+    /// staged. Returns only once the record's batch is synced (or failed).
+    fn commit(&self, record: &Value) -> Result<(), ServiceError> {
+        let line = render_line(record);
+        if self.sync == WalSync::PerRecord {
+            let mut file = self.file.lock().expect("wal file mutex poisoned");
+            let result = Self::write_batch(&mut file, std::slice::from_ref(&line));
+            drop(file);
+            let mut state = self.state.lock().expect("wal queue mutex poisoned");
+            state.stats.note(1);
+            return result;
+        }
+        let ticket = Arc::new(Ticket::new());
+        let lead = {
+            let mut state = self.state.lock().expect("wal queue mutex poisoned");
+            state.queue.push((line, Arc::clone(&ticket)));
+            !std::mem::replace(&mut state.committing, true)
+        };
+        if lead {
+            self.drain();
+        }
+        ticket.wait()
+    }
+
+    /// The committer loop: drain everything staged, write + sync it as
+    /// one batch, wake the batch's waiters, repeat until the queue runs
+    /// dry — then hand the committer role back.
+    fn drain(&self) {
+        let mut file = self.file.lock().expect("wal file mutex poisoned");
+        loop {
+            let batch = {
+                let mut state = self.state.lock().expect("wal queue mutex poisoned");
+                if state.queue.is_empty() {
+                    state.committing = false;
+                    return;
+                }
+                let batch = std::mem::take(&mut state.queue);
+                state.stats.note(batch.len());
+                batch
+            };
+            let lines: Vec<String> = batch.iter().map(|(line, _)| line.clone()).collect();
+            let result = Self::write_batch(&mut file, &lines).map_err(|e| e.to_string());
+            for (_, ticket) in &batch {
+                ticket.resolve(result.clone());
+            }
+        }
+    }
+
+    fn stats(&self) -> WalStats {
+        self.state.lock().expect("wal queue mutex poisoned").stats
+    }
 }
 
 /// Thread-safe per-tenant budget accountant (see the module docs).
 ///
-/// All public methods take `&self`; a single internal mutex makes every
-/// check-and-debit one critical section, which is exactly the concurrency
-/// contract [`BudgetLedger`] requires.
+/// All public methods take `&self`. Check-and-debit is one critical
+/// section *per tenant*; tenants never hold each other's locks, and no
+/// lock is held across WAL I/O.
 pub struct Accountant {
-    state: Mutex<AccountantState>,
+    /// Tenant shards. The map lock is held only to find or insert a
+    /// shard, never across a debit or any I/O.
+    tenants: RwLock<HashMap<String, Shard>>,
+    /// Serializes tenant creation (rare) so the existence check, the WAL
+    /// `open` record, and the insertion stay atomic without write-locking
+    /// the map across I/O.
+    open_lock: Mutex<()>,
+    global: Option<Mutex<BudgetLedger>>,
+    wal: Option<Wal>,
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -216,11 +478,7 @@ fn spend_record_with(
     seal(Value::Object(fields))
 }
 
-fn apply_record(
-    tenants: &mut HashMap<String, BudgetLedger>,
-    releases: &mut HashMap<(String, String), ReleaseRecord>,
-    record: &Value,
-) -> Result<(), String> {
+fn apply_record(tenants: &mut HashMap<String, TenantShard>, record: &Value) -> Result<(), String> {
     verify_seal(record)?;
     let tenant = record
         .get_field("tenant")
@@ -234,10 +492,10 @@ fn apply_record(
             match tenants.get(&tenant) {
                 None => {
                     let ledger = BudgetLedger::new(budget).map_err(|e| e.to_string())?;
-                    tenants.insert(tenant, ledger);
+                    tenants.insert(tenant, TenantShard::new(ledger));
                     Ok(())
                 }
-                Some(existing) if existing.total() == budget => Ok(()),
+                Some(existing) if existing.ledger.total() == budget => Ok(()),
                 Some(_) => Err(format!(
                     "tenant {tenant:?} reopened with a different budget"
                 )),
@@ -246,11 +504,10 @@ fn apply_record(
         Some("spend") => {
             let charge = privacy_from_value(record.get_field("charge").ok_or("missing charge")?)
                 .map_err(|e| e.to_string())?;
-            tenants
+            let shard = tenants
                 .get_mut(&tenant)
-                .ok_or_else(|| format!("spend for unopened tenant {tenant:?}"))?
-                .try_spend(charge)
-                .map_err(|e| e.to_string())?;
+                .ok_or_else(|| format!("spend for unopened tenant {tenant:?}"))?;
+            shard.ledger.try_spend(charge).map_err(|e| e.to_string())?;
             if let Some(request_id) = record.get_field("request_id").and_then(Value::as_str) {
                 let session = record
                     .get_field("session")
@@ -264,14 +521,18 @@ fn apply_record(
                     .iter()
                     .map(|v| u64_from(v, "seed").map_err(|e| e.to_string()))
                     .collect::<Result<Vec<u64>, String>>()?;
-                let key = (tenant, request_id.to_string());
                 let entry = ReleaseRecord {
                     session,
                     seeds,
                     charge,
                     response: None,
+                    journaled: true,
                 };
-                if releases.insert(key, entry).is_some() {
+                if shard
+                    .releases
+                    .insert(request_id.to_string(), entry)
+                    .is_some()
+                {
                     // Two debits for one id means the exactly-once
                     // invariant was already violated on disk; refuse to
                     // load rather than normalize it.
@@ -285,17 +546,23 @@ fn apply_record(
 }
 
 impl Accountant {
+    fn from_parts(tenants: HashMap<String, TenantShard>, wal: Option<Wal>) -> Accountant {
+        Accountant {
+            tenants: RwLock::new(
+                tenants
+                    .into_iter()
+                    .map(|(name, shard)| (name, Arc::new((Mutex::new(shard), Condvar::new()))))
+                    .collect(),
+            ),
+            open_lock: Mutex::new(()),
+            global: None,
+            wal,
+        }
+    }
+
     /// An accountant with no persistence (budgets reset with the process).
     pub fn in_memory() -> Accountant {
-        Accountant {
-            state: Mutex::new(AccountantState {
-                tenants: HashMap::new(),
-                global: None,
-                wal: None,
-                releases: HashMap::new(),
-                response_order: VecDeque::new(),
-            }),
-        }
+        Accountant::from_parts(HashMap::new(), None)
     }
 
     /// Adds a dataset-wide spending cap on top of the per-tenant ledgers
@@ -303,23 +570,35 @@ impl Accountant {
     /// is replayed into the global ledger first; if that history alone
     /// exceeds `budget`, construction fails rather than under-counting.
     pub fn with_global_budget(self, budget: PrivacyLevel) -> Result<Accountant, ServiceError> {
-        let mut state = self.state.into_inner().expect("accountant mutex poisoned");
         let mut global = BudgetLedger::new(budget)?;
-        for ledger in state.tenants.values() {
-            if ledger.num_charges() > 0 {
-                global.try_spend(ledger.spent())?;
+        {
+            let tenants = self.tenants.read().expect("tenant map lock poisoned");
+            for shard in tenants.values() {
+                let shard = shard.0.lock().expect("tenant shard mutex poisoned");
+                if shard.ledger.num_charges() > 0 {
+                    global.try_spend(shard.ledger.spent())?;
+                }
             }
         }
-        state.global = Some(global);
         Ok(Accountant {
-            state: Mutex::new(state),
+            global: Some(Mutex::new(global)),
+            ..self
         })
     }
 
-    /// Loads (or creates) the write-ahead ledger at `path`, replaying any
-    /// persisted history so spent budget survives restarts. See the module
-    /// docs for the torn-tail / corrupt-record semantics.
+    /// Loads (or creates) the write-ahead ledger at `path` with group
+    /// commit (see [`Accountant::with_wal_sync`] for the baseline mode),
+    /// replaying any persisted history so spent budget survives restarts.
+    /// See the module docs for the torn-tail / corrupt-record semantics.
     pub fn with_wal(path: &Path) -> Result<Accountant, ServiceError> {
+        Accountant::with_wal_sync(path, WalSync::Group)
+    }
+
+    /// [`Accountant::with_wal`] with an explicit durability mode:
+    /// [`WalSync::Group`] batches concurrent records under one
+    /// `sync_data`; [`WalSync::PerRecord`] syncs each record by itself
+    /// (the serialized baseline the benchmark compares against).
+    pub fn with_wal_sync(path: &Path, sync: WalSync) -> Result<Accountant, ServiceError> {
         let mut text = String::new();
         if path.exists() {
             File::open(path)?.read_to_string(&mut text)?;
@@ -332,14 +611,13 @@ impl Accountant {
             None => "",
         };
         let mut tenants = HashMap::new();
-        let mut releases = HashMap::new();
         for (idx, line) in committed.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let record = parse_line(line)
                 .map_err(|e| ServiceError::WalCorrupt(format!("record {}: {e}", idx + 1)))?;
-            apply_record(&mut tenants, &mut releases, &record)
+            apply_record(&mut tenants, &record)
                 .map_err(|e| ServiceError::WalCorrupt(format!("record {}: {e}", idx + 1)))?;
         }
         let existed = path.exists();
@@ -363,101 +641,135 @@ impl Accountant {
         }
         #[cfg(not(unix))]
         let _ = existed;
-        Ok(Accountant {
-            state: Mutex::new(AccountantState {
-                tenants,
-                global: None,
-                wal: Some(wal),
-                releases,
-                response_order: VecDeque::new(),
+        let wal = Wal {
+            sync,
+            state: Mutex::new(WalQueue {
+                queue: Vec::new(),
+                committing: false,
+                stats: WalStats::default(),
             }),
-        })
+            file: Mutex::new(WalFile {
+                file: wal,
+                synced_len: committed.len() as u64,
+                poisoned: None,
+            }),
+        };
+        Ok(Accountant::from_parts(tenants, Some(wal)))
     }
 
-    fn append(wal: &mut Option<File>, record: &Value) -> Result<(), ServiceError> {
-        if let Some(file) = wal {
-            fail_point!("wal.append");
-            let line = render_line(record);
-            writeln!(file, "{line}")?;
-            fail_point!("wal.sync");
-            file.sync_data()?;
-        }
-        Ok(())
+    /// What the group committer has written so far (`None` without a
+    /// WAL). In [`WalSync::PerRecord`] mode every batch has size 1.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(Wal::stats)
+    }
+
+    /// Finds a tenant's shard without allocating (the map is keyed by
+    /// `&str` lookup; the returned handle is a cheap `Arc` clone).
+    fn shard(&self, tenant: &str) -> Result<Shard, ServiceError> {
+        self.tenants
+            .read()
+            .expect("tenant map lock poisoned")
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownTenant(tenant.into()))
     }
 
     /// Opens a tenant with the given total budget. Idempotent for an
     /// identical budget; a different budget is
     /// [`ServiceError::TenantBudgetMismatch`] — never a reset.
     pub fn open_tenant(&self, tenant: &str, budget: PrivacyLevel) -> Result<(), ServiceError> {
-        let mut state = self.state.lock().expect("accountant mutex poisoned");
-        match state.tenants.get(tenant) {
-            Some(existing) if existing.total() == budget => return Ok(()),
-            Some(_) => return Err(ServiceError::TenantBudgetMismatch(tenant.into())),
-            None => {}
+        let _creating = self.open_lock.lock().expect("open lock poisoned");
+        if let Some(shard) = self
+            .tenants
+            .read()
+            .expect("tenant map lock poisoned")
+            .get(tenant)
+        {
+            let shard = shard.0.lock().expect("tenant shard mutex poisoned");
+            return if shard.ledger.total() == budget {
+                Ok(())
+            } else {
+                Err(ServiceError::TenantBudgetMismatch(tenant.into()))
+            };
         }
         let ledger = BudgetLedger::new(budget)?;
-        // Persist before the tenant becomes visible: if the append fails
+        // Persist before the tenant becomes visible: if the commit fails
         // the open is refused and nothing changed.
-        Self::append(&mut state.wal, &open_record(tenant, budget))?;
-        state.tenants.insert(tenant.into(), ledger);
+        if let Some(wal) = &self.wal {
+            wal.commit(&open_record(tenant, budget))?;
+        }
+        self.tenants
+            .write()
+            .expect("tenant map lock poisoned")
+            .insert(
+                tenant.into(),
+                Arc::new((Mutex::new(TenantShard::new(ledger)), Condvar::new())),
+            );
         Ok(())
     }
 
     /// The in-memory half of a debit: tenant ledger and, when configured,
-    /// the global ledger, all-or-nothing. Callers hold the state lock and
-    /// are responsible for journaling the spend.
+    /// the global ledger, all-or-nothing. The caller holds the tenant
+    /// shard lock; the global lock nests strictly inside it.
     fn debit_locked(
-        state: &mut AccountantState,
-        tenant: &str,
+        &self,
+        shard: &mut TenantShard,
         charge: PrivacyLevel,
     ) -> Result<(), ServiceError> {
-        let ledger = state
-            .tenants
-            .get_mut(tenant)
-            .ok_or_else(|| ServiceError::UnknownTenant(tenant.into()))?;
-        match state.global.as_mut() {
-            None => ledger.try_spend(charge)?,
+        match &self.global {
+            None => shard.ledger.try_spend(charge)?,
             Some(global) => {
                 // Stage the tenant debit on a copy so a *global* refusal
                 // commits neither ledger; the global debit runs only after
                 // the tenant check passed, so the commit is all-or-nothing.
-                let mut staged = ledger.clone();
+                let mut staged = shard.ledger.clone();
                 staged.try_spend(charge)?;
-                global.try_spend(charge)?;
-                *ledger = staged;
+                global
+                    .lock()
+                    .expect("global ledger mutex poisoned")
+                    .try_spend(charge)?;
+                shard.ledger = staged;
             }
         }
         Ok(())
     }
 
     /// Atomically checks and debits `charge` from the tenant's ledger —
-    /// and, when configured, the global ledger — persisting the spend
-    /// record before returning. Callers draw noise only after this
+    /// and, when configured, the global ledger — then group-commits the
+    /// spend record before returning. Callers draw noise only after this
     /// returns `Ok`.
     pub fn try_debit(&self, tenant: &str, charge: PrivacyLevel) -> Result<(), ServiceError> {
-        let mut state = self.state.lock().expect("accountant mutex poisoned");
-        let state = &mut *state;
-        Self::debit_locked(state, tenant, charge)?;
-        // On append failure the in-memory debit is deliberately kept: the
+        let shard = self.shard(tenant)?;
+        {
+            let mut state = shard.0.lock().expect("tenant shard mutex poisoned");
+            self.debit_locked(&mut state, charge)?;
+        }
+        // On commit failure the in-memory debit is deliberately kept: the
         // caller refuses the release, so burned-but-unreleased budget is
         // the safe direction (see the module docs).
-        Self::append(&mut state.wal, &spend_record(tenant, charge))
+        match &self.wal {
+            Some(wal) => wal.commit(&spend_record(tenant, charge)),
+            None => Ok(()),
+        }
     }
 
     /// Admits a release request carrying a client `request_id`: the
-    /// duplicate check and the debit are **one critical section**, so two
-    /// racing retries of the same id cannot both debit.
+    /// duplicate check and the debit are **one critical section** (per
+    /// tenant), so two racing retries of the same id cannot both debit.
     ///
     /// - First admission: debits `charge`, journals the id (with its
-    ///   session/seeds, in the WAL spend record itself) and returns
+    ///   session/seeds, in the WAL spend record itself, durable via group
+    ///   commit before this returns) and returns
     ///   [`ReleaseAdmission::Fresh`].
     /// - Same id, same parameters: debits nothing, returns
-    ///   [`ReleaseAdmission::Replay`] with the cached response if any.
+    ///   [`ReleaseAdmission::Replay`] with the cached response if any. A
+    ///   duplicate racing the first admission's commit waits for that
+    ///   commit's outcome first.
     /// - Same id, *different* parameters:
     ///   [`ServiceError::IdempotencyMismatch`] — a client bug the service
     ///   refuses to make ambiguous.
     ///
-    /// If the WAL append fails after the in-memory debit, the debit is
+    /// If the batch commit fails after the in-memory debit, the debit is
     /// kept but the id is **not** journaled: a retry will debit again.
     /// Double-counting spend in a failure window is the safe direction;
     /// under-counting never is.
@@ -469,49 +781,85 @@ impl Accountant {
         seeds: &[u64],
         charge: PrivacyLevel,
     ) -> Result<ReleaseAdmission, ServiceError> {
-        let mut state = self.state.lock().expect("accountant mutex poisoned");
-        let state = &mut *state;
-        let key = (tenant.to_string(), request_id.to_string());
-        if let Some(existing) = state.releases.get(&key) {
-            if existing.session != session || existing.seeds != seeds || existing.charge != charge {
-                return Err(ServiceError::IdempotencyMismatch {
-                    request_id: request_id.into(),
-                });
+        let shard = self.shard(tenant)?;
+        let (lock, pending_cv) = &*shard;
+        {
+            let mut state = lock.lock().expect("tenant shard mutex poisoned");
+            while let Some(existing) = state.releases.get(request_id) {
+                if existing.session != session
+                    || existing.seeds != seeds
+                    || existing.charge != charge
+                {
+                    return Err(ServiceError::IdempotencyMismatch {
+                        request_id: request_id.into(),
+                    });
+                }
+                if existing.journaled {
+                    return Ok(ReleaseAdmission::Replay(existing.response.clone()));
+                }
+                // The first admission is still waiting for its batch to
+                // sync; wait for that outcome (journaled → replay,
+                // removed → this retry takes the fresh path itself).
+                state = pending_cv.wait(state).expect("tenant shard mutex poisoned");
             }
-            return Ok(ReleaseAdmission::Replay(existing.response.clone()));
+            self.debit_locked(&mut state, charge)?;
+            state.releases.insert(
+                request_id.to_string(),
+                ReleaseRecord {
+                    session: session.into(),
+                    seeds: seeds.to_vec(),
+                    charge,
+                    response: None,
+                    journaled: self.wal.is_none(),
+                },
+            );
         }
-        Self::debit_locked(state, tenant, charge)?;
-        Self::append(
-            &mut state.wal,
-            &spend_record_with(tenant, charge, Some((request_id, session, seeds))),
-        )?;
-        state.releases.insert(
-            key,
-            ReleaseRecord {
-                session: session.into(),
-                seeds: seeds.to_vec(),
-                charge,
-                response: None,
-            },
-        );
-        Ok(ReleaseAdmission::Fresh)
+        let Some(wal) = &self.wal else {
+            return Ok(ReleaseAdmission::Fresh);
+        };
+        let committed = wal.commit(&spend_record_with(
+            tenant,
+            charge,
+            Some((request_id, session, seeds)),
+        ));
+        let mut state = lock.lock().expect("tenant shard mutex poisoned");
+        match committed {
+            Ok(()) => {
+                state
+                    .releases
+                    .get_mut(request_id)
+                    .expect("pending entry is only removed by its owner")
+                    .journaled = true;
+                pending_cv.notify_all();
+                Ok(ReleaseAdmission::Fresh)
+            }
+            Err(e) => {
+                // The whole batch failed: keep the debit, drop the
+                // journal entry so a retry re-debits (never under-count).
+                state.releases.remove(request_id);
+                pending_cv.notify_all();
+                Err(e)
+            }
+        }
     }
 
     /// Stores the completed response for a journaled release so later
-    /// retries of the same `request_id` replay it verbatim. A bounded
-    /// number of responses are cached; evicted ones are recomputed on
+    /// retries of the same `request_id` replay it verbatim — as another
+    /// handle on the same `Arc`, never a deep clone. A bounded number of
+    /// responses are cached per tenant; evicted ones are recomputed on
     /// replay (the journal entry itself is never evicted).
-    pub fn record_response(&self, tenant: &str, request_id: &str, response: &Value) {
-        let mut state = self.state.lock().expect("accountant mutex poisoned");
-        let state = &mut *state;
-        let key = (tenant.to_string(), request_id.to_string());
-        let Some(entry) = state.releases.get_mut(&key) else {
+    pub fn record_response(&self, tenant: &str, request_id: &str, response: &Arc<Value>) {
+        let Ok(shard) = self.shard(tenant) else {
+            return;
+        };
+        let mut state = shard.0.lock().expect("tenant shard mutex poisoned");
+        let Some(entry) = state.releases.get_mut(request_id) else {
             return;
         };
         let newly_cached = entry.response.is_none();
-        entry.response = Some(response.clone());
+        entry.response = Some(Arc::clone(response));
         if newly_cached {
-            state.response_order.push_back(key);
+            state.response_order.push_back(request_id.to_string());
         }
         while state.response_order.len() > RESPONSE_CACHE_CAP {
             if let Some(oldest) = state.response_order.pop_front() {
@@ -524,39 +872,44 @@ impl Accountant {
 
     /// How many distinct `(tenant, request_id)` releases are journaled.
     pub fn journaled_releases(&self) -> usize {
-        let state = self.state.lock().expect("accountant mutex poisoned");
-        state.releases.len()
+        let tenants = self.tenants.read().expect("tenant map lock poisoned");
+        tenants
+            .values()
+            .map(|shard| {
+                let state = shard.0.lock().expect("tenant shard mutex poisoned");
+                state.releases.values().filter(|r| r.journaled).count()
+            })
+            .sum()
     }
 
     /// The global (dataset-wide) budget position, if a global cap was
     /// configured with [`Accountant::with_global_budget`].
     pub fn global_status(&self) -> Option<BudgetStatus> {
-        let state = self.state.lock().expect("accountant mutex poisoned");
-        state.global.as_ref().map(|ledger| BudgetStatus {
-            total: ledger.total(),
-            spent_epsilon: ledger.total().epsilon() - ledger.remaining_epsilon(),
-            spent_delta: ledger.total().delta() - ledger.remaining_delta(),
-            remaining_epsilon: ledger.remaining_epsilon(),
-            remaining_delta: ledger.remaining_delta(),
-            charges: ledger.num_charges(),
+        self.global.as_ref().map(|ledger| {
+            let ledger = ledger.lock().expect("global ledger mutex poisoned");
+            BudgetStatus {
+                total: ledger.total(),
+                spent_epsilon: ledger.total().epsilon() - ledger.remaining_epsilon(),
+                spent_delta: ledger.total().delta() - ledger.remaining_delta(),
+                remaining_epsilon: ledger.remaining_epsilon(),
+                remaining_delta: ledger.remaining_delta(),
+                charges: ledger.num_charges(),
+            }
         })
     }
 
     /// The tenant's current budget position.
     pub fn status(&self, tenant: &str) -> Result<BudgetStatus, ServiceError> {
-        let state = self.state.lock().expect("accountant mutex poisoned");
-        let ledger = state
-            .tenants
-            .get(tenant)
-            .ok_or_else(|| ServiceError::UnknownTenant(tenant.into()))?;
-        let spent = ledger.spent();
+        let shard = self.shard(tenant)?;
+        let state = shard.0.lock().expect("tenant shard mutex poisoned");
+        let spent = state.ledger.spent();
         Ok(BudgetStatus {
-            total: ledger.total(),
+            total: state.ledger.total(),
             spent_epsilon: spent.epsilon(),
             spent_delta: spent.delta(),
-            remaining_epsilon: ledger.remaining_epsilon(),
-            remaining_delta: ledger.remaining_delta(),
-            charges: ledger.num_charges(),
+            remaining_epsilon: state.ledger.remaining_epsilon(),
+            remaining_delta: state.ledger.remaining_delta(),
+            charges: state.ledger.num_charges(),
         })
     }
 }
@@ -629,6 +982,68 @@ mod tests {
             acct.try_debit("t", HALF),
             Err(ServiceError::BudgetExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn per_record_sync_mode_matches_group_commit_semantics() {
+        let path = tmp("per-record");
+        let _ = std::fs::remove_file(&path);
+        {
+            let acct = Accountant::with_wal_sync(&path, WalSync::PerRecord).unwrap();
+            acct.open_tenant("t", EPS1).unwrap();
+            acct.try_debit("t", HALF).unwrap();
+            let stats = acct.wal_stats().unwrap();
+            assert_eq!(stats.records, 2);
+            assert_eq!(stats.max_batch, 1, "per-record mode never batches");
+        }
+        // Either mode reads the other's ledger: the on-disk format is
+        // identical, only the fsync cadence differs.
+        let acct = Accountant::with_wal(&path).unwrap();
+        assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
+    }
+
+    #[test]
+    fn concurrent_debits_share_batches_and_stay_exact() {
+        let path = tmp("group");
+        let _ = std::fs::remove_file(&path);
+        let acct = Accountant::with_wal(&path).unwrap();
+        const TENANTS: usize = 4;
+        const DEBITS: usize = 8;
+        for t in 0..TENANTS {
+            acct.open_tenant(&format!("t{t}"), PrivacyLevel::Pure { epsilon: 64.0 })
+                .unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..TENANTS {
+                let acct = &acct;
+                scope.spawn(move || {
+                    let tenant = format!("t{t}");
+                    for i in 0..DEBITS {
+                        let rid = format!("r{i}");
+                        assert!(matches!(
+                            acct.admit_release(&tenant, &rid, "s", &[i as u64], HALF)
+                                .unwrap(),
+                            ReleaseAdmission::Fresh
+                        ));
+                    }
+                });
+            }
+        });
+        let stats = acct.wal_stats().unwrap();
+        assert_eq!(stats.records as usize, TENANTS + TENANTS * DEBITS);
+        assert!(
+            stats.batches <= stats.records,
+            "batches never exceed records"
+        );
+        for t in 0..TENANTS {
+            let status = acct.status(&format!("t{t}")).unwrap();
+            assert_eq!(status.charges, DEBITS);
+            assert!((status.spent_epsilon - 0.5 * DEBITS as f64).abs() < 1e-12);
+        }
+        // Everything acknowledged is durable: a reload sees it all.
+        drop(acct);
+        let reloaded = Accountant::with_wal(&path).unwrap();
+        assert_eq!(reloaded.journaled_releases(), TENANTS * DEBITS);
     }
 
     #[test]
@@ -734,7 +1149,7 @@ mod tests {
         assert!(matches!(admission, ReleaseAdmission::Replay(None)));
         assert_eq!(acct.status("t").unwrap().spent_epsilon, 0.5);
 
-        acct.record_response("t", "r1", &Value::String("out".into()));
+        acct.record_response("t", "r1", &Arc::new(Value::String("out".into())));
         let admission = acct.admit_release("t", "r1", "s", &[7, 8], HALF).unwrap();
         let ReleaseAdmission::Replay(Some(cached)) = admission else {
             panic!("expected a cached replay");
@@ -767,7 +1182,7 @@ mod tests {
                 .admit_release("t", "r1", "s", &[1u64 << 60], HALF)
                 .unwrap();
             assert!(matches!(a, ReleaseAdmission::Fresh));
-            acct.record_response("t", "r1", &Value::String("out".into()));
+            acct.record_response("t", "r1", &Arc::new(Value::String("out".into())));
             // Process dies here; the cached response is volatile but the
             // journaled debit is not.
         }
@@ -849,7 +1264,7 @@ mod tests {
             let rid = format!("r{i}");
             acct.admit_release("t", &rid, "s", &[i as u64], tiny)
                 .unwrap();
-            acct.record_response("t", &rid, &Value::Number(i as f64));
+            acct.record_response("t", &rid, &Arc::new(Value::Number(i as f64)));
         }
         assert_eq!(acct.journaled_releases(), n);
         // The oldest responses were evicted (recompute on replay), but the
@@ -865,6 +1280,20 @@ mod tests {
                 .unwrap(),
             ReleaseAdmission::Replay(Some(_))
         ));
+    }
+
+    #[test]
+    fn wal_stats_buckets_cover_every_batch_size() {
+        let mut stats = WalStats::default();
+        for size in [1usize, 2, 3, 4, 8, 16, 32, 64, 100] {
+            stats.note(size);
+        }
+        assert_eq!(stats.batches, 9);
+        assert_eq!(stats.records, 230);
+        assert_eq!(stats.max_batch, 100);
+        assert_eq!(stats.size_hist.iter().sum::<u64>(), stats.records);
+        assert!((stats.mean_batch() - 230.0 / 9.0).abs() < 1e-12);
+        assert_eq!(WalStats::default().mean_batch(), 0.0);
     }
 
     #[test]

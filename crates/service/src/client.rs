@@ -26,6 +26,12 @@
 //!   response returns the server's journaled bytes instead of debiting
 //!   the budget again. [`Client::release_with_id`] exposes the key for
 //!   retries that must survive the client process itself.
+//! - [`Client::release_pipelined`] sends a whole batch of keyed releases
+//!   before reading any response (matching replies by the echoed
+//!   `request_id`), which is what lets one connection fill the server's
+//!   group-commit fsync batches; unanswered ids are re-driven
+//!   individually under the same keys, so failures replay instead of
+//!   re-debiting.
 //!
 //! Only transport-class failures ([`ServiceError::is_retryable`]) are
 //! retried; deterministic refusals (auth, exhaustion, protocol errors)
@@ -126,6 +132,16 @@ pub struct ClientStats {
     /// Typed [`ServiceError::Overloaded`] sheds received (each one is
     /// also counted as a retry when the budget of attempts allowed).
     pub sheds: u64,
+}
+
+/// One release in a pipelined batch: the idempotency key plus the seeds
+/// it draws (see [`Client::release_pipelined`]).
+#[derive(Debug, Clone)]
+pub struct KeyedRelease {
+    /// The idempotency key; must be unique within the batch.
+    pub request_id: String,
+    /// Seeds to draw under that key.
+    pub seeds: Vec<u64>,
 }
 
 /// Process-unique suffix for generated request ids.
@@ -411,6 +427,103 @@ impl Client {
             .as_array()
             .ok_or_else(|| ServiceError::Protocol("`releases` must be an array".into()))?
             .to_vec())
+    }
+
+    /// Sends a whole batch of keyed releases down the connection before
+    /// reading any response (pipelining), then matches the out-of-order
+    /// responses back to their requests by the echoed `request_id`.
+    /// Returns the per-request release arrays in input order.
+    ///
+    /// With a pipelining-capable server this is what saturates the
+    /// accountant's group committer: k requests in flight share fsync
+    /// batches instead of paying one `sync_data` each, serially. Every
+    /// request is idempotent (keyed), so failure handling is simple and
+    /// safe: any id whose response is missing or failed after the
+    /// pipelined exchange — dropped connection, in-band shed, anything —
+    /// is re-driven individually through [`Client::release_with_id`] with
+    /// the same key, which replays (never re-debits) work the server
+    /// already admitted.
+    pub fn release_pipelined(
+        &mut self,
+        tenant: &str,
+        session: &str,
+        requests: &[KeyedRelease],
+    ) -> Result<Vec<Vec<Value>>, ServiceError> {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for r in requests {
+                if !seen.insert(r.request_id.as_str()) {
+                    return Err(ServiceError::Protocol(format!(
+                        "duplicate request_id {:?} in pipelined batch",
+                        r.request_id
+                    )));
+                }
+            }
+        }
+        let lines: Vec<String> = requests
+            .iter()
+            .map(|r| {
+                let request = Request::Release {
+                    tenant: tenant.into(),
+                    session: session.into(),
+                    seeds: r.seeds.clone(),
+                    request_id: Some(r.request_id.clone()),
+                };
+                let value = request.to_value();
+                match (&self.credential, &value) {
+                    (Some(token), Value::Object(fields)) => {
+                        let mut fields = fields.clone();
+                        fields.push(("auth".into(), Value::String(token.clone())));
+                        render_line(&Value::Object(fields))
+                    }
+                    _ => render_line(&value),
+                }
+            })
+            .collect();
+        let mut by_id: std::collections::HashMap<String, Vec<Value>> =
+            std::collections::HashMap::new();
+        // Best-effort pipelined exchange: send everything, then read one
+        // response per request. Any hiccup just leaves ids unanswered for
+        // the keyed re-drive below.
+        let exchange = (|| -> Result<(), ServiceError> {
+            let conn = self.ensure_connected()?;
+            for line in &lines {
+                conn.send(line)?;
+            }
+            for _ in 0..lines.len() {
+                let response = conn.receive()?.ok_or_else(|| {
+                    ServiceError::Io("server closed the connection mid-pipeline".into())
+                })?;
+                let Ok(value) = parse_line(&response) else {
+                    continue;
+                };
+                // Error responses carry no request_id; their requests are
+                // re-driven (and get their real typed error) below.
+                let Ok(ok) = response_to_result(value) else {
+                    continue;
+                };
+                if let (Ok(id), Ok(Some(releases))) = (
+                    string_field(&ok, "request_id"),
+                    field(&ok, "releases").map(|r| r.as_array().map(<[Value]>::to_vec)),
+                ) {
+                    by_id.insert(id, releases);
+                }
+            }
+            Ok(())
+        })();
+        if exchange.is_err() {
+            // The stream is in an unknown state; anything unanswered is
+            // recovered over a fresh connection, per id.
+            self.conn = None;
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        for r in requests {
+            match by_id.remove(&r.request_id) {
+                Some(releases) => out.push(releases),
+                None => out.push(self.release_with_id(tenant, session, &r.seeds, &r.request_id)?),
+            }
+        }
+        Ok(out)
     }
 
     /// The tenant's current budget position.

@@ -13,10 +13,11 @@
 //!
 //! | site                 | where                                            |
 //! |----------------------|--------------------------------------------------|
-//! | `wal.append`         | before a ledger record is written                |
-//! | `wal.sync`           | after the write, before `sync_data`              |
+//! | `wal.append`         | before each ledger record is staged into a batch |
+//! | `wal.batch_sync`     | after a whole batch is written, before its one `sync_data` — fails **every** record in the batch |
+//! | `wal.sync`           | same window as `wal.batch_sync` (kept as the historical per-record site name) |
 //! | `net.recv`           | before a request line is read off a socket       |
-//! | `net.send`           | before a response line is written to a socket    |
+//! | `net.send`           | before a response line is written to a socket (both the in-line and the pipelined writer) |
 //! | `release.post_debit` | after the budget debit, before noise is drawn    |
 //!
 //! ## Schedules
@@ -86,7 +87,8 @@ impl Trigger {
             Trigger::Window { skip, times } => hit >= skip && hit - skip < times,
             Trigger::Seeded { seed, period } => {
                 period <= 1
-                    || splitmix64(seed ^ hit.wrapping_mul(0x9e37_79b9_7f4a_7c15)).is_multiple_of(period)
+                    || splitmix64(seed ^ hit.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                        .is_multiple_of(period)
             }
         }
     }

@@ -60,10 +60,11 @@
 //! ## Failure model
 //!
 //! A release may carry a client-generated `request_id`: the accountant
-//! journals the debit in the write-ahead ledger, so a retried request —
-//! after a dropped connection, a timeout, or even a server crash and
-//! restart — returns the same release bytes without a second debit
-//! (exactly once; see [`accountant`]). The [`client::Client`] runs every
+//! journals the debit in the write-ahead ledger — durably, via **group
+//! commit** (one `sync_data` covers every record staged concurrently;
+//! see [`accountant`]) — so a retried request — after a dropped
+//! connection, a timeout, or even a server crash and restart — returns
+//! the same release bytes without a second debit (exactly once). The [`client::Client`] runs every
 //! socket operation under finite deadlines and retries *idempotent*
 //! requests with capped exponential backoff. Servers can bound
 //! concurrent connections ([`server::ServerLimits`]) and per-tenant
@@ -121,12 +122,12 @@ macro_rules! fail_point {
     ($site:expr) => {};
 }
 
-pub use accountant::{Accountant, BudgetStatus, ReleaseAdmission};
+pub use accountant::{Accountant, BudgetStatus, ReleaseAdmission, WalStats, WalSync};
 pub use auth::{Auth, AuthPolicy};
-pub use client::{Client, ClientConfig, ClientStats, RemoteBudgetStatus};
+pub use client::{Client, ClientConfig, ClientStats, KeyedRelease, RemoteBudgetStatus};
 pub use error::ServiceError;
 pub use pool::{DataStore, Dataset, SessionPool};
 pub use registry::Registry;
 pub use server::{Server, ServerLimits};
 pub use service::DpService;
-pub use transport::{Connection, TcpTransport, Transport};
+pub use transport::{Connection, ConnectionWriter, TcpTransport, Transport};

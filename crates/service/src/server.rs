@@ -1,6 +1,21 @@
 //! The threaded server loop: one OS thread per connection over any
 //! [`Transport`].
 //!
+//! ## Pipelining
+//!
+//! On connections whose transport can detach a send side
+//! ([`Connection::writer`] — TCP can), requests are handled
+//! **concurrently per connection**: the reader thread keeps pulling
+//! lines while up to `PIPELINE_MAX_INFLIGHT` (64) earlier requests execute
+//! on scoped worker threads, and responses go out as each finishes —
+//! possibly out of request order. Clients that pipeline keyed releases
+//! match responses by the echoed `request_id`; clients that send one
+//! request and wait (every pre-pipelining client) observe no difference.
+//! This is what lets one connection keep the accountant's group
+//! committer fed: k requests in flight land in the same fsync batch
+//! instead of queuing one-per-sync. Connections without a detachable
+//! writer are handled strictly in turn, as before.
+//!
 //! Every request line is answered with exactly one response line. A line
 //! that decodes but fails to parse or execute is answered in-band with the
 //! typed error encoding and the connection stays open; input after which
@@ -22,17 +37,22 @@
 //! [`ServiceError::Overloaded`] and back off; nothing is charged.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::ServiceError;
 use crate::protocol::{error_response, parse_line, render_line, Request};
 use crate::service::DpService;
-use crate::transport::{Connection, Transport};
+use crate::transport::{Connection, ConnectionWriter, Transport};
 use serde::Value;
 
 /// Consecutive `accept` failures tolerated (with backoff) before the
 /// listener is declared dead and [`Server::run`] returns the error.
 const MAX_ACCEPT_FAILURES: u32 = 64;
+
+/// Requests one pipelined connection may have executing at once; further
+/// lines wait in the reader thread (natural backpressure through the
+/// socket) instead of spawning unbounded workers.
+const PIPELINE_MAX_INFLIGHT: usize = 64;
 
 /// Resource bounds for a [`Server`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -141,7 +161,41 @@ impl<T: Transport> Server<T> {
         })
     }
 
-    fn handle_connection(&self, mut conn: T::Conn) {
+    fn handle_connection(&self, conn: T::Conn) {
+        match conn.writer() {
+            Some(writer) => self.handle_pipelined(conn, writer),
+            None => self.handle_sequential(conn),
+        }
+    }
+
+    /// One parsed line → one response value, shared with
+    /// [`Server::handle_pipelined`]. The bool is "an authorized shutdown
+    /// was acknowledged".
+    fn execute(&self, line: &str) -> (Arc<Value>, bool) {
+        let parsed = parse_line(line).and_then(|value| {
+            let credential = value
+                .get_field("auth")
+                .and_then(Value::as_str)
+                .map(str::to_owned);
+            Request::from_value(&value).map(|request| (request, credential))
+        });
+        match parsed {
+            Ok((request, credential)) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                match self.service.handle(request, credential.as_deref()) {
+                    // Only an *authorized* shutdown stops the listener; a
+                    // refused one is just an error response like any other.
+                    Ok(value) => (value, is_shutdown),
+                    Err(e) => (Arc::new(error_response(&e)), false),
+                }
+            }
+            Err(e) => (Arc::new(error_response(&e)), false),
+        }
+    }
+
+    /// The strict request-at-a-time loop, for connections that cannot
+    /// detach a send side (in-process test transports).
+    fn handle_sequential(&self, mut conn: T::Conn) {
         loop {
             let line = match conn.receive() {
                 Ok(Some(line)) => line,
@@ -157,30 +211,7 @@ impl<T: Transport> Server<T> {
             if line.trim().is_empty() {
                 continue;
             }
-            let parsed = parse_line(&line).and_then(|value| {
-                let credential = value
-                    .get_field("auth")
-                    .and_then(Value::as_str)
-                    .map(str::to_owned);
-                Request::from_value(&value).map(|request| (request, credential))
-            });
-            let mut stop = false;
-            let response = match parsed {
-                Ok((request, credential)) => {
-                    let is_shutdown = matches!(request, Request::Shutdown);
-                    match self.service.handle(request, credential.as_deref()) {
-                        Ok(value) => {
-                            // Only an *authorized* shutdown stops the
-                            // listener; a refused one is just an error
-                            // response like any other.
-                            stop = is_shutdown;
-                            value
-                        }
-                        Err(e) => error_response(&e),
-                    }
-                }
-                Err(e) => error_response(&e),
-            };
+            let (response, stop) = self.execute(&line);
             if conn.send(&render_line(&response)).is_err() {
                 return;
             }
@@ -191,6 +222,84 @@ impl<T: Transport> Server<T> {
                 return;
             }
         }
+    }
+
+    /// The pipelined loop (see the module docs): the reader keeps pulling
+    /// request lines while earlier requests execute on scoped workers;
+    /// each worker sends its own response through the shared writer as it
+    /// finishes, so responses may leave out of request order.
+    fn handle_pipelined(&self, mut conn: T::Conn, writer: Box<dyn ConnectionWriter>) {
+        let writer = Mutex::new(writer);
+        // (live worker count, connection is dead) — workers that fail to
+        // send mark the connection dead so the reader stops spawning.
+        let inflight = (Mutex::new((0usize, false)), Condvar::new());
+        let send = |response: &Value| -> bool {
+            writer
+                .lock()
+                .expect("connection writer mutex poisoned")
+                .send(&render_line(response))
+                .is_ok()
+        };
+        std::thread::scope(|scope| {
+            loop {
+                let line = match conn.receive() {
+                    Ok(Some(line)) => line,
+                    Ok(None) => return,
+                    Err(e) => {
+                        // Mid-line or undecodable: answer best-effort
+                        // in-band and close (no way to resynchronize).
+                        // In-flight workers still send theirs first-come.
+                        let _ = send(&error_response(&e));
+                        return;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // Shutdown is handled inline, after the pipeline drains:
+                // every already-admitted request gets its response before
+                // the acknowledgement, and nothing races the stop.
+                if line.contains("\"shutdown\"") {
+                    let (lock, cv) = &inflight;
+                    let mut state = lock.lock().expect("inflight mutex poisoned");
+                    while state.0 > 0 {
+                        state = cv.wait(state).expect("inflight mutex poisoned");
+                    }
+                    drop(state);
+                    let (response, stop) = self.execute(&line);
+                    if !send(&response) {
+                        return;
+                    }
+                    if stop {
+                        self.transport.shutdown();
+                        return;
+                    }
+                    continue;
+                }
+                {
+                    let (lock, cv) = &inflight;
+                    let mut state = lock.lock().expect("inflight mutex poisoned");
+                    while state.0 >= PIPELINE_MAX_INFLIGHT && !state.1 {
+                        state = cv.wait(state).expect("inflight mutex poisoned");
+                    }
+                    if state.1 {
+                        return; // the socket is gone; stop reading
+                    }
+                    state.0 += 1;
+                }
+                let inflight = &inflight;
+                let send = &send;
+                scope.spawn(move || {
+                    let (response, _) = self.execute(&line);
+                    let sent = send(&response);
+                    let (lock, cv) = inflight;
+                    let mut state = lock.lock().expect("inflight mutex poisoned");
+                    state.0 -= 1;
+                    state.1 |= !sent;
+                    cv.notify_all();
+                });
+            }
+        });
     }
 }
 

@@ -14,7 +14,7 @@
 //! take no credential. See [`crate::auth`] for the threat model.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::accountant::{Accountant, BudgetStatus, ReleaseAdmission};
 use crate::auth::Auth;
@@ -49,6 +49,21 @@ fn release_response(releases: &[SessionRelease]) -> Value {
         "releases".into(),
         Value::Array(releases.iter().map(session_release_to_value).collect()),
     )])
+}
+
+/// The keyed (idempotent) release response: the client's `request_id` is
+/// echoed so pipelined clients can match out-of-order responses to their
+/// requests. Fresh computation, cached replay, and post-restart
+/// recomputation all build this same shape, so replays stay
+/// byte-identical.
+fn keyed_release_response(releases: &[SessionRelease], request_id: &str) -> Value {
+    ok_response(vec![
+        ("request_id".into(), Value::String(request_id.into())),
+        (
+            "releases".into(),
+            Value::Array(releases.iter().map(session_release_to_value).collect()),
+        ),
+    ])
 }
 
 /// RAII decrement for the per-tenant in-flight release counter.
@@ -200,22 +215,27 @@ impl DpService {
     }
 
     /// Draws releases under an idempotency key, returning the full wire
-    /// response value. Exactly-once semantics: the first admission debits
-    /// the composed charge and journals `(tenant, request_id)`; any retry
-    /// with the same id (same session/seeds) returns the same response
-    /// value — byte-identical on the wire — without a second debit, even
-    /// if the first attempt died after the debit, and even across a
-    /// server restart (the WAL replays the journal; releases are
-    /// seed-deterministic, so a recomputed response matches the lost one).
+    /// response value (shared, never deep-cloned — replays hand out more
+    /// handles on the same `Arc`). Exactly-once semantics: the first
+    /// admission debits the composed charge and journals
+    /// `(tenant, request_id)` — durably, via the accountant's group
+    /// commit, before any noise is drawn; any retry with the same id
+    /// (same session/seeds) returns the same response value —
+    /// byte-identical on the wire — without a second debit, even if the
+    /// first attempt died after the debit, and even across a server
+    /// restart (the WAL replays the journal; releases are
+    /// seed-deterministic, so a recomputed response matches the lost
+    /// one). The response echoes the `request_id`, so pipelined clients
+    /// can match out-of-order responses.
     pub fn release_idempotent(
         &self,
         tenant: &str,
         session_id: &str,
         seeds: &[u64],
         request_id: &str,
-    ) -> Result<Value, ServiceError> {
+    ) -> Result<Arc<Value>, ServiceError> {
         if seeds.is_empty() {
-            return Ok(release_response(&[]));
+            return Ok(Arc::new(keyed_release_response(&[], request_id)));
         }
         let session = self.pool.get(session_id)?;
         // A session is shared across tenants; authorization is against the
@@ -233,7 +253,7 @@ impl DpService {
                     fail_point!("release.post_debit");
                 }
                 let releases = session.release_batch(seeds)?;
-                let response = release_response(&releases);
+                let response = Arc::new(keyed_release_response(&releases, request_id));
                 self.accountant
                     .record_response(tenant, request_id, &response);
                 Ok(response)
@@ -246,16 +266,18 @@ impl DpService {
         self.accountant.status(tenant)
     }
 
-    /// Handles one parsed request, producing the success-response value.
-    /// `credential` is the request's `"auth"` field, checked against the
-    /// service's [`Auth`] policy per operation. `Shutdown` is
-    /// acknowledged here; actually stopping the transport is the server
-    /// loop's job (and only after an *authorized* shutdown).
+    /// Handles one parsed request, producing the success-response value
+    /// (shared: keyed-release replays return another handle on the cached
+    /// response instead of a deep clone). `credential` is the request's
+    /// `"auth"` field, checked against the service's [`Auth`] policy per
+    /// operation. `Shutdown` is acknowledged here; actually stopping the
+    /// transport is the server loop's job (and only after an *authorized*
+    /// shutdown).
     pub fn handle(
         &self,
         request: Request,
         credential: Option<&str>,
-    ) -> Result<Value, ServiceError> {
+    ) -> Result<Arc<Value>, ServiceError> {
         match request {
             Request::OpenTenant {
                 tenant,
@@ -277,12 +299,18 @@ impl DpService {
                 if let Some(token) = token {
                     self.auth.install_tenant_token(&tenant, &token);
                 }
-                Ok(ok_response(vec![("tenant".into(), Value::String(tenant))]))
+                Ok(Arc::new(ok_response(vec![(
+                    "tenant".into(),
+                    Value::String(tenant),
+                )])))
             }
             Request::RegisterPlan { tenant, plan } => {
                 self.auth.check_tenant(&tenant, credential)?;
                 let id = self.register_plan(&tenant, *plan)?;
-                Ok(ok_response(vec![("plan_id".into(), Value::String(id))]))
+                Ok(Arc::new(ok_response(vec![(
+                    "plan_id".into(),
+                    Value::String(id),
+                )])))
             }
             Request::RegisterCompile {
                 tenant,
@@ -297,7 +325,10 @@ impl DpService {
                     .privacy(privacy)
                     .neighboring(neighboring);
                 let id = self.register_compiled(&tenant, builder)?;
-                Ok(ok_response(vec![("plan_id".into(), Value::String(id))]))
+                Ok(Arc::new(ok_response(vec![(
+                    "plan_id".into(),
+                    Value::String(id),
+                )])))
             }
             Request::Bind {
                 tenant,
@@ -306,7 +337,10 @@ impl DpService {
             } => {
                 self.auth.check_tenant(&tenant, credential)?;
                 let id = self.bind(&tenant, &plan_id, &table)?;
-                Ok(ok_response(vec![("session".into(), Value::String(id))]))
+                Ok(Arc::new(ok_response(vec![(
+                    "session".into(),
+                    Value::String(id),
+                )])))
             }
             Request::Release {
                 tenant,
@@ -320,14 +354,14 @@ impl DpService {
                     Some(rid) => self.release_idempotent(&tenant, &session, &seeds, &rid),
                     None => {
                         let releases = self.release(&tenant, &session, &seeds)?;
-                        Ok(release_response(&releases))
+                        Ok(Arc::new(release_response(&releases)))
                     }
                 }
             }
             Request::BudgetStatus { tenant } => {
                 self.auth.check_tenant(&tenant, credential)?;
                 let s = self.budget_status(&tenant)?;
-                Ok(ok_response(vec![
+                Ok(Arc::new(ok_response(vec![
                     ("tenant".into(), Value::String(tenant)),
                     ("total".into(), privacy_to_value(s.total)),
                     ("spent_epsilon".into(), Value::Number(s.spent_epsilon)),
@@ -338,18 +372,21 @@ impl DpService {
                     ),
                     ("remaining_delta".into(), Value::Number(s.remaining_delta)),
                     ("charges".into(), Value::Number(s.charges as f64)),
-                ]))
+                ])))
             }
-            Request::Ping => Ok(ok_response(vec![
+            Request::Ping => Ok(Arc::new(ok_response(vec![
                 ("pong".into(), Value::Bool(true)),
                 (
                     "tables".into(),
                     Value::Array(self.data.names().into_iter().map(Value::String).collect()),
                 ),
-            ])),
+            ]))),
             Request::Shutdown => {
                 self.auth.check_admin(credential)?;
-                Ok(ok_response(vec![("shutdown".into(), Value::Bool(true))]))
+                Ok(Arc::new(ok_response(vec![(
+                    "shutdown".into(),
+                    Value::Bool(true),
+                )])))
             }
         }
     }

@@ -52,6 +52,15 @@ fn io_to_service(e: std::io::Error, during: &str) -> ServiceError {
 /// Longest accepted request line, in bytes (16 MiB). See the module docs.
 pub const MAX_LINE_BYTES: usize = 16 << 20;
 
+/// A send-only handle onto a connection, detachable from the receive
+/// side so responses can be written from a different thread than the one
+/// reading requests — the server uses this to handle a connection's
+/// requests concurrently (pipelining) instead of strictly in turn.
+pub trait ConnectionWriter: Send {
+    /// Sends one response line.
+    fn send(&mut self, line: &str) -> Result<(), ServiceError>;
+}
+
 /// One bidirectional line-oriented peer connection.
 pub trait Connection: Send {
     /// Receives the next request line, `None` when the peer hung up.
@@ -60,6 +69,13 @@ pub trait Connection: Send {
     fn send(&mut self, line: &str) -> Result<(), ServiceError>;
     /// A short peer label for diagnostics.
     fn peer(&self) -> String;
+    /// A detached send side, if this connection supports one. `None`
+    /// (the default) means responses can only be sent from the receive
+    /// thread, and the server falls back to strictly sequential
+    /// request handling.
+    fn writer(&self) -> Option<Box<dyn ConnectionWriter>> {
+        None
+    }
 }
 
 /// A listener producing [`Connection`]s until shut down.
@@ -145,6 +161,47 @@ impl Connection for TcpConnection {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    fn writer(&self) -> Option<Box<dyn ConnectionWriter>> {
+        self.writer
+            .try_clone()
+            .ok()
+            .map(|stream| Box::new(TcpWriter { writer: stream }) as Box<dyn ConnectionWriter>)
+    }
+}
+
+/// The detached send side of a [`TcpConnection`] (another handle on the
+/// same socket).
+struct TcpWriter {
+    writer: TcpStream,
+}
+
+impl TcpWriter {
+    fn try_send(&mut self, line: &str) -> Result<(), ServiceError> {
+        // Same failpoint site as the in-line send path, so chaos
+        // schedules over `net.send` cover pipelined responses too.
+        fail_point!("net.send");
+        let write = |e| io_to_service(e, "write");
+        self.writer.write_all(line.as_bytes()).map_err(write)?;
+        self.writer.write_all(b"\n").map_err(write)?;
+        self.writer.flush().map_err(write)?;
+        Ok(())
+    }
+}
+
+impl ConnectionWriter for TcpWriter {
+    fn send(&mut self, line: &str) -> Result<(), ServiceError> {
+        let result = self.try_send(line);
+        if result.is_err() {
+            // A response is now lost; the stream cannot be trusted. Close
+            // both directions so the peer sees the drop *immediately*
+            // (instead of timing out waiting for the lost line) and the
+            // server's reader thread unblocks — the same fail-fast the
+            // sequential path gets by dropping the whole connection.
+            let _ = self.writer.shutdown(std::net::Shutdown::Both);
+        }
+        result
     }
 }
 

@@ -14,8 +14,8 @@ use dp_mech::PrivacyLevel;
 use dp_service::failpoint::{self, FailAction, Trigger};
 use dp_service::protocol::render_line;
 use dp_service::{
-    Accountant, Client, ClientConfig, DpService, ReleaseAdmission, Server, ServiceError,
-    TcpTransport,
+    Accountant, Client, ClientConfig, DpService, KeyedRelease, ReleaseAdmission, Server,
+    ServiceError, TcpTransport,
 };
 
 fn serial() -> MutexGuard<'static, ()> {
@@ -82,6 +82,81 @@ fn an_append_failure_burns_budget_without_journaling_the_id() {
     assert_eq!(acct.journaled_releases(), 1);
     assert_eq!(failpoint::fired_count("wal.append"), 1);
     failpoint::clear_all();
+}
+
+/// A failed *batch* sync under group commit fails **every** waiter in the
+/// batch the safe direction: all their debits are kept, none of their ids
+/// is journaled, and each retry re-debits as a fresh admission. The whole
+/// episode over-counts (burned-but-unreleased budget) and never
+/// under-counts — and a WAL reload sees exactly the journaled records.
+#[test]
+fn a_batch_sync_failure_fails_every_waiter_the_safe_direction() {
+    let _guard = serial();
+    const N: usize = 8;
+    let path = tmp_ledger("batch-sync");
+    let acct = Accountant::with_wal(&path).unwrap();
+    acct.open_tenant("t", PrivacyLevel::Pure { epsilon: 16.0 })
+        .unwrap();
+
+    // The first batch to reach its sync after arming fails; whichever
+    // concurrent admissions were staged into it all fail together.
+    failpoint::configure("wal.batch_sync", Trigger::nth(0), FailAction::Error);
+    let outcomes: Vec<(String, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let acct = &acct;
+                scope.spawn(move || {
+                    let id = format!("batch-{i}");
+                    let ok = acct.admit_release("t", &id, "s", &[i as u64], HALF).is_ok();
+                    (id, ok)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(failpoint::fired_count("wal.batch_sync"), 1);
+    failpoint::clear_all();
+
+    let failed: Vec<&String> = outcomes
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(id, _)| id)
+        .collect();
+    let errors = failed.len();
+    assert!(errors >= 1, "the failed batch held at least one admission");
+    let status = acct.status("t").unwrap();
+    assert_eq!(status.charges, N, "every admission debited, failed or not");
+    assert!((status.spent_epsilon - 0.5 * N as f64).abs() < 1e-12);
+    assert_eq!(
+        acct.journaled_releases(),
+        N - errors,
+        "failed waiters' ids must not be journaled"
+    );
+
+    // Retrying a failed id is a *fresh* admission (re-debit, journal);
+    // retrying a succeeded id replays without a new charge.
+    for (id, ok) in &outcomes {
+        let admission = acct.admit_release("t", id, "s", &[id[6..].parse().unwrap()], HALF);
+        match ok {
+            true => assert!(matches!(admission.unwrap(), ReleaseAdmission::Replay(_))),
+            false => assert!(matches!(admission.unwrap(), ReleaseAdmission::Fresh)),
+        }
+    }
+    let status = acct.status("t").unwrap();
+    assert_eq!(status.charges, N + errors, "each failed id re-debited once");
+    assert_eq!(
+        acct.journaled_releases(),
+        N,
+        "every id journaled in the end"
+    );
+
+    // A reload sees exactly the durable records: N journaled ids, and the
+    // over-counted in-memory debits of the failed batch are gone — the
+    // crash-safe direction (budget comes back, ids never double-release).
+    drop(acct);
+    let reloaded = Accountant::with_wal(&path).unwrap();
+    assert_eq!(reloaded.journaled_releases(), N);
+    assert_eq!(reloaded.status("t").unwrap().charges, N);
 }
 
 /// A failed `sync_data` is reported to the caller (the release is
@@ -234,6 +309,72 @@ fn a_seeded_send_storm_never_double_debits() {
     );
     assert!((status.spent_epsilon - 0.5 * RELEASES as f64).abs() < 1e-12);
     assert!(fired >= 1, "the storm must actually have injected faults");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// A *pipelined* storm under seeded send faults: the client fires a whole
+/// window of keyed releases down one connection while responses die
+/// pseudo-randomly on both sides. Lost responses are re-driven
+/// individually under their original ids, so every logical release lands
+/// exactly once — and replaying the same window afterwards returns the
+/// same bytes without a single new charge.
+#[test]
+fn a_pipelined_storm_with_send_faults_lands_every_release_once() {
+    let _guard = serial();
+    const WINDOW: usize = 12;
+    let (handle, addr) = start_server(Accountant::in_memory());
+    let mut client = Client::connect_with(
+        &addr,
+        ClientConfig {
+            max_retries: 10,
+            backoff_base: std::time::Duration::from_millis(1),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let session = register_over_tcp(&mut client);
+    let requests: Vec<KeyedRelease> = (0..WINDOW)
+        .map(|i| KeyedRelease {
+            request_id: format!("pipe-{i}"),
+            seeds: vec![i as u64],
+        })
+        .collect();
+
+    failpoint::configure(
+        "net.send",
+        Trigger::Seeded {
+            seed: 1337,
+            period: 4,
+        },
+        FailAction::Error,
+    );
+    let released = client.release_pipelined("t", &session, &requests).unwrap();
+    let fired = failpoint::fired_count("net.send");
+    failpoint::clear_all();
+    assert!(fired >= 1, "the storm must actually have injected faults");
+    assert_eq!(released.len(), WINDOW);
+    let rendered: Vec<String> = released
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), 1);
+            render_line(&r[0])
+        })
+        .collect();
+
+    let status = client.budget_status("t").unwrap();
+    assert_eq!(
+        status.charges, WINDOW,
+        "one charge per keyed release, {fired} injected faults notwithstanding"
+    );
+
+    // The same window again, faults cleared: pure replay, byte-identical,
+    // zero new charges.
+    let replayed = client.release_pipelined("t", &session, &requests).unwrap();
+    let replayed: Vec<String> = replayed.iter().map(|r| render_line(&r[0])).collect();
+    assert_eq!(replayed, rendered);
+    assert_eq!(client.budget_status("t").unwrap().charges, WINDOW);
 
     client.shutdown().unwrap();
     handle.join().unwrap();

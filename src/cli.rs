@@ -119,6 +119,10 @@ pub struct ServeArgs {
     /// Optional path of the persistent budget ledger (write-ahead JSON
     /// lines); without it budgets reset with the process.
     pub ledger: Option<String>,
+    /// Sync one ledger record per `sync_data` instead of group-committing
+    /// concurrent records under one sync (`--wal-sync per-record`; the
+    /// default is group commit). Only meaningful with `--ledger`.
+    pub wal_sync_per_record: bool,
     /// Admin bearer token; switches the service to the operator auth
     /// policy (tenant ops need per-tenant tokens, `open`/`shutdown` need
     /// this token). Without it the server trusts every peer.
@@ -250,7 +254,8 @@ USAGE:
                       [--cluster <fast|serial|faithful>] [--output <path.json>]
   datacube-dp inspect --dataset <adult|nltcs>
   datacube-dp serve   --addr <host:port> [--dataset <adult|nltcs>]...
-                      [--ledger <path.jsonl>] [--admin-token <secret>]
+                      [--ledger <path.jsonl>] [--wal-sync <group|per-record>]
+                      [--admin-token <secret>]
                       [--global-epsilon <f64> [--global-delta <f64>]]
                       [--max-connections <n>] [--max-inflight <n>]
   datacube-dp client  --addr <host:port> [--auth <token>]
@@ -271,7 +276,10 @@ USAGE:
 emits one JSON array (marginal lists, or full documents with --json).
 `plan` stops after compilation and emits the serialized plan document.
 `serve` runs the budget-metered multi-tenant release service (JSON lines
-over TCP; with --ledger, spent budget survives restarts). --admin-token
+over TCP; with --ledger, spent budget survives restarts — records are
+group-committed by default, one fsync per batch of concurrent requests;
+--wal-sync per-record restores the serialized one-fsync-per-record
+baseline). --admin-token
 switches it to the operator auth policy: `open`/`shutdown` need --auth set
 to the admin token, `open` installs the tenant's --token, and tenant ops
 need --auth set to that tenant token; without --admin-token every peer is
@@ -358,6 +366,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut addr = None;
             let mut datasets = Vec::new();
             let mut ledger = None;
+            let mut wal_sync_per_record = false;
             let mut admin_token = None;
             let mut global_epsilon = None;
             let mut global_delta = None;
@@ -377,6 +386,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--ledger" => ledger = Some(value("--ledger")?.clone()),
+                    "--wal-sync" => {
+                        wal_sync_per_record = match value("--wal-sync")?.as_str() {
+                            "group" => false,
+                            "per-record" => true,
+                            other => {
+                                return Err(CliError(format!(
+                                    "bad --wal-sync {other:?}: expected `group` or `per-record`"
+                                )))
+                            }
+                        }
+                    }
                     "--admin-token" => admin_token = Some(value("--admin-token")?.clone()),
                     "--global-epsilon" => {
                         global_epsilon = Some(
@@ -427,6 +447,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 addr: addr.ok_or(CliError("serve requires --addr".into()))?,
                 datasets,
                 ledger,
+                wal_sync_per_record,
                 admin_token,
                 global_epsilon,
                 global_delta,
@@ -966,6 +987,7 @@ mod tests {
         assert_eq!(a.ledger, None);
         assert_eq!(a.admin_token, None);
         assert_eq!(a.global_epsilon, None);
+        assert!(!a.wal_sync_per_record, "group commit is the default");
 
         let cmd = parse_args(&sv(&[
             "serve",
@@ -1012,6 +1034,27 @@ mod tests {
         assert_eq!(a.max_inflight, Some(2));
         assert!(parse_args(&sv(&["serve", "--addr", "x", "--max-connections", "0"])).is_err());
         assert!(parse_args(&sv(&["serve", "--addr", "x", "--max-inflight", "no"])).is_err());
+
+        let Command::Serve(a) = parse_args(&sv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--ledger",
+            "l.jsonl",
+            "--wal-sync",
+            "per-record",
+        ]))
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert!(a.wal_sync_per_record);
+        let Command::Serve(a) =
+            parse_args(&sv(&["serve", "--addr", "x", "--wal-sync", "group"])).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert!(!a.wal_sync_per_record);
+        assert!(parse_args(&sv(&["serve", "--addr", "x", "--wal-sync", "fsync"])).is_err());
 
         assert!(parse_args(&sv(&["serve"])).is_err());
         assert!(parse_args(&sv(&["serve", "--addr", "x", "--json"])).is_err());
