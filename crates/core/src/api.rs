@@ -365,6 +365,15 @@ impl Compiled {
             Compiled::Ranges(c) => c.engine.achieved_epsilon(privacy, budgets),
         }
     }
+
+    /// Adds `delta` units at data cell `cell` to an observation vector:
+    /// `z += delta · S[·, cell]` through the strategy's sparse column.
+    fn apply_delta(&self, z: &mut [f64], cell: u64, delta: f64) -> Result<(), CoreError> {
+        match self {
+            Compiled::Marginals(c) => c.apply_delta(z, cell, delta),
+            Compiled::Ranges(c) => c.apply_delta(z, cell, delta),
+        }
+    }
 }
 
 /// A compiled, **data-independent** release plan: the strategy operator,
@@ -803,6 +812,10 @@ impl<'p> Session<'p> {
     /// out of a shared scratch pool, so a batch of K releases allocates
     /// O(workers) scratch arenas rather than O(K) — only the returned
     /// answers themselves are freshly allocated.
+    ///
+    /// An empty seed list returns `Ok(vec![])`: no noise is drawn and no
+    /// budget is consumed (the service layer likewise charges nothing for
+    /// an empty batch).
     pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
         seeds.par_iter().map(|&s| self.release(s)).collect()
     }
@@ -910,9 +923,248 @@ impl OwnedSession {
     }
 
     /// Draws one release per seed, fanned out with rayon; element `i`
-    /// equals `self.release(seeds[i])`.
+    /// equals `self.release(seeds[i])`. An empty seed list returns
+    /// `Ok(vec![])` without drawing any noise.
     pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
         seeds.par_iter().map(|&s| self.release(s)).collect()
+    }
+}
+
+/// A session that maintains its observation vector **incrementally** under
+/// record-level inserts and deletes — the streaming counterpart of
+/// [`OwnedSession`].
+///
+/// The release `z = S·x` is linear in the data vector `x` (the structural
+/// fact the whole paper builds on), so adding or removing one tuple at cell
+/// `j` shifts the observations by the sparse column `±S[·, j]`:
+///
+/// * marginal strategies: one entry per observed marginal (identity /
+///   workload / cluster) or `|support|` signed entries of magnitude
+///   `2^{−d/2}` (Fourier);
+/// * range strategies: one entry (identity), one per tree level
+///   (hierarchical), at most `2·log₂ n + 1` Haar coefficients (wavelet), or
+///   the nonzeros of the sketch column.
+///
+/// [`StreamingSession::ingest`] is therefore O(|column|) — never O(2^d) —
+/// where a fresh [`Session::bind`] re-aggregates the full domain. Releases
+/// go through the exact same pure path as [`Session`]/[`OwnedSession`], so
+/// a release from a streamed-to session is byte-identical to one from a
+/// session freshly bound to the same data (up to float accumulation; see
+/// [`StreamingSession::rebase`]).
+///
+/// A **sliding window** variant ([`StreamingSession::with_window`]) keeps a
+/// ring of per-bucket delta logs: [`StreamingSession::advance`] closes the
+/// current bucket and retracts the expiring one, so the session always
+/// reflects the currently-filling bucket plus the last `buckets` completed
+/// buckets of the stream — never anything older.
+///
+/// Repeated float adds drift; [`StreamingSession::rebase`] re-observes from
+/// the maintained count vector, restoring bitwise agreement with a fresh
+/// bind at O(domain) cost — amortize it over long edit scripts.
+///
+/// ```
+/// use dp_core::api::{PlanBuilder, StreamingSession};
+/// use dp_core::prelude::*;
+/// use std::sync::Arc;
+///
+/// let schema = Schema::binary(4).unwrap();
+/// let workload = Workload::all_k_way(&schema, 2).unwrap();
+/// let plan = Arc::new(
+///     PlanBuilder::marginals(workload, StrategyKind::Fourier)
+///         .compile()
+///         .unwrap(),
+/// );
+/// let mut stream = StreamingSession::empty(plan).unwrap();
+/// stream.ingest(3).unwrap(); // O(|support|), not O(2^d)
+/// stream.ingest(5).unwrap();
+/// stream.retract(3).unwrap();
+/// let release = stream.release(7).unwrap();
+/// assert_eq!(release.seed, 7);
+/// ```
+pub struct StreamingSession {
+    plan: Arc<Plan>,
+    observations: Vec<f64>,
+    /// The maintained data vector (contingency counts or histogram) —
+    /// backs [`StreamingSession::rebase`] and the negative-count guard.
+    counts: Vec<f64>,
+    window: Option<SlidingWindow>,
+}
+
+/// Ring of per-bucket delta logs for the sliding-window variant.
+struct SlidingWindow {
+    /// Oldest bucket first; the last entry is the bucket currently filling.
+    buckets: std::collections::VecDeque<Vec<(u64, f64)>>,
+    /// Number of buckets the window spans.
+    capacity: usize,
+}
+
+impl StreamingSession {
+    /// Starts a streaming session over an **empty** dataset — the usual
+    /// entry point for a stream that begins from nothing.
+    pub fn empty(plan: Arc<Plan>) -> Result<StreamingSession, CoreError> {
+        let n = match plan.spec() {
+            WorkloadSpec::Marginals { workload, .. } => 1usize << workload.domain_bits(),
+            WorkloadSpec::Ranges { workload, .. } => workload.domain(),
+        };
+        StreamingSession::from_counts(plan, vec![0.0; n])
+    }
+
+    /// Starts from an existing contingency table (marginal plans): one full
+    /// `observe`, after which updates are incremental.
+    pub fn bind(plan: Arc<Plan>, table: &ContingencyTable) -> Result<StreamingSession, CoreError> {
+        if matches!(plan.compiled(), Compiled::Ranges(_)) {
+            return Err(CoreError::InvalidPlan(
+                "range plans bind to histograms; use StreamingSession::bind_histogram",
+            ));
+        }
+        StreamingSession::from_counts(plan, table.counts().to_vec())
+    }
+
+    /// Starts from an existing histogram (range plans).
+    pub fn bind_histogram(plan: Arc<Plan>, hist: &[f64]) -> Result<StreamingSession, CoreError> {
+        if matches!(plan.compiled(), Compiled::Marginals(_)) {
+            return Err(CoreError::InvalidPlan(
+                "marginal plans bind to contingency tables; use StreamingSession::bind",
+            ));
+        }
+        StreamingSession::from_counts(plan, hist.to_vec())
+    }
+
+    fn from_counts(plan: Arc<Plan>, counts: Vec<f64>) -> Result<StreamingSession, CoreError> {
+        let observations = observe_counts(&plan, &counts)?;
+        Ok(StreamingSession {
+            plan,
+            observations,
+            counts,
+            window: None,
+        })
+    }
+
+    /// Converts this session into a sliding-window session spanning
+    /// `buckets` buckets (e.g. 60 one-minute buckets for a one-hour
+    /// window). Subsequent ingests land in the current bucket;
+    /// [`StreamingSession::advance`] rotates the ring.
+    pub fn with_window(mut self, buckets: usize) -> StreamingSession {
+        assert!(buckets > 0, "a sliding window needs at least one bucket");
+        let mut ring = std::collections::VecDeque::with_capacity(buckets + 1);
+        ring.push_back(Vec::new());
+        self.window = Some(SlidingWindow {
+            buckets: ring,
+            capacity: buckets,
+        });
+        self
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &Arc<Plan> {
+        &self.plan
+    }
+
+    /// The incrementally maintained observation vector `z = S·x` (exposed
+    /// for the delta-vs-full-observe equivalence tests).
+    pub fn observations(&self) -> &[f64] {
+        &self.observations
+    }
+
+    /// The maintained data vector `x`.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Inserts one tuple at linearized cell `cell`: `x_cell += 1`,
+    /// `z += S[·, cell]`.
+    pub fn ingest(&mut self, cell: u64) -> Result<(), CoreError> {
+        self.ingest_count(cell, 1.0)
+    }
+
+    /// Deletes one tuple at cell `cell`, refusing to drive its count
+    /// negative (retracting a tuple that was never inserted).
+    pub fn retract(&mut self, cell: u64) -> Result<(), CoreError> {
+        self.ingest_count(cell, -1.0)
+    }
+
+    /// Adds `delta` tuples at cell `cell` (negative `delta` retracts).
+    /// O(|S[·, cell]|). Errors leave the session unchanged.
+    pub fn ingest_count(&mut self, cell: u64, delta: f64) -> Result<(), CoreError> {
+        if cell >= self.counts.len() as u64 {
+            return Err(CoreError::Shape {
+                context: "streaming delta cell",
+                expected: self.counts.len(),
+                actual: cell as usize,
+            });
+        }
+        let next = self.counts[cell as usize] + delta;
+        if next < 0.0 {
+            return Err(CoreError::NegativeCount { cell, count: next });
+        }
+        self.plan
+            .compiled()
+            .apply_delta(&mut self.observations, cell, delta)?;
+        self.counts[cell as usize] = next;
+        if let Some(w) = &mut self.window {
+            w.buckets
+                .back_mut()
+                .expect("window always has a current bucket")
+                .push((cell, delta));
+        }
+        Ok(())
+    }
+
+    /// Closes the current window bucket and opens a new one; once more than
+    /// `buckets` buckets exist, the oldest is expired — every delta it
+    /// logged is retracted, so the session thereafter reflects exactly the
+    /// surviving buckets. Errors unless this is a windowed session.
+    pub fn advance(&mut self) -> Result<(), CoreError> {
+        let w = self.window.as_mut().ok_or(CoreError::InvalidPlan(
+            "advance() needs a sliding window; build with StreamingSession::with_window",
+        ))?;
+        w.buckets.push_back(Vec::new());
+        if w.buckets.len() > w.capacity + 1 {
+            let expired = w.buckets.pop_front().expect("ring is non-empty");
+            for (cell, delta) in expired {
+                self.plan
+                    .compiled()
+                    .apply_delta(&mut self.observations, cell, -delta)?;
+                // Expiry retracts exactly what an earlier ingest logged, so
+                // any negativity is float round-off, not a logic error —
+                // clamp instead of failing mid-rotation.
+                let c = &mut self.counts[cell as usize];
+                *c = (*c - delta).max(0.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-observes `z = S·x` from the maintained counts, discarding the
+    /// accumulated float drift of the delta path: immediately after
+    /// `rebase()` the observations are **bitwise identical** to a fresh
+    /// [`Session::bind`] of the same data. O(domain) — call it every few
+    /// thousand edits, not per edit.
+    pub fn rebase(&mut self) -> Result<(), CoreError> {
+        self.observations = observe_counts(&self.plan, &self.counts)?;
+        Ok(())
+    }
+
+    /// Draws one release from the current observations; deterministic in
+    /// `seed` and byte-identical to [`Session::release`] over the same
+    /// (plan, data, seed) when the observations agree bitwise.
+    pub fn release(&self, seed: u64) -> Result<SessionRelease, CoreError> {
+        release_bound(&self.plan, &self.observations, seed)
+    }
+
+    /// Draws one release per seed (rayon fan-out); element `i` equals
+    /// `self.release(seeds[i])`. Empty seed list → `Ok(vec![])`.
+    pub fn release_batch(&self, seeds: &[u64]) -> Result<Vec<SessionRelease>, CoreError> {
+        seeds.par_iter().map(|&s| self.release(s)).collect()
+    }
+}
+
+/// Full observation of a raw count vector under either workload family —
+/// the bind/rebase path of [`StreamingSession`].
+fn observe_counts(plan: &Plan, counts: &[f64]) -> Result<Vec<f64>, CoreError> {
+    match plan.compiled() {
+        Compiled::Marginals(c) => c.observe(&ContingencyTable::from_counts(counts.to_vec())),
+        Compiled::Ranges(c) => c.observe(counts),
     }
 }
 
@@ -1319,6 +1571,112 @@ mod tests {
             batch[0].answers.ranges().unwrap(),
             owned.release(3).unwrap().answers.ranges().unwrap()
         );
+    }
+
+    #[test]
+    fn empty_seed_batches_release_nothing() {
+        let plan = PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+            .compile()
+            .unwrap();
+        let table = small_table();
+        let session = Session::bind(&plan, &table).unwrap();
+        assert!(session.release_batch(&[]).unwrap().is_empty());
+        let owned = OwnedSession::bind(Arc::new(plan), &table).unwrap();
+        assert!(owned.release_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_ingest_tracks_a_fresh_bind() {
+        let plan = Arc::new(
+            PlanBuilder::marginals(workload2(), StrategyKind::Fourier)
+                .compile()
+                .unwrap(),
+        );
+        let mut stream = StreamingSession::empty(Arc::clone(&plan)).unwrap();
+        let cells = [3u64, 5, 5, 12, 0, 15];
+        for &c in &cells {
+            stream.ingest(c).unwrap();
+        }
+        stream.retract(5).unwrap();
+        let mut table = ContingencyTable::zeros(4);
+        for &c in &[3u64, 5, 12, 0, 15] {
+            table.add_count(c, 1.0).unwrap();
+        }
+        let fresh = Session::bind(&plan, &table).unwrap();
+        // Observations agree to float accumulation; after rebase, bitwise.
+        stream.rebase().unwrap();
+        let direct = match plan.compiled() {
+            Compiled::Marginals(c) => c.observe(&table).unwrap(),
+            Compiled::Ranges(_) => unreachable!(),
+        };
+        assert_eq!(stream.observations(), direct.as_slice());
+        // ...and the releases are byte-identical.
+        let a = stream.release(9).unwrap();
+        let b = fresh.release(9).unwrap();
+        for (ma, mb) in a
+            .answers
+            .marginals()
+            .unwrap()
+            .iter()
+            .zip(b.answers.marginals().unwrap())
+        {
+            assert_eq!(ma.values(), mb.values());
+        }
+    }
+
+    #[test]
+    fn streaming_guards_cell_range_and_negative_counts() {
+        let plan = Arc::new(
+            PlanBuilder::marginals(workload2(), StrategyKind::Workload)
+                .compile()
+                .unwrap(),
+        );
+        let mut stream = StreamingSession::empty(plan).unwrap();
+        assert!(matches!(stream.ingest(16), Err(CoreError::Shape { .. })));
+        assert!(matches!(
+            stream.retract(2),
+            Err(CoreError::NegativeCount { cell: 2, .. })
+        ));
+        // Failed edits leave the session untouched.
+        assert!(stream.observations().iter().all(|&z| z == 0.0));
+        assert!(matches!(stream.advance(), Err(CoreError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn streaming_window_expiry_matches_direct_bind() {
+        let plan = Arc::new(
+            PlanBuilder::ranges(
+                RangeWorkload::all_prefixes(16).unwrap(),
+                RangeStrategy::Hierarchical,
+            )
+            .compile()
+            .unwrap(),
+        );
+        let mut stream = StreamingSession::empty(Arc::clone(&plan))
+            .unwrap()
+            .with_window(2);
+        // Bucket 0 (will expire), bucket 1 and 2 (survive).
+        for c in [1u64, 2, 3] {
+            stream.ingest(c).unwrap();
+        }
+        stream.advance().unwrap();
+        for c in [4u64, 4] {
+            stream.ingest(c).unwrap();
+        }
+        stream.advance().unwrap();
+        stream.ingest(9).unwrap();
+        stream.advance().unwrap(); // expires bucket 0
+        let mut hist = vec![0.0; 16];
+        for c in [4usize, 4, 9] {
+            hist[c] += 1.0;
+        }
+        assert_eq!(stream.counts(), hist.as_slice());
+        let direct = Session::bind_histogram(&plan, &hist).unwrap();
+        let (a, b) = (stream.release(5).unwrap(), direct.release(5).unwrap());
+        let (ra, rb) = (a.answers.ranges().unwrap(), b.answers.ranges().unwrap());
+        for (x, y) in ra.iter().zip(rb) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
     }
 
     #[test]

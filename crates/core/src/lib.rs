@@ -73,7 +73,8 @@ pub mod workload;
 /// Convenient re-exports of the types most programs need.
 pub mod prelude {
     pub use crate::api::{
-        Answers, OwnedSession, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
+        Answers, OwnedSession, Plan, PlanBuilder, PlanCache, Session, SessionRelease,
+        StreamingSession, WorkloadSpec,
     };
     pub use crate::cluster::{CentroidSearch, ClusterConfig};
     pub use crate::marginal::MarginalTable;
@@ -93,7 +94,8 @@ pub mod prelude {
 }
 
 pub use crate::api::{
-    Answers, OwnedSession, Plan, PlanBuilder, PlanCache, Session, SessionRelease, WorkloadSpec,
+    Answers, OwnedSession, Plan, PlanBuilder, PlanCache, Session, SessionRelease, StreamingSession,
+    WorkloadSpec,
 };
 pub use crate::cluster::{CentroidSearch, ClusterConfig};
 pub use crate::mask::AttrMask;
@@ -138,6 +140,14 @@ pub enum CoreError {
     },
     /// A [`api::Plan`] was used with the wrong kind of data or document.
     InvalidPlan(&'static str),
+    /// A retraction would drive a count below zero — the delta stream and
+    /// the table disagree about what was ever inserted.
+    NegativeCount {
+        /// Linearized domain cell of the offending retraction.
+        cell: u64,
+        /// The (negative) count the retraction would have produced.
+        count: f64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -164,6 +174,10 @@ impl std::fmt::Display for CoreError {
                 "computed budgets achieve ε = {achieved} > requested {requested}"
             ),
             CoreError::InvalidPlan(msg) => write!(f, "invalid plan use: {msg}"),
+            CoreError::NegativeCount { cell, count } => write!(
+                f,
+                "retraction at cell {cell} would drive its count to {count} < 0"
+            ),
         }
     }
 }
@@ -217,6 +231,10 @@ mod tests {
                 requested: 1.0,
             },
             CoreError::InvalidPlan("p"),
+            CoreError::NegativeCount {
+                cell: 3,
+                count: -1.0,
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

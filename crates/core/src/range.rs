@@ -235,23 +235,24 @@ pub fn strategy_operator(
         RangeStrategy::Identity => Box::new(IdentityOperator { n }),
         RangeStrategy::Hierarchical => Box::new(HierarchicalOperator::new(n)),
         RangeStrategy::Wavelet => Box::new(HaarOperator::new(n)),
-        RangeStrategy::Sketch { .. } => {
-            // Sketches are genuinely sparse unstructured matrices: store CSR.
-            let dense = strategy_matrix(strategy, n);
-            let mut triplets = Vec::new();
-            for i in 0..dense.rows() {
-                for (j, &v) in dense.row(i).iter().enumerate() {
-                    if v != 0.0 {
-                        triplets.push((i, j, v));
-                    }
-                }
+        RangeStrategy::Sketch { .. } => Box::new(sketch_csr(strategy, n)),
+    }
+}
+
+/// The sketch strategy matrix in CSR form (sketches are genuinely sparse
+/// unstructured matrices; everything else stays matrix-free).
+fn sketch_csr(strategy: RangeStrategy, n: usize) -> CsrMatrix {
+    let dense = strategy_matrix(strategy, n);
+    let mut triplets = Vec::new();
+    for i in 0..dense.rows() {
+        for (j, &v) in dense.row(i).iter().enumerate() {
+            if v != 0.0 {
+                triplets.push((i, j, v));
             }
-            Box::new(
-                CsrMatrix::from_triplets(dense.rows(), n, &triplets)
-                    .expect("triplets are in range by construction"),
-            )
         }
     }
+    CsrMatrix::from_triplets(dense.rows(), n, &triplets)
+        .expect("triplets are in range by construction")
 }
 
 /// The range strategies' [`StrategyOperator`]: observations through a
@@ -610,6 +611,27 @@ pub(crate) fn dense_range_structure(
 pub(crate) struct CompiledRangeStrategy {
     pub(crate) engine: ReleaseEngine<RangeStrategyOp>,
     pub(crate) grouping: Grouping,
+    delta: RangeDeltaOp,
+}
+
+/// The sparse column `S[·, j]` of each range strategy, precomputed at
+/// compile time so a per-record delta updates the observation vector in
+/// O(column nnz) — O(1) for identity, O(log n) for the structured
+/// strategies, O(nnz) of the transposed sketch row otherwise.
+enum RangeDeltaOp {
+    Identity,
+    /// Level ℓ of the tree contributes row `2^ℓ − 1 + (j >> (levels − ℓ))`
+    /// (the dyadic block of width `n/2^ℓ` containing `j`), weight 1.
+    Hierarchical {
+        levels: usize,
+    },
+    /// Column `j` of the Haar analysis = the coefficients of the unit
+    /// indicator `[j, j+1)` — exactly [`haar_range_coeffs`].
+    Wavelet {
+        n: usize,
+    },
+    /// The transposed sketch: row `j` lists `(i, S[i, j])`.
+    Sketch(CsrMatrix),
 }
 
 impl CompiledRangeStrategy {
@@ -624,13 +646,27 @@ impl CompiledRangeStrategy {
             None => dense_range_structure(workload, strategy)?,
         };
         let row_groups: Vec<u32> = grouping.assignment().iter().map(|&g| g as u32).collect();
+        let delta = match strategy {
+            RangeStrategy::Identity => RangeDeltaOp::Identity,
+            RangeStrategy::Hierarchical => RangeDeltaOp::Hierarchical {
+                levels: n.trailing_zeros() as usize,
+            },
+            RangeStrategy::Wavelet => RangeDeltaOp::Wavelet { n },
+            RangeStrategy::Sketch { .. } => {
+                RangeDeltaOp::Sketch(sketch_csr(strategy, n).transposed())
+            }
+        };
         let engine = ReleaseEngine::new(RangeStrategyOp {
             operator: strategy_operator(strategy, n),
             workload: workload.clone(),
             specs,
             row_groups,
         })?;
-        Ok(CompiledRangeStrategy { engine, grouping })
+        Ok(CompiledRangeStrategy {
+            engine,
+            grouping,
+            delta,
+        })
     }
 
     /// Computes the exact observation vector `z = S·hist` through the
@@ -646,6 +682,46 @@ impl CompiledRangeStrategy {
             });
         }
         Ok(op.apply(hist))
+    }
+
+    /// Adds `delta` units at histogram cell `cell` directly to an
+    /// observation vector `z`: `z += delta · S[·, cell]` via the
+    /// precomputed sparse column — O(1)/O(log n)/O(column nnz), never
+    /// O(n). The incremental twin of [`CompiledRangeStrategy::observe`].
+    pub(crate) fn apply_delta(
+        &self,
+        z: &mut [f64],
+        cell: u64,
+        delta: f64,
+    ) -> Result<(), CoreError> {
+        let n = self.engine.strategy().operator.cols();
+        if cell >= n as u64 {
+            return Err(CoreError::Shape {
+                context: "streaming delta cell",
+                expected: n,
+                actual: cell as usize,
+            });
+        }
+        let j = cell as usize;
+        match &self.delta {
+            RangeDeltaOp::Identity => z[j] += delta,
+            RangeDeltaOp::Hierarchical { levels } => {
+                for level in 0..=*levels {
+                    z[(1usize << level) - 1 + (j >> (levels - level))] += delta;
+                }
+            }
+            RangeDeltaOp::Wavelet { n } => {
+                for (i, c) in haar_range_coeffs(*n, j, j + 1) {
+                    z[i] += delta * c;
+                }
+            }
+            RangeDeltaOp::Sketch(transposed) => {
+                for (i, v) in transposed.row_entries(j) {
+                    z[i] += delta * v;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Exact per-query output variances of the final GLS recovery, given

@@ -344,6 +344,50 @@ impl CompiledMarginalStrategy {
         }
     }
 
+    /// Adds `delta` tuples at linearized cell `cell` directly to an
+    /// observation vector `z`: since `z = S x` is linear in `x`, the update
+    /// is the sparse column `delta · S[·, cell]` — O(#observed marginals)
+    /// or O(|support|) work, never O(2^d). The incremental twin of
+    /// [`CompiledMarginalStrategy::observe`].
+    pub(crate) fn apply_delta(
+        &self,
+        z: &mut [f64],
+        cell: u64,
+        delta: f64,
+    ) -> Result<(), CoreError> {
+        if cell >= 1u64 << self.d {
+            return Err(CoreError::Shape {
+                context: "streaming delta cell",
+                expected: 1usize << self.d,
+                actual: cell as usize,
+            });
+        }
+        match &self.observe {
+            ObserveKind::BaseCounts => {
+                z[cell as usize] += delta;
+            }
+            ObserveKind::MarginalCells(observed) => {
+                // A tuple at `cell` lands in exactly one cell of each
+                // observed marginal: the one indexed by its bits under α.
+                let mut offset = 0usize;
+                for &alpha in observed {
+                    z[offset + alpha.compress_cell(cell & alpha.0)] += delta;
+                    offset += alpha.cell_count();
+                }
+            }
+            ObserveKind::FourierCoefficients { space, .. } => {
+                // fᵝ(cell) = (−1)^{⟨β,cell⟩} · 2^{−d/2} for every β in the
+                // support (the column of the Fourier observation matrix).
+                let scale = 2f64.powf(-(self.d as f64) / 2.0);
+                let cell_mask = AttrMask(cell);
+                for (i, &beta) in space.support().iter().enumerate() {
+                    z[i] += delta * cell_mask.sign(beta) * scale;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Predicted per-marginal output variance of the *initial* recovery
     /// `R₀`, given the per-group noise variances `group_sigma2` (one per
     /// group, in group order). The entries sum to the engine's

@@ -7,6 +7,7 @@
 use crate::marginal::MarginalTable;
 use crate::mask::AttrMask;
 use crate::schema::{Schema, SchemaError};
+use crate::CoreError;
 
 /// A full contingency table over `{0,1}^d`.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,45 @@ impl ContingencyTable {
     /// Total number of tuples `Σ_β x_β`.
     pub fn total(&self) -> f64 {
         self.counts.iter().sum()
+    }
+
+    /// Inserts one record: `x_{enc(r)} += 1`. The table-side twin of
+    /// [`crate::api::StreamingSession::ingest`]; equivalent to rebuilding
+    /// with [`ContingencyTable::from_records`] on the extended multiset.
+    pub fn add_record(&mut self, schema: &Schema, record: &[usize]) -> Result<u64, SchemaError> {
+        let idx = schema.encode(record)?;
+        self.counts[idx as usize] += 1.0;
+        Ok(idx)
+    }
+
+    /// Deletes one record: `x_{enc(r)} -= 1`, refusing to drive the cell
+    /// negative (retracting a record that was never inserted).
+    pub fn remove_record(&mut self, schema: &Schema, record: &[usize]) -> Result<u64, CoreError> {
+        let idx = schema
+            .encode(record)
+            .map_err(|_| CoreError::InvalidPlan("record does not match the table's schema"))?;
+        self.add_count(idx, -1.0)?;
+        Ok(idx)
+    }
+
+    /// Adds `delta` tuples at linearized cell `cell` (negative `delta`
+    /// retracts). Errors if the cell is out of range or the resulting
+    /// count would be negative; on error the table is unchanged.
+    pub fn add_count(&mut self, cell: u64, delta: f64) -> Result<(), CoreError> {
+        let n = self.counts.len();
+        if cell >= n as u64 {
+            return Err(CoreError::Shape {
+                context: "ContingencyTable::add_count cell",
+                expected: n,
+                actual: cell as usize,
+            });
+        }
+        let next = self.counts[cell as usize] + delta;
+        if next < 0.0 {
+            return Err(CoreError::NegativeCount { cell, count: next });
+        }
+        self.counts[cell as usize] = next;
+        Ok(())
     }
 
     /// Computes the marginal `Cα x` (Section 4.1): cell `γ ≼ α` receives
@@ -230,6 +270,59 @@ mod tests {
     fn from_indices() {
         let t = ContingencyTable::from_indices(2, &[0, 3, 3]);
         assert_eq!(t.counts(), &[1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn incremental_edits_match_from_records() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 2).unwrap(),
+            Attribute::new("b", 3).unwrap(),
+        ])
+        .unwrap();
+        let records = vec![vec![0, 0], vec![0, 0], vec![1, 2], vec![0, 1]];
+        let mut t = ContingencyTable::zeros(schema.domain_bits());
+        for r in &records {
+            t.add_record(&schema, r).unwrap();
+        }
+        let expected = ContingencyTable::from_records(&schema, &records).unwrap();
+        assert_eq!(t, expected);
+
+        // Removing one record matches rebuilding without it.
+        t.remove_record(&schema, &records[1]).unwrap();
+        let expected = ContingencyTable::from_records(
+            &schema,
+            &[records[0].clone(), records[2].clone(), records[3].clone()],
+        )
+        .unwrap();
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn retraction_below_zero_is_rejected() {
+        let schema = Schema::new(vec![Attribute::new("a", 2).unwrap()]).unwrap();
+        let mut t = ContingencyTable::zeros(schema.domain_bits());
+        t.add_record(&schema, &[1]).unwrap();
+        assert!(matches!(
+            t.remove_record(&schema, &[0]),
+            Err(CoreError::NegativeCount { cell: 0, .. })
+        ));
+        // A failed retraction leaves the table unchanged.
+        assert_eq!(t.counts(), &[0.0, 1.0]);
+        t.remove_record(&schema, &[1]).unwrap();
+        assert_eq!(t.total(), 0.0);
+    }
+
+    #[test]
+    fn add_count_bounds_and_negative_guard() {
+        let mut t = ContingencyTable::zeros(2);
+        assert!(matches!(t.add_count(4, 1.0), Err(CoreError::Shape { .. })));
+        t.add_count(3, 2.5).unwrap();
+        assert!(matches!(
+            t.add_count(3, -3.0),
+            Err(CoreError::NegativeCount { cell: 3, .. })
+        ));
+        t.add_count(3, -2.5).unwrap();
+        assert_eq!(t.total(), 0.0);
     }
 
     #[test]

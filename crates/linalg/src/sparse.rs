@@ -242,6 +242,64 @@ impl CsrMatrix {
         Ok(diag)
     }
 
+    /// The `(row, value)` pairs of column `j` — one O(nnz) scan. For
+    /// repeated column access (e.g. a stream of per-record deltas against
+    /// a sketch strategy) build [`CsrMatrix::transposed`] once and use
+    /// [`CsrMatrix::row_entries`] on it instead.
+    pub fn column_entries(&self, j: usize) -> Result<Vec<(usize, f64)>, LinalgError> {
+        if j >= self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "CsrMatrix::column_entries",
+                expected: self.cols,
+                actual: j,
+            });
+        }
+        let mut out = Vec::new();
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                if self.col_idx[k] as usize == j {
+                    out.push((i, self.values[k]));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The transpose as a new CSR matrix (equivalently: the CSC index of
+    /// this matrix). One O(nnz) counting pass; row `j` of the result is
+    /// column `j` of `self`, so a delta stream can pull columns in
+    /// O(nnz(column)) via [`CsrMatrix::row_entries`].
+    pub fn transposed(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(self.cols + 1);
+        row_ptr.push(0usize);
+        for &c in &counts {
+            row_ptr.push(row_ptr.last().unwrap() + c);
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..self.rows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[k] as usize;
+                let slot = next[c];
+                next[c] += 1;
+                col_idx[slot] = i as u32;
+                values[slot] = self.values[k];
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// Converts to a dense [`crate::dense::Matrix`] (tests / small cases).
     pub fn to_dense(&self) -> crate::dense::Matrix {
         let mut m = crate::dense::Matrix::zeros(self.rows, self.cols);
@@ -345,5 +403,54 @@ mod tests {
         b.finish_row();
         let m = b.build();
         assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn column_entries_match_dense_column() {
+        let m = sample();
+        let d = m.to_dense();
+        for j in 0..m.cols() {
+            let col = m.column_entries(j).unwrap();
+            let mut dense_col: Vec<(usize, f64)> = Vec::new();
+            for i in 0..m.rows() {
+                if d[(i, j)] != 0.0 {
+                    dense_col.push((i, d[(i, j)]));
+                }
+            }
+            assert_eq!(col, dense_col);
+        }
+        assert!(m.column_entries(m.cols()).is_err());
+    }
+
+    #[test]
+    fn transposed_matches_dense_transpose() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 3, 2.0),
+                (1, 1, -3.0),
+                (2, 0, 4.0),
+                (2, 2, 0.5),
+            ],
+        )
+        .unwrap();
+        let t = m.transposed();
+        assert_eq!(t.rows(), m.cols());
+        assert_eq!(t.cols(), m.rows());
+        assert_eq!(t.nnz(), m.nnz());
+        let d = m.to_dense();
+        let td = t.to_dense();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                assert_eq!(d[(i, j)], td[(j, i)]);
+            }
+        }
+        // Row j of the transpose is column j of the original.
+        for j in 0..m.cols() {
+            let via_t: Vec<(usize, f64)> = t.row_entries(j).collect();
+            assert_eq!(via_t, m.column_entries(j).unwrap());
+        }
     }
 }

@@ -17,9 +17,11 @@
 //! *idempotent* are then retried with capped exponential backoff, on a
 //! fresh connection when the old one failed:
 //!
-//! - Every protocol op except `shutdown` is naturally idempotent
-//!   (`open_tenant` re-asserts, `register_plan`/`bind` are deterministic,
-//!   `budget_status`/`ping` are reads).
+//! - Every protocol op except `shutdown` and `ingest` is naturally
+//!   idempotent (`open_tenant` re-asserts, `register_plan`/`bind`/
+//!   `stream_open` are deterministic, `budget_status`/`ping` are reads).
+//!   An `ingest` resent blindly would apply its delta twice, so it is
+//!   never auto-retried.
 //! - `release` is made idempotent by attaching a client-generated
 //!   `request_id`: [`Client::release`] mints one per *logical* call and
 //!   reuses it across its internal retries, so a retry after a dropped
@@ -524,6 +526,78 @@ impl Client {
             }
         }
         Ok(out)
+    }
+
+    /// Opens (or re-opens) a streaming session over a registered plan,
+    /// returning the stream id. Idempotent and non-destructive on the
+    /// server — a reconnecting publisher gets its live stream back with
+    /// every accumulated delta intact. `table` seeds the stream from a
+    /// loaded dataset; `None` starts it empty.
+    pub fn stream_open(
+        &mut self,
+        tenant: &str,
+        plan_id: &str,
+        table: Option<&str>,
+    ) -> Result<String, ServiceError> {
+        let response = self.call(&Request::StreamOpen {
+            tenant: tenant.into(),
+            plan_id: plan_id.into(),
+            table: table.map(str::to_owned),
+        })?;
+        string_field(&response, "stream")
+    }
+
+    /// Pushes one record-level delta into a stream (`delta` records at
+    /// `cell`; negative retracts). Uncharged and idempotent-unsafe on its
+    /// own — a resent ingest applies twice — so it is retried only at the
+    /// transport layer like other calls; publishers that need exact
+    /// counts under crashes should rebuild from their own log and rely on
+    /// the keyed [`Client::release_current`] for the charged step.
+    pub fn ingest(
+        &mut self,
+        tenant: &str,
+        stream: &str,
+        cell: u64,
+        delta: f64,
+    ) -> Result<(), ServiceError> {
+        self.call_retrying(
+            &Request::Ingest {
+                tenant: tenant.into(),
+                stream: stream.into(),
+                cell,
+                delta,
+            }
+            .to_value(),
+            false,
+        )
+        .map(|_| ())
+    }
+
+    /// Releases the stream's current state — the metered step of the
+    /// continual-release loop. With `request_id` set the call is keyed
+    /// and retried like [`Client::release_with_id`]: a crashed publisher
+    /// re-driving its id schedule replays journaled bytes and is charged
+    /// exactly once per id. Without a key the call is sent once,
+    /// unretried (a blind resend could debit twice).
+    pub fn release_current(
+        &mut self,
+        tenant: &str,
+        stream: &str,
+        seeds: &[u64],
+        request_id: Option<&str>,
+    ) -> Result<Vec<Value>, ServiceError> {
+        let keyed = request_id.is_some();
+        let request = Request::ReleaseCurrent {
+            tenant: tenant.into(),
+            stream: stream.into(),
+            seeds: seeds.to_vec(),
+            request_id: request_id.map(str::to_owned),
+        };
+        let response = self.call_retrying(&request.to_value(), keyed)?;
+        Ok(field(&response, "releases")?
+            .as_array()
+            .ok_or_else(|| ServiceError::Protocol("`releases` must be an array".into()))?
+            .to_vec())
     }
 
     /// The tenant's current budget position.

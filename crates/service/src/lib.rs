@@ -126,7 +126,7 @@ pub use accountant::{Accountant, BudgetStatus, ReleaseAdmission, WalStats, WalSy
 pub use auth::{Auth, AuthPolicy};
 pub use client::{Client, ClientConfig, ClientStats, KeyedRelease, RemoteBudgetStatus};
 pub use error::ServiceError;
-pub use pool::{DataStore, Dataset, SessionPool};
+pub use pool::{DataStore, Dataset, SessionPool, StreamPool};
 pub use registry::Registry;
 pub use server::{Server, ServerLimits};
 pub use service::DpService;

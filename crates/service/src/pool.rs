@@ -1,4 +1,4 @@
-//! Loaded datasets and the session pool.
+//! Loaded datasets, the session pool, and the streaming-session pool.
 //!
 //! A [`DataStore`] holds the named tables/histograms the operator loaded
 //! into the server; a [`SessionPool`] holds [`OwnedSession`]s — a
@@ -9,12 +9,21 @@
 //! observations depend only on plan and data; all per-tenant state lives
 //! in the accountant/registry), so tenants sharing a plan and table also
 //! share the bound session.
+//!
+//! [`StreamPool`] is the mutable counterpart: each entry is a
+//! [`StreamingSession`] a publisher pushes deltas into. Unlike pooled
+//! sessions, streams **must not** be shared across tenants (one tenant's
+//! ingests would silently change what another tenant releases), so stream
+//! ids embed the tenant (`"<tenant>/<plan_id>/<table>"`) and opening is
+//! idempotent *per tenant*: reopening returns the live stream without
+//! resetting its state, which is what lets a crashed publisher reconnect
+//! and resume.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::error::ServiceError;
-use dp_core::api::OwnedSession;
+use dp_core::api::{OwnedSession, StreamingSession};
 use dp_core::{ContingencyTable, Plan};
 
 /// One loadable dataset: a full contingency table or a raw histogram.
@@ -154,6 +163,80 @@ impl Default for SessionPool {
     }
 }
 
+/// The deterministic id of a tenant's stream over a plan, optionally
+/// seeded from a named dataset (`None` → the stream starts empty).
+pub fn stream_id(tenant: &str, plan_id: &str, table: Option<&str>) -> String {
+    format!("{tenant}/{plan_id}/{}", table.unwrap_or(""))
+}
+
+/// Per-tenant mutable streaming sessions, keyed by [`stream_id`].
+pub struct StreamPool {
+    streams: Mutex<HashMap<String, Arc<Mutex<StreamingSession>>>>,
+}
+
+impl StreamPool {
+    /// An empty pool.
+    pub fn new() -> StreamPool {
+        StreamPool {
+            streams: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens (or re-opens) a stream, returning its id. Idempotent and
+    /// **non-destructive**: if the stream already exists, its accumulated
+    /// state is kept untouched — a reconnecting publisher resumes where it
+    /// left off. `dataset` seeds the initial counts; `None` starts empty.
+    pub fn open(
+        &self,
+        tenant: &str,
+        plan_id: &str,
+        table: Option<&str>,
+        plan: Arc<Plan>,
+        dataset: Option<&Dataset>,
+    ) -> Result<String, ServiceError> {
+        let id = stream_id(tenant, plan_id, table);
+        let mut streams = self.streams.lock().expect("stream pool mutex poisoned");
+        if !streams.contains_key(&id) {
+            let session = match dataset {
+                None => StreamingSession::empty(plan)?,
+                Some(Dataset::Table(t)) => StreamingSession::bind(plan, t)?,
+                Some(Dataset::Histogram(h)) => StreamingSession::bind_histogram(plan, h)?,
+            };
+            streams.insert(id.clone(), Arc::new(Mutex::new(session)));
+        }
+        Ok(id)
+    }
+
+    /// Fetches an open stream.
+    pub fn get(&self, id: &str) -> Result<Arc<Mutex<StreamingSession>>, ServiceError> {
+        self.streams
+            .lock()
+            .expect("stream pool mutex poisoned")
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownSession(id.into()))
+    }
+
+    /// Number of open streams.
+    pub fn len(&self) -> usize {
+        self.streams
+            .lock()
+            .expect("stream pool mutex poisoned")
+            .len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for StreamPool {
+    fn default() -> StreamPool {
+        StreamPool::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +279,51 @@ mod tests {
         );
         assert!(matches!(
             pool.get("nope"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn stream_open_is_idempotent_and_keeps_state() {
+        let schema = Schema::binary(3).unwrap();
+        let workload = Workload::all_k_way(&schema, 1).unwrap();
+        let plan = Arc::new(
+            PlanBuilder::marginals(workload, StrategyKind::Fourier)
+                .compile()
+                .unwrap(),
+        );
+
+        let pool = StreamPool::new();
+        let id = pool
+            .open("acme", "abc", None, Arc::clone(&plan), None)
+            .unwrap();
+        assert_eq!(id, "acme/abc/");
+
+        // Push state in, then re-open: the ingests must survive.
+        pool.get(&id).unwrap().lock().unwrap().ingest(5).unwrap();
+        let again = pool
+            .open("acme", "abc", None, Arc::clone(&plan), None)
+            .unwrap();
+        assert_eq!(id, again);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.get(&id).unwrap().lock().unwrap().counts()[5], 1.0);
+
+        // Seeding from a dataset and tenant isolation.
+        let table = ContingencyTable::from_indices(3, &[2, 2, 6]);
+        let seeded = pool
+            .open(
+                "beta",
+                "abc",
+                Some("toy"),
+                plan,
+                Some(&Dataset::Table(table)),
+            )
+            .unwrap();
+        assert_eq!(seeded, "beta/abc/toy");
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(&seeded).unwrap().lock().unwrap().counts()[2], 2.0);
+        assert!(matches!(
+            pool.get("ghost/abc/"),
             Err(ServiceError::UnknownSession(_))
         ));
     }

@@ -9,6 +9,9 @@
 //! {"op": "register_plan", "tenant": "t1", "compile": {"spec": {…}, "privacy": {…}}}
 //! {"op": "bind",          "tenant": "t1", "plan_id": "…", "table": "nltcs"}
 //! {"op": "release",       "tenant": "t1", "session": "…", "seeds": [1, 2, 3], "request_id": "…"}
+//! {"op": "stream_open",   "tenant": "t1", "plan_id": "…", "table": "nltcs"}
+//! {"op": "ingest",        "tenant": "t1", "stream": "…", "cell": 5, "delta": 1.0}
+//! {"op": "release_current", "tenant": "t1", "stream": "…", "seeds": [1], "request_id": "…"}
 //! {"op": "budget_status", "tenant": "t1"}
 //! {"op": "ping"}
 //! {"op": "shutdown"}
@@ -25,6 +28,15 @@
 //! retries reusing the id (after a timeout, a dropped connection, or even
 //! a server restart) return the original release bytes without a second
 //! budget debit. See [`crate::accountant`] for the journal semantics.
+//!
+//! The continual-release loop uses the three `stream_*` ops: `stream_open`
+//! creates (idempotently) a per-tenant mutable streaming session seeded
+//! from a loaded dataset — or empty when `table` is omitted; `ingest`
+//! pushes one count delta (`delta` defaults to 1.0, negative retracts;
+//! **uncharged** — deltas only move the exact observations); and
+//! `release_current` draws noisy releases from the stream's *current*
+//! state under the same accountant and `request_id` idempotency as
+//! `release`.
 //!
 //! Any request line may carry an `"auth"` credential field. Under the
 //! operator auth policy ([`crate::auth`]) it is required: the admin token
@@ -187,6 +199,43 @@ pub enum Request {
         /// restart. Without it, every send is a fresh debit.
         request_id: Option<String>,
     },
+    /// Opens (idempotently) a per-tenant streaming session over a
+    /// registered plan; reopening returns the existing stream id without
+    /// resetting its state, so a restarted publisher resumes where the
+    /// server left off.
+    StreamOpen {
+        /// Tenant name.
+        tenant: String,
+        /// Plan id returned by `register_plan`.
+        plan_id: String,
+        /// Dataset to seed the stream from; `None` starts empty.
+        table: Option<String>,
+    },
+    /// Pushes one count delta into a streaming session. Uncharged: deltas
+    /// maintain the exact observations, privacy is only spent on release.
+    Ingest {
+        /// Tenant name.
+        tenant: String,
+        /// Stream id returned by `stream_open`.
+        stream: String,
+        /// Linearized domain cell.
+        cell: u64,
+        /// Count delta (1.0 = one insert, negative retracts).
+        delta: f64,
+    },
+    /// Draws releases from the stream's current state, debiting the
+    /// tenant's ledger exactly like `release` (including `request_id`
+    /// idempotency).
+    ReleaseCurrent {
+        /// Tenant name.
+        tenant: String,
+        /// Stream id returned by `stream_open`.
+        stream: String,
+        /// Release seeds.
+        seeds: Vec<u64>,
+        /// Client-generated idempotency key (see `Release::request_id`).
+        request_id: Option<String>,
+    },
     /// Reports the tenant's total/spent/remaining budget.
     BudgetStatus {
         /// Tenant name.
@@ -218,6 +267,16 @@ fn neighboring_from(value: Option<&Value>) -> Result<Neighboring, ServiceError> 
             "unknown neighboring {other:?}"
         ))),
     }
+}
+
+fn seeds_from(value: &Value) -> Result<Vec<u64>, ServiceError> {
+    field(value, "seeds")?
+        .as_array()
+        .ok_or_else(|| ServiceError::Protocol("`seeds` must be an array".into()))?
+        .iter()
+        .map(|s| u64_from(s, "seed"))
+        .collect::<Result<Vec<u64>, _>>()
+        .map_err(|e| ServiceError::Protocol(e.to_string()))
 }
 
 impl Request {
@@ -263,24 +322,44 @@ impl Request {
                 plan_id: string_field(value, "plan_id")?,
                 table: string_field(value, "table")?,
             }),
-            "release" => {
-                let seeds = field(value, "seeds")?
-                    .as_array()
-                    .ok_or_else(|| ServiceError::Protocol("`seeds` must be an array".into()))?
-                    .iter()
-                    .map(|s| u64_from(s, "seed"))
-                    .collect::<Result<Vec<u64>, _>>()
-                    .map_err(|e| ServiceError::Protocol(e.to_string()))?;
-                Ok(Request::Release {
-                    tenant: string_field(value, "tenant")?,
-                    session: string_field(value, "session")?,
-                    seeds,
-                    request_id: value
-                        .get_field("request_id")
-                        .and_then(Value::as_str)
-                        .map(str::to_owned),
-                })
-            }
+            "release" => Ok(Request::Release {
+                tenant: string_field(value, "tenant")?,
+                session: string_field(value, "session")?,
+                seeds: seeds_from(value)?,
+                request_id: value
+                    .get_field("request_id")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
+            }),
+            "stream_open" => Ok(Request::StreamOpen {
+                tenant: string_field(value, "tenant")?,
+                plan_id: string_field(value, "plan_id")?,
+                table: value
+                    .get_field("table")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
+            }),
+            "ingest" => Ok(Request::Ingest {
+                tenant: string_field(value, "tenant")?,
+                stream: string_field(value, "stream")?,
+                cell: u64_from(field(value, "cell")?, "cell")
+                    .map_err(|e| ServiceError::Protocol(e.to_string()))?,
+                delta: match value.get_field("delta") {
+                    None => 1.0,
+                    Some(d) => d.as_f64().ok_or_else(|| {
+                        ServiceError::Protocol("field `delta` must be a number".into())
+                    })?,
+                },
+            }),
+            "release_current" => Ok(Request::ReleaseCurrent {
+                tenant: string_field(value, "tenant")?,
+                stream: string_field(value, "stream")?,
+                seeds: seeds_from(value)?,
+                request_id: value
+                    .get_field("request_id")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
+            }),
             "budget_status" => Ok(Request::BudgetStatus {
                 tenant: string_field(value, "tenant")?,
             }),
@@ -370,6 +449,53 @@ impl Request {
                     ("op".into(), Value::String("release".into())),
                     ("tenant".into(), Value::String(tenant.clone())),
                     ("session".into(), Value::String(session.clone())),
+                    (
+                        "seeds".into(),
+                        Value::Array(seeds.iter().map(|&s| u64_value(s)).collect()),
+                    ),
+                ];
+                if let Some(id) = request_id {
+                    fields.push(("request_id".into(), Value::String(id.clone())));
+                }
+                Value::Object(fields)
+            }
+            Request::StreamOpen {
+                tenant,
+                plan_id,
+                table,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Value::String("stream_open".into())),
+                    ("tenant".into(), Value::String(tenant.clone())),
+                    ("plan_id".into(), Value::String(plan_id.clone())),
+                ];
+                if let Some(t) = table {
+                    fields.push(("table".into(), Value::String(t.clone())));
+                }
+                Value::Object(fields)
+            }
+            Request::Ingest {
+                tenant,
+                stream,
+                cell,
+                delta,
+            } => Value::Object(vec![
+                ("op".into(), Value::String("ingest".into())),
+                ("tenant".into(), Value::String(tenant.clone())),
+                ("stream".into(), Value::String(stream.clone())),
+                ("cell".into(), u64_value(*cell)),
+                ("delta".into(), Value::Number(*delta)),
+            ]),
+            Request::ReleaseCurrent {
+                tenant,
+                stream,
+                seeds,
+                request_id,
+            } => {
+                let mut fields = vec![
+                    ("op".into(), Value::String("release_current".into())),
+                    ("tenant".into(), Value::String(tenant.clone())),
+                    ("stream".into(), Value::String(stream.clone())),
                     (
                         "seeds".into(),
                         Value::Array(seeds.iter().map(|&s| u64_value(s)).collect()),
@@ -545,6 +671,28 @@ mod tests {
                 seeds: vec![3],
                 request_id: None,
             },
+            Request::StreamOpen {
+                tenant: "t1".into(),
+                plan_id: "abc".into(),
+                table: Some("nltcs".into()),
+            },
+            Request::StreamOpen {
+                tenant: "t1".into(),
+                plan_id: "abc".into(),
+                table: None,
+            },
+            Request::Ingest {
+                tenant: "t1".into(),
+                stream: "t1/abc/nltcs".into(),
+                cell: (1 << 58) + 11,
+                delta: -1.0,
+            },
+            Request::ReleaseCurrent {
+                tenant: "t1".into(),
+                stream: "t1/abc/nltcs".into(),
+                seeds: vec![9, (1 << 61) + 1],
+                request_id: Some("pub-0007".into()),
+            },
             Request::BudgetStatus {
                 tenant: "t1".into(),
             },
@@ -580,7 +728,50 @@ mod tests {
             {
                 assert_eq!(tenant_token, back_token);
             }
+            if let (
+                Request::Ingest { cell, delta, .. },
+                Request::Ingest {
+                    cell: bc,
+                    delta: bd,
+                    ..
+                },
+            ) = (req, &back)
+            {
+                assert_eq!(cell, bc);
+                assert_eq!(delta, bd);
+            }
+            if let (
+                Request::ReleaseCurrent {
+                    seeds, request_id, ..
+                },
+                Request::ReleaseCurrent {
+                    seeds: bs,
+                    request_id: bid,
+                    ..
+                },
+            ) = (req, &back)
+            {
+                assert_eq!(seeds, bs);
+                assert_eq!(request_id, bid);
+            }
+            if let (Request::StreamOpen { table, .. }, Request::StreamOpen { table: bt, .. }) =
+                (req, &back)
+            {
+                assert_eq!(table, bt);
+            }
         }
+    }
+
+    #[test]
+    fn ingest_delta_defaults_to_one() {
+        let v =
+            parse_line("{\"op\": \"ingest\", \"tenant\": \"t\", \"stream\": \"s\", \"cell\": 4}")
+                .unwrap();
+        let Request::Ingest { cell, delta, .. } = Request::from_value(&v).unwrap() else {
+            panic!("must parse as ingest");
+        };
+        assert_eq!(cell, 4);
+        assert_eq!(delta, 1.0);
     }
 
     #[test]
@@ -591,6 +782,9 @@ mod tests {
             "{\"op\": \"release\", \"tenant\": \"t\", \"session\": \"s\", \"seeds\": 3}",
             "{\"op\": \"register_plan\", \"tenant\": \"t\"}",
             "{\"op\": \"open_tenant\", \"tenant\": \"t\", \"budget\": {}}",
+            "{\"op\": \"ingest\", \"tenant\": \"t\", \"stream\": \"s\"}",
+            "{\"op\": \"ingest\", \"tenant\": \"t\", \"stream\": \"s\", \"cell\": 1, \"delta\": \"x\"}",
+            "{\"op\": \"release_current\", \"tenant\": \"t\", \"stream\": \"s\", \"seeds\": 3}",
         ] {
             let res = parse_line(bad).and_then(|v| Request::from_value(&v).map(|_| Value::Null));
             assert!(

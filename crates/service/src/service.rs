@@ -20,10 +20,10 @@ use crate::accountant::{Accountant, BudgetStatus, ReleaseAdmission};
 use crate::auth::Auth;
 use crate::error::ServiceError;
 use crate::fail_point;
-use crate::pool::{DataStore, SessionPool};
+use crate::pool::{DataStore, SessionPool, StreamPool};
 use crate::protocol::{ok_response, privacy_to_value, session_release_to_value, Request};
 use crate::registry::{plan_id, Registry};
-use dp_core::api::SessionRelease;
+use dp_core::api::{SessionRelease, StreamingSession};
 use dp_core::{Plan, PlanBuilder};
 use dp_mech::{compose_n, PrivacyLevel};
 use serde::Value;
@@ -34,6 +34,7 @@ pub struct DpService {
     auth: Auth,
     registry: Registry,
     pool: SessionPool,
+    streams: StreamPool,
     data: DataStore,
     /// Per-tenant cap on wire releases being computed at once (`None` =
     /// unbounded). Excess requests are shed with the typed, retryable
@@ -103,6 +104,7 @@ impl DpService {
             auth,
             registry: Registry::new(),
             pool: SessionPool::new(),
+            streams: StreamPool::new(),
             data: DataStore::new(),
             tenant_inflight_cap: None,
             inflight: Mutex::new(HashMap::new()),
@@ -261,6 +263,113 @@ impl DpService {
         }
     }
 
+    /// Opens (or re-opens) a per-tenant streaming session over a
+    /// registered plan, optionally seeded from a loaded dataset, and
+    /// returns the stream id. Idempotent and non-destructive: reopening
+    /// an existing stream keeps every accumulated delta, which is what
+    /// lets a crashed publisher reconnect and resume its schedule.
+    /// Ingests are uncharged — only [`DpService::release_current`]
+    /// touches the budget.
+    pub fn stream_open(
+        &self,
+        tenant: &str,
+        plan: &str,
+        table: Option<&str>,
+    ) -> Result<String, ServiceError> {
+        self.require_tenant(tenant)?;
+        let compiled = self.registry.lookup(tenant, plan)?;
+        let dataset = match table {
+            Some(name) => Some(self.data.get(name)?),
+            None => None,
+        };
+        self.streams
+            .open(tenant, plan, table, compiled, dataset.as_deref())
+    }
+
+    /// Looks up `stream` for `tenant`. Stream ids embed the tenant, so
+    /// another tenant's id is as good as unknown — the check keeps one
+    /// tenant's deltas out of another tenant's releases.
+    fn tenant_stream(
+        &self,
+        tenant: &str,
+        stream: &str,
+    ) -> Result<Arc<Mutex<StreamingSession>>, ServiceError> {
+        if !stream.starts_with(&format!("{tenant}/")) {
+            return Err(ServiceError::UnknownSession(stream.into()));
+        }
+        self.streams.get(stream)
+    }
+
+    /// Applies one record-level delta to a stream — O(Δ) against the
+    /// compiled strategy, no rebind or recompile. Uncharged: a delta
+    /// changes what a *future* release will say, not what has already
+    /// been released.
+    pub fn stream_ingest(
+        &self,
+        tenant: &str,
+        stream: &str,
+        cell: u64,
+        delta: f64,
+    ) -> Result<(), ServiceError> {
+        self.require_tenant(tenant)?;
+        let stream = self.tenant_stream(tenant, stream)?;
+        let mut session = stream.lock().expect("stream mutex poisoned");
+        session.ingest_count(cell, delta).map_err(Into::into)
+    }
+
+    /// Releases the stream's *current* bound observations — the metered
+    /// step of the continual-release loop. The batch is one composed
+    /// charge debited before any noise is drawn, exactly like
+    /// [`DpService::release`]. With a `request_id` the call is
+    /// idempotent: the first admission journals `(tenant, request_id)`
+    /// durably and any re-drive replays the cached bytes without a
+    /// second debit, so a publisher that crashed mid-schedule can replay
+    /// its whole request-id sequence and be charged exactly once per id.
+    /// The stream lock is held across the release, so the snapshot is
+    /// consistent even while ingests race.
+    pub fn release_current(
+        &self,
+        tenant: &str,
+        stream: &str,
+        seeds: &[u64],
+        request_id: Option<&str>,
+    ) -> Result<Arc<Value>, ServiceError> {
+        self.require_tenant(tenant)?;
+        if seeds.is_empty() {
+            // Mirrors `release`/`release_idempotent`: an empty batch is a
+            // well-formed no-op — nothing drawn, nothing charged.
+            return Ok(Arc::new(match request_id {
+                Some(rid) => keyed_release_response(&[], rid),
+                None => release_response(&[]),
+            }));
+        }
+        let handle = self.tenant_stream(tenant, stream)?;
+        let session = handle.lock().expect("stream mutex poisoned");
+        let charge = compose_n(session.plan().privacy(), seeds.len());
+        match request_id {
+            None => {
+                self.accountant.try_debit(tenant, charge)?;
+                let releases = session.release_batch(seeds)?;
+                Ok(Arc::new(release_response(&releases)))
+            }
+            Some(rid) => match self
+                .accountant
+                .admit_release(tenant, rid, stream, seeds, charge)?
+            {
+                ReleaseAdmission::Replay(Some(cached)) => Ok(cached),
+                admission => {
+                    if matches!(admission, ReleaseAdmission::Fresh) {
+                        fail_point!("release.post_debit");
+                    }
+                    let releases = session.release_batch(seeds)?;
+                    let response = Arc::new(keyed_release_response(&releases, rid));
+                    self.accountant.record_response(tenant, rid, &response);
+                    Ok(response)
+                }
+            },
+        }
+    }
+
     /// The tenant's current budget position.
     pub fn budget_status(&self, tenant: &str) -> Result<BudgetStatus, ServiceError> {
         self.accountant.status(tenant)
@@ -357,6 +466,41 @@ impl DpService {
                         Ok(Arc::new(release_response(&releases)))
                     }
                 }
+            }
+            Request::StreamOpen {
+                tenant,
+                plan_id,
+                table,
+            } => {
+                self.auth.check_tenant(&tenant, credential)?;
+                let id = self.stream_open(&tenant, &plan_id, table.as_deref())?;
+                Ok(Arc::new(ok_response(vec![(
+                    "stream".into(),
+                    Value::String(id),
+                )])))
+            }
+            Request::Ingest {
+                tenant,
+                stream,
+                cell,
+                delta,
+            } => {
+                self.auth.check_tenant(&tenant, credential)?;
+                self.stream_ingest(&tenant, &stream, cell, delta)?;
+                Ok(Arc::new(ok_response(vec![(
+                    "ingested".into(),
+                    Value::Bool(true),
+                )])))
+            }
+            Request::ReleaseCurrent {
+                tenant,
+                stream,
+                seeds,
+                request_id,
+            } => {
+                self.auth.check_tenant(&tenant, credential)?;
+                let _slot = self.acquire_inflight(&tenant)?;
+                self.release_current(&tenant, &stream, &seeds, request_id.as_deref())
             }
             Request::BudgetStatus { tenant } => {
                 self.auth.check_tenant(&tenant, credential)?;
@@ -581,6 +725,159 @@ mod tests {
         // Reusing an id with different seeds is the typed client bug.
         assert!(matches!(
             service.release_idempotent("t", &session, &[3, 4], "r1"),
+            Err(ServiceError::IdempotencyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_seed_batches_are_uncharged_no_ops_on_every_release_path() {
+        let service = service_with_toy_table();
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        let plan_id = service.register_compiled("t", builder(0.25)).unwrap();
+        let session = service.bind("t", &plan_id, "toy").unwrap();
+        let stream = service.stream_open("t", &plan_id, None).unwrap();
+
+        assert!(service.release("t", &session, &[]).unwrap().is_empty());
+        let keyed = service
+            .release_idempotent("t", &session, &[], "r-empty")
+            .unwrap();
+        assert!(crate::protocol::render_line(&keyed).contains("\"releases\":[]"));
+        for rid in [None, Some("s-empty")] {
+            let resp = service.release_current("t", &stream, &[], rid).unwrap();
+            assert!(crate::protocol::render_line(&resp).contains("\"releases\":[]"));
+        }
+        // No noise drawn, no budget consumed, no charge journaled — an
+        // empty id is even reusable with real seeds later.
+        let status = service.budget_status("t").unwrap();
+        assert_eq!(status.spent_epsilon, 0.0);
+        assert_eq!(status.charges, 0);
+        service
+            .release_idempotent("t", &session, &[1], "r-empty")
+            .unwrap();
+    }
+
+    #[test]
+    fn streams_ingest_uncharged_and_release_the_current_state() {
+        let service = service_with_toy_table();
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 2.0 })
+            .unwrap();
+        let plan_id = service.register_compiled("t", builder(0.25)).unwrap();
+        let stream = service.stream_open("t", &plan_id, Some("toy")).unwrap();
+        assert_eq!(stream, format!("t/{plan_id}/toy"));
+
+        // A stream seeded from a dataset releases exactly what a bound
+        // session over that dataset releases.
+        let session = service.bind("t", &plan_id, "toy").unwrap();
+        let from_stream = service.release_current("t", &stream, &[42], None).unwrap();
+        let from_session = release_response(&service.release("t", &session, &[42]).unwrap());
+        assert_eq!(
+            crate::protocol::render_line(&from_stream),
+            crate::protocol::render_line(&from_session),
+        );
+
+        // Deltas are uncharged and visible to the next release.
+        let spent = service.budget_status("t").unwrap().spent_epsilon;
+        for _ in 0..5 {
+            service.stream_ingest("t", &stream, 3, 1.0).unwrap();
+        }
+        assert_eq!(service.budget_status("t").unwrap().spent_epsilon, spent);
+        let after = service.release_current("t", &stream, &[42], None).unwrap();
+        assert_ne!(
+            crate::protocol::render_line(&after),
+            crate::protocol::render_line(&from_stream),
+        );
+
+        // Reopening never resets: the five ingests survive.
+        let again = service.stream_open("t", &plan_id, Some("toy")).unwrap();
+        assert_eq!(again, stream);
+        let re_release = service.release_current("t", &stream, &[42], None).unwrap();
+        assert_eq!(
+            crate::protocol::render_line(&re_release),
+            crate::protocol::render_line(&after),
+        );
+    }
+
+    #[test]
+    fn streams_are_tenant_scoped() {
+        let service = service_with_toy_table();
+        for tenant in ["alice", "bob"] {
+            service
+                .open_tenant(tenant, PrivacyLevel::Pure { epsilon: 1.0 })
+                .unwrap();
+        }
+        let plan_id = service.register_compiled("alice", builder(0.25)).unwrap();
+        service.register_compiled("bob", builder(0.25)).unwrap();
+        let stream = service.stream_open("alice", &plan_id, None).unwrap();
+
+        // Bob shares the plan, but alice's stream id gets him nothing —
+        // not an ingest, not a release.
+        assert!(matches!(
+            service.stream_ingest("bob", &stream, 0, 1.0),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            service.release_current("bob", &stream, &[1], None),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        // Bob's own open gets a distinct stream.
+        let bobs = service.stream_open("bob", &plan_id, None).unwrap();
+        assert_ne!(bobs, stream);
+        // A plan carol never registered cannot be streamed.
+        service
+            .open_tenant("carol", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        assert!(matches!(
+            service.stream_open("carol", &plan_id, None),
+            Err(ServiceError::UnknownPlan { .. })
+        ));
+    }
+
+    #[test]
+    fn continual_releases_charge_once_per_request_id() {
+        let service = service_with_toy_table();
+        service
+            .open_tenant("t", PrivacyLevel::Pure { epsilon: 1.0 })
+            .unwrap();
+        let plan_id = service.register_compiled("t", builder(0.25)).unwrap();
+        let stream = service.stream_open("t", &plan_id, None).unwrap();
+
+        service.stream_ingest("t", &stream, 1, 1.0).unwrap();
+        let first = service
+            .release_current("t", &stream, &[7], Some("pub-1"))
+            .unwrap();
+        assert_eq!(service.budget_status("t").unwrap().spent_epsilon, 0.25);
+
+        // The stream moves on, but a re-driven id must replay the bytes
+        // from the admitted release — no re-noise, no second debit.
+        service.stream_ingest("t", &stream, 6, 3.0).unwrap();
+        for _ in 0..3 {
+            let replay = service
+                .release_current("t", &stream, &[7], Some("pub-1"))
+                .unwrap();
+            assert_eq!(
+                crate::protocol::render_line(&replay),
+                crate::protocol::render_line(&first),
+            );
+        }
+        assert_eq!(service.budget_status("t").unwrap().spent_epsilon, 0.25);
+        assert_eq!(service.budget_status("t").unwrap().charges, 1);
+
+        // A fresh id sees the post-ingest state and is a second charge.
+        let second = service
+            .release_current("t", &stream, &[7], Some("pub-2"))
+            .unwrap();
+        assert_ne!(
+            crate::protocol::render_line(&second),
+            crate::protocol::render_line(&first),
+        );
+        assert_eq!(service.budget_status("t").unwrap().charges, 2);
+
+        // Reusing an id with different seeds is the typed client bug.
+        assert!(matches!(
+            service.release_current("t", &stream, &[8], Some("pub-1")),
             Err(ServiceError::IdempotencyMismatch { .. })
         ));
     }

@@ -195,6 +195,66 @@ fn operator_policy_gates_the_whole_wire_lifecycle() {
 }
 
 #[test]
+fn continual_release_loop_streams_deltas_and_charges_once_per_key() {
+    let (handle, addr) = start_server();
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .open_tenant("pub", PrivacyLevel::Pure { epsilon: 2.0 })
+        .unwrap();
+    let plan_id = client
+        .register_compile(
+            "pub",
+            toy_spec(),
+            dp_core::Budgeting::Optimal,
+            PrivacyLevel::Pure { epsilon: 0.25 },
+            Neighboring::AddRemove,
+        )
+        .unwrap();
+
+    // Seed the stream from the loaded table; reopening is a no-op.
+    let stream = client.stream_open("pub", &plan_id, Some("toy")).unwrap();
+    assert_eq!(stream, format!("pub/{plan_id}/toy"));
+    assert_eq!(
+        client.stream_open("pub", &plan_id, Some("toy")).unwrap(),
+        stream
+    );
+
+    // Release, ingest a batch of deltas, release again under a new key:
+    // the epoch's bytes change, replays of an old key don't.
+    let epoch0 = client
+        .release_current("pub", &stream, &[5], Some("epoch-0"))
+        .unwrap();
+    for cell in [9u64, 9, 2] {
+        client.ingest("pub", &stream, cell, 1.0).unwrap();
+    }
+    client.ingest("pub", &stream, 15, -1.0).unwrap();
+    let epoch1 = client
+        .release_current("pub", &stream, &[5], Some("epoch-1"))
+        .unwrap();
+    assert_ne!(
+        render_line(&epoch0[0]),
+        render_line(&epoch1[0]),
+        "deltas must be visible to the next epoch's release"
+    );
+    let replay = client
+        .release_current("pub", &stream, &[5], Some("epoch-0"))
+        .unwrap();
+    assert_eq!(
+        render_line(&epoch0[0]),
+        render_line(&replay[0]),
+        "a re-driven epoch key must replay, not re-release"
+    );
+
+    // Exactly one charge per key; ingests were free.
+    let status = client.budget_status("pub").unwrap();
+    assert!((status.spent_epsilon - 0.5).abs() < 1e-12);
+    assert_eq!(status.charges, 2);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
 fn concurrent_tenants_never_overspend_through_the_threaded_front_end() {
     const TENANTS: usize = 3;
     const THREADS_PER_TENANT: usize = 4;

@@ -197,6 +197,45 @@ pub enum ClientOp {
         /// a fresh key is minted per run.
         request_id: Option<String>,
     },
+    /// `stream-open`: open (or re-open) a streaming session over a
+    /// registered plan. Idempotent and non-destructive: reopening keeps
+    /// every delta already ingested.
+    StreamOpen {
+        /// Tenant name.
+        tenant: String,
+        /// Plan id returned by `register`.
+        plan: String,
+        /// Optional loaded table seeding the stream (`adult` or `nltcs`);
+        /// without it the stream starts empty.
+        table: Option<String>,
+    },
+    /// `ingest`: push one record-level delta into a stream (uncharged).
+    Ingest {
+        /// Tenant name.
+        tenant: String,
+        /// Stream id returned by `stream-open`.
+        stream: String,
+        /// Flat cell index of the affected record.
+        cell: u64,
+        /// Count delta at that cell (negative retracts; default 1).
+        delta: f64,
+    },
+    /// `release-current`: draw a charged release of the stream's current
+    /// state — one iteration of the continual-release loop.
+    ReleaseCurrent {
+        /// Tenant name.
+        tenant: String,
+        /// Stream id returned by `stream-open`.
+        stream: String,
+        /// Seed of the first release; release `i` uses `seed + i`.
+        seed: u64,
+        /// Number of releases (seeds `seed..seed+batch`).
+        batch: usize,
+        /// Explicit idempotency key: re-running the command with the same
+        /// key replays the originally charged bytes without debiting
+        /// again, which is what a crashed publisher re-drives.
+        request_id: Option<String>,
+    },
     /// `status`: print the tenant's budget position.
     Status {
         /// Tenant name.
@@ -267,6 +306,10 @@ USAGE:
       bind     --tenant <t> --plan <id> --table <adult|nltcs>
       release  --tenant <t> --session <id> [--seed <u64>] [--batch <n>]
                [--request-id <id>]
+      stream-open     --tenant <t> --plan <id> [--table <adult|nltcs>]
+      ingest          --tenant <t> --stream <id> --cell <u64> [--delta <f64>]
+      release-current --tenant <t> --stream <id> [--seed <u64>] [--batch <n>]
+                      [--request-id <id>]
       status   --tenant <t>
       ping | shutdown
   datacube-dp help
@@ -292,6 +335,12 @@ the response; socket deadlines are finite by default (--timeout-ms 30000,
 backoff. `client release --request-id` pins the idempotency key, so
 re-running the exact command after a timeout or crash returns the already
 charged release instead of debiting again.
+`client stream-open` opens a per-tenant streaming session (optionally
+seeded from a loaded table; reopening never resets it), `ingest` pushes one
+uncharged record-level delta (O(Δ) — no rebind), and `release-current`
+draws a charged release of the stream's current state; with --request-id it
+is idempotent like `release`, so a crashed publisher re-drives its id
+schedule and is charged exactly once per id.
 `--cluster` picks the cluster-strategy (`--strategy c`) search: `fast` (the
 optimized incremental search, default), `serial` (same, without the rayon
 fan-out), or `faithful` (the paper-faithful exponential candidate walk of
@@ -566,6 +615,8 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
     let mut plan = None;
     let mut table = None;
     let mut session = None;
+    let mut stream = None;
+    let mut cell = None;
     let mut seed = 42u64;
     let mut batch = 1usize;
     let mut request_id = None;
@@ -603,6 +654,14 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
             "--plan" => plan = Some(value("--plan")?.clone()),
             "--table" => table = Some(value("--table")?.clone()),
             "--session" => session = Some(value("--session")?.clone()),
+            "--stream" => stream = Some(value("--stream")?.clone()),
+            "--cell" => {
+                cell = Some(
+                    value("--cell")?
+                        .parse::<u64>()
+                        .map_err(|e| CliError(format!("bad --cell: {e}")))?,
+                )
+            }
             "--seed" => {
                 seed = value("--seed")?
                     .parse::<u64>()
@@ -635,7 +694,8 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
     let need_tenant =
         |t: Option<String>, op: &str| t.ok_or(CliError(format!("client {op} requires --tenant")));
     let op = match op_name.ok_or(CliError(
-        "client requires an operation (open|register|bind|release|status|ping|shutdown)".into(),
+        "client requires an operation (open|register|bind|release|stream-open|ingest|release-current|status|ping|shutdown)"
+            .into(),
     ))? {
         "open" => ClientOp::Open {
             tenant: need_tenant(tenant, "open")?,
@@ -660,6 +720,24 @@ fn parse_client(args: &[String]) -> Result<Command, CliError> {
         "release" => ClientOp::Release {
             tenant: need_tenant(tenant, "release")?,
             session: session.ok_or(CliError("client release requires --session".into()))?,
+            seed,
+            batch,
+            request_id,
+        },
+        "stream-open" => ClientOp::StreamOpen {
+            tenant: need_tenant(tenant, "stream-open")?,
+            plan: plan.ok_or(CliError("client stream-open requires --plan".into()))?,
+            table,
+        },
+        "ingest" => ClientOp::Ingest {
+            tenant: need_tenant(tenant, "ingest")?,
+            stream: stream.ok_or(CliError("client ingest requires --stream".into()))?,
+            cell: cell.ok_or(CliError("client ingest requires --cell".into()))?,
+            delta: delta.unwrap_or(1.0),
+        },
+        "release-current" => ClientOp::ReleaseCurrent {
+            tenant: need_tenant(tenant, "release-current")?,
+            stream: stream.ok_or(CliError("client release-current requires --stream".into()))?,
             seed,
             batch,
             request_id,
@@ -1211,6 +1289,101 @@ mod tests {
         assert!(with(&["status"]).is_err());
         assert!(with(&["frobnicate"]).is_err());
         assert!(parse_args(&sv(&["client", "ping"])).is_err(), "no --addr");
+    }
+
+    #[test]
+    fn client_streaming_ops_parse() {
+        let base = ["client", "--addr", "127.0.0.1:7878"];
+        let with = |extra: &[&str]| {
+            let mut v: Vec<&str> = base.to_vec();
+            v.extend_from_slice(extra);
+            parse_args(&sv(&v))
+        };
+
+        let Command::Client(a) = with(&["stream-open", "--tenant", "t", "--plan", "p1"]).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(
+            a.op,
+            ClientOp::StreamOpen {
+                tenant: "t".into(),
+                plan: "p1".into(),
+                table: None
+            }
+        );
+        let Command::Client(a) = with(&[
+            "stream-open",
+            "--tenant",
+            "t",
+            "--plan",
+            "p1",
+            "--table",
+            "nltcs",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert!(matches!(
+            a.op,
+            ClientOp::StreamOpen { ref table, .. } if table.as_deref() == Some("nltcs")
+        ));
+
+        // ingest: --delta defaults to 1, negatives retract.
+        let Command::Client(a) =
+            with(&["ingest", "--tenant", "t", "--stream", "s", "--cell", "12"]).unwrap()
+        else {
+            panic!("expected client");
+        };
+        assert_eq!(
+            a.op,
+            ClientOp::Ingest {
+                tenant: "t".into(),
+                stream: "s".into(),
+                cell: 12,
+                delta: 1.0
+            }
+        );
+        let Command::Client(a) = with(&[
+            "ingest", "--tenant", "t", "--stream", "s", "--cell", "12", "--delta", "-1",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert!(matches!(a.op, ClientOp::Ingest { delta, .. } if delta == -1.0));
+
+        let Command::Client(a) = with(&[
+            "release-current",
+            "--tenant",
+            "t",
+            "--stream",
+            "s",
+            "--seed",
+            "7",
+            "--batch",
+            "2",
+            "--request-id",
+            "epoch-3",
+        ])
+        .unwrap() else {
+            panic!("expected client");
+        };
+        assert_eq!(
+            a.op,
+            ClientOp::ReleaseCurrent {
+                tenant: "t".into(),
+                stream: "s".into(),
+                seed: 7,
+                batch: 2,
+                request_id: Some("epoch-3".into())
+            }
+        );
+
+        // Missing pieces are reported.
+        assert!(with(&["stream-open", "--tenant", "t"]).is_err());
+        assert!(with(&["ingest", "--tenant", "t", "--stream", "s"]).is_err());
+        assert!(with(&["ingest", "--tenant", "t", "--stream", "s", "--cell", "x"]).is_err());
+        assert!(with(&["release-current", "--tenant", "t"]).is_err());
     }
 
     #[test]

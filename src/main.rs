@@ -253,6 +253,42 @@ fn run_client(args: &ClientArgs) -> Result<(), String> {
                 println!("{}", protocol::render_line(release));
             }
         }
+        ClientOp::StreamOpen {
+            tenant,
+            plan,
+            table,
+        } => {
+            let id = client
+                .stream_open(tenant, plan, table.as_deref())
+                .map_err(|e| e.to_string())?;
+            println!("{id}");
+        }
+        ClientOp::Ingest {
+            tenant,
+            stream,
+            cell,
+            delta,
+        } => {
+            client
+                .ingest(tenant, stream, *cell, *delta)
+                .map_err(|e| e.to_string())?;
+            println!("ingested {delta} at cell {cell}");
+        }
+        ClientOp::ReleaseCurrent {
+            tenant,
+            stream,
+            seed,
+            batch,
+            request_id,
+        } => {
+            let seeds: Vec<u64> = (0..*batch as u64).map(|i| seed.wrapping_add(i)).collect();
+            let releases = client
+                .release_current(tenant, stream, &seeds, request_id.as_deref())
+                .map_err(|e| e.to_string())?;
+            for release in &releases {
+                println!("{}", protocol::render_line(release));
+            }
+        }
         ClientOp::Status { tenant } => {
             let s = client.budget_status(tenant).map_err(|e| e.to_string())?;
             println!(

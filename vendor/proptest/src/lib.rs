@@ -41,6 +41,25 @@ macro_rules! range_strategy {
 
 range_strategy!(f64, u64, u32, usize, i64, i32, isize);
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A / 0, B / 1)(A / 0, B / 1, C / 2)(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3
+));
+
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -182,6 +201,18 @@ mod tests {
         }
         let fixed = collection::vec(0.0f64..1.0, 7usize);
         assert_eq!(fixed.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn tuple_strategies_compose() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = collection::vec((0u64..16, 0.0f64..1.0), 1..5);
+        for _ in 0..200 {
+            for (u, f) in s.generate(&mut rng) {
+                assert!(u < 16);
+                assert!((0.0..1.0).contains(&f));
+            }
+        }
     }
 
     proptest! {
